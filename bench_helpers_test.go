@@ -1,0 +1,16 @@
+package mctsui
+
+import (
+	"repro/internal/ast"
+	"repro/internal/engine"
+)
+
+// engineDB builds the synthetic SDSS catalog used by the engine benchmark.
+func engineDB() *engine.DB {
+	return engine.SDSSDB(5000, 1)
+}
+
+// execBench runs one query for the engine benchmark.
+func execBench(db *engine.DB, q *ast.Node) (*engine.Result, error) {
+	return engine.Exec(db, q)
+}

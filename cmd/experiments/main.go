@@ -1,0 +1,42 @@
+// Command experiments regenerates the paper's figures and claims (see the
+// experiment index in DESIGN.md) and prints plain-text reports, which
+// EXPERIMENTS.md records next to the paper's expectations.
+//
+// Usage:
+//
+//	experiments [-run all|fig6a|fig6b|fig6c|fig6d|fig6e|space|budget|
+//	             baseline|strategies|ablation-c|ablation-rollout|scaling]
+//	            [-iters 40] [-rollout 12] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (see DESIGN.md) or comma-separated list")
+	iters := flag.Int("iters", 40, "MCTS iterations per generated interface")
+	rollout := flag.Int("rollout", 12, "rollout depth during search")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Iterations: *iters, RolloutDepth: *rollout, Seed: *seed}
+	start := time.Now()
+	for _, name := range strings.Split(*run, ",") {
+		name = strings.TrimSpace(name)
+		f, ok := experiments.Named(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Print(f(cfg))
+		fmt.Println()
+	}
+	fmt.Printf("total elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}

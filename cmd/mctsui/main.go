@@ -1,0 +1,118 @@
+// Command mctsui generates an interactive data-analysis interface from a
+// SQL query log file (one query per line; -- and # comment lines ignored).
+//
+// Usage:
+//
+//	mctsui -log queries.sql [-width 1200 -height 800] [-iters 60 | -budget 60s]
+//	       [-seed 1] [-format ascii|html|both] [-show-queries N]
+//
+// With no -log flag it runs on the paper's SDSS log (Listing 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	mctsui "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	logPath := flag.String("log", "", "query log file (default: the paper's SDSS log)")
+	width := flag.Int("width", 1200, "screen width in layout units")
+	height := flag.Int("height", 800, "screen height in layout units")
+	iters := flag.Int("iters", 60, "MCTS iterations (ignored when -budget is set)")
+	budget := flag.Duration("budget", 0, "wall-clock search budget, e.g. 60s (the paper's setting)")
+	seed := flag.Int64("seed", 1, "random seed")
+	format := flag.String("format", "ascii", "output format: ascii, html, page (interactive HTML), json, or both")
+	showQueries := flag.Int("show-queries", 0, "also print up to N expressible queries")
+	stats := flag.Bool("stats", false, "print search statistics")
+	flag.Parse()
+
+	var queries []string
+	if *logPath == "" {
+		queries = workload.SDSSLogSQL()
+		fmt.Fprintln(os.Stderr, "mctsui: no -log given; using the paper's SDSS log (Listing 1)")
+	} else {
+		data, err := os.ReadFile(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+				continue
+			}
+			queries = append(queries, line)
+		}
+		if len(queries) == 0 {
+			fatal(fmt.Errorf("no queries in %s", *logPath))
+		}
+	}
+
+	cfg := mctsui.Config{
+		Screen:     mctsui.Screen{W: *width, H: *height},
+		Iterations: *iters,
+		Seed:       *seed,
+	}
+	if *budget > 0 {
+		cfg.TimeBudget = *budget
+		cfg.Iterations = 0
+	}
+
+	start := time.Now()
+	iface, err := mctsui.Generate(queries, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "html":
+		fmt.Print(iface.HTML())
+	case "page":
+		page, err := iface.Page("Generated interface")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(page)
+	case "json":
+		data, err := iface.MarshalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case "both":
+		fmt.Print(iface.ASCII())
+		fmt.Println()
+		fmt.Print(iface.HTML())
+	default:
+		fmt.Print(iface.ASCII())
+	}
+	if *format == "page" || *format == "json" {
+		return
+	}
+
+	w, h := iface.Bounds()
+	fmt.Printf("\ncost=%.2f widgets=%d bounds=%dx%d screen=%dx%d elapsed=%v\n",
+		iface.Cost(), iface.NumWidgets(), w, h, *width, *height, time.Since(start).Round(time.Millisecond))
+
+	if *stats {
+		s := iface.SearchStats()
+		fmt.Printf("search: iterations=%d expanded=%d rollouts=%d evals=%d best-reward=%.3f initial-fanout=%d initial-cost=%.2f\n",
+			s.Iterations, s.Expanded, s.Rollouts, s.Evals, s.BestReward, s.InitialFan, iface.InitialCost())
+	}
+	if *showQueries > 0 {
+		fmt.Printf("\nexpressible queries (up to %d):\n", *showQueries)
+		for _, q := range iface.Queries(*showQueries) {
+			fmt.Printf("  %s\n", q)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mctsui:", err)
+	os.Exit(1)
+}

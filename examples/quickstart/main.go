@@ -1,0 +1,80 @@
+// Command quickstart generates an interface for the paper's Figure 1
+// example — three queries over a sales table — and walks through the public
+// API: generation, rendering, expressible-query enumeration, and an
+// interactive session.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mctsui "repro"
+)
+
+func main() {
+	queries := []string{
+		"SELECT Sales FROM sales WHERE cty = USA",
+		"SELECT Costs FROM sales WHERE cty = EUR",
+		"SELECT Costs FROM sales",
+	}
+
+	fmt.Println("Input query log (paper Figure 1):")
+	for i, q := range queries {
+		fmt.Printf("  q%d: %s\n", i+1, q)
+	}
+
+	iface, err := mctsui.Generate(queries, mctsui.Config{
+		Iterations: 40,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nGenerated interface (widget tree with bounding boxes):")
+	fmt.Print(iface.ASCII())
+	fmt.Printf("\nCost C(W,Q) = %.2f (initial state cost was %.2f)\n",
+		iface.Cost(), iface.InitialCost())
+	fmt.Printf("difftree: %s\n", iface.DiffTree())
+
+	fmt.Println("\nQueries this interface can express (beyond the log):")
+	for _, q := range iface.Queries(10) {
+		fmt.Printf("  %s\n", q)
+	}
+
+	// Drive the interface: load q1, then flip widgets.
+	sess := iface.NewSession()
+	if err := sess.LoadQuery(queries[0]); err != nil {
+		log.Fatal(err)
+	}
+	sql, err := sess.SQL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSession loaded q1: %s\n", sql)
+
+	fmt.Println("Widgets:")
+	for _, w := range sess.Widgets() {
+		fmt.Printf("  [%d] %-10s %-10q options=%v value=%q\n",
+			w.Index, w.Type, w.Title, w.Options, w.Value)
+	}
+
+	// Change the first widget through its options, printing the query each
+	// interaction produces (the paper's w(q, u) -> q' semantics).
+	ws := sess.Widgets()
+	if len(ws) > 0 {
+		n := len(ws[0].Options)
+		if n == 0 {
+			n = 2
+		}
+		fmt.Println("\nInteracting with widget 0:")
+		for v := 0; v < n; v++ {
+			if err := sess.Set(0, v); err != nil {
+				continue
+			}
+			if sql, err := sess.SQL(); err == nil {
+				fmt.Printf("  value %d -> %s\n", v, sql)
+			}
+		}
+	}
+}

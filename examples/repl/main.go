@@ -1,0 +1,163 @@
+// Command repl is an interactive terminal driver for a generated interface:
+// it generates the SDSS interface (or one from -log), then accepts commands
+// to flip widgets, run the current query against the synthetic catalog, and
+// inspect plausibility — a terminal rendition of using the paper's output.
+//
+// Commands:
+//
+//	show                 render the widget tree and current values
+//	set <widget> <val>   change a widget (option index / 0|1 / count)
+//	load <n>             load the n-th log query into the widgets
+//	sql                  print the current query
+//	run                  execute the current query and draw the chart
+//	why                  plausibility of the current combination vs the log
+//	save <file>          write the interface bundle as JSON
+//	page <file>          write the interactive HTML page
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	mctsui "repro"
+	"repro/internal/engine"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	logPath := flag.String("log", "", "query log file (default: the paper's SDSS log)")
+	iters := flag.Int("iters", 15, "MCTS iterations")
+	flag.Parse()
+
+	queries := workload.SDSSLogSQL()
+	if *logPath != "" {
+		data, err := os.ReadFile(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		queries = nil
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" && !strings.HasPrefix(line, "--") && !strings.HasPrefix(line, "#") {
+				queries = append(queries, line)
+			}
+		}
+	}
+
+	fmt.Println("generating interface...")
+	iface, err := mctsui.Generate(queries, mctsui.Config{Iterations: *iters, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sess := iface.NewSession()
+	db := engine.SDSSDB(2000, 42)
+	fmt.Print(iface.ASCII())
+	fmt.Println(`type "help" for commands`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("show | set <widget> <val> | load <n> | sql | run | why | save <file> | page <file> | quit")
+		case "show":
+			fmt.Print(iface.ASCII())
+			for _, w := range sess.Widgets() {
+				fmt.Printf("  [%d] %-10s %-12q = %q\n", w.Index, w.Type, w.Title, w.Value)
+			}
+		case "set":
+			if len(fields) != 3 {
+				fmt.Println("usage: set <widget> <value>")
+				continue
+			}
+			w, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("set takes two integers")
+				continue
+			}
+			if err := sess.Set(w, v); err != nil {
+				fmt.Println(err)
+				continue
+			}
+			printSQL(sess)
+		case "load":
+			if len(fields) != 2 {
+				fmt.Println("usage: load <query-number>")
+				continue
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 || n > len(queries) {
+				fmt.Printf("query number 1..%d\n", len(queries))
+				continue
+			}
+			if err := sess.LoadQuery(queries[n-1]); err != nil {
+				fmt.Println(err)
+				continue
+			}
+			printSQL(sess)
+		case "sql":
+			printSQL(sess)
+		case "run":
+			res, spec, err := sess.Execute(db)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Printf("visualization: %s\n", spec.Type)
+			fmt.Print(viz.Render(res, spec, 10))
+		case "why":
+			fmt.Printf("plausibility vs log: %.2f\n", sess.Plausibility())
+		case "save", "page":
+			if len(fields) != 2 {
+				fmt.Printf("usage: %s <file>\n", fields[0])
+				continue
+			}
+			var data []byte
+			var err error
+			if fields[0] == "save" {
+				data, err = iface.MarshalJSON()
+			} else {
+				var page string
+				page, err = iface.Page("Generated interface")
+				data = []byte(page)
+			}
+			if err == nil {
+				err = os.WriteFile(fields[1], data, 0o644)
+			}
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Println("wrote", fields[1])
+		default:
+			fmt.Println("unknown command; try help")
+		}
+	}
+}
+
+func printSQL(sess *mctsui.Session) {
+	sql, err := sess.SQL()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(sql)
+}

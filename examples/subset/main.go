@@ -1,0 +1,64 @@
+// Command subset reproduces the paper's Figure 6(c): when only queries 6–8
+// of the SDSS log are used as input, the generated interface is much
+// simpler — those queries share their WHERE clauses, so the user is mostly
+// asked to pick the number of rows to return (10, 100, 1000). It also shows
+// Figure 6(d)'s counterpoint: an unsearched random difftree scores far
+// worse than the searched one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mctsui "repro"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/layout"
+	"repro/internal/sqlparser"
+	"repro/internal/workload"
+)
+
+func main() {
+	iters := flag.Int("iters", 15, "MCTS iterations")
+	flag.Parse()
+
+	sub := workload.SDSSSubset(6, 8)
+	fmt.Println("Input: SDSS queries 6-8 (identical WHERE clauses):")
+	srcs := make([]string, len(sub))
+	for i, q := range sub {
+		srcs[i] = sqlparser.Render(q)
+		fmt.Printf("  %s\n", srcs[i])
+	}
+
+	iface, err := mctsui.Generate(srcs, mctsui.Config{Iterations: *iters, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGenerated interface (Figure 6(c) analogue):")
+	fmt.Print(iface.ASCII())
+	fmt.Printf("cost=%.2f widgets=%d\n", iface.Cost(), iface.NumWidgets())
+
+	fullIface, err := mctsui.Generate(workload.SDSSLogSQL(), mctsui.Config{Iterations: *iters, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFor reference, the all-queries interface needs %d widgets (cost %.2f);\n",
+		fullIface.NumWidgets(), fullIface.Cost())
+	fmt.Printf("the subset interface needs %d (cost %.2f) - simpler inputs, simpler interface.\n",
+		iface.NumWidgets(), iface.Cost())
+
+	// Figure 6(d): a low-reward interface from an unsearched random state.
+	fmt.Println("\nLow-reward interface (Figure 6(d) analogue): random walk, no search:")
+	logAll := workload.SDSSLog()
+	randTree, err := core.RandomWalk(logAll, 8, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := cost.Default(layout.Wide)
+	ui, bd, _ := core.BestInterface(randTree, logAll, model, 2000, 1)
+	if ui != nil {
+		fmt.Print(layout.RenderASCII(ui))
+	}
+	fmt.Printf("random-state cost=%.2f vs searched cost=%.2f\n", bd.Total(), fullIface.Cost())
+}

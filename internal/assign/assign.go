@@ -1,0 +1,335 @@
+// Package assign maps a difftree to concrete widget trees ("Creating Widget
+// Trees" in the paper): each choice node becomes one interaction widget, and
+// each ALL node with choice-bearing descendants becomes a layout widget. The
+// open decisions — which widget template per choice node, and which direction
+// per layout box — form a small discrete space that the search samples
+// randomly (k times per reward, per the paper) and enumerates exhaustively
+// for the final state.
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/widgets"
+)
+
+// ErrNoWidget reports a choice node that no widget template can express
+// (e.g. a nested choice with too many alternatives for tabs); such difftrees
+// have infinite cost.
+var ErrNoWidget = errors.New("assign: choice node has no applicable widget")
+
+// decisionKind distinguishes the two decision types in a plan.
+type decisionKind uint8
+
+const (
+	pickWidget decisionKind = iota
+	pickDir
+)
+
+// decision is one open slot in the assignment vector.
+type decision struct {
+	kind       decisionKind
+	node       *difftree.Node
+	candidates []widgets.Type // widget templates, or {VBox, HBox} for boxes
+}
+
+// Plan is the assignment skeleton for one difftree: the ordered list of
+// decisions and the domains computed for every choice node.
+type Plan struct {
+	root      *difftree.Node
+	decisions []decision
+}
+
+// boxDirs are the direction candidates for a layout box.
+var boxDirs = []widgets.Type{widgets.VBox, widgets.HBox}
+
+// BuildPlan analyses the difftree and returns its assignment plan. It fails
+// with ErrNoWidget if some choice node has no applicable widget template.
+func BuildPlan(root *difftree.Node) (*Plan, error) {
+	p := &Plan{root: root}
+	rec := &planRecorder{plan: p}
+	if _, err := build(root, nil, rec); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Decisions returns the number of open decisions.
+func (p *Plan) Decisions() int { return len(p.decisions) }
+
+// SpaceSize returns the number of distinct assignments, saturating at cap.
+func (p *Plan) SpaceSize(cap int) int {
+	n := 1
+	for _, d := range p.decisions {
+		n *= len(d.candidates)
+		if n >= cap {
+			return cap
+		}
+	}
+	return n
+}
+
+// Assignment materializes the widget tree for a decision vector (one index
+// per decision, in plan order). It panics on malformed vectors; callers use
+// Random/Enumerate/First which always produce well-formed ones.
+func (p *Plan) Assignment(picks []int) *layout.Node {
+	if len(picks) != len(p.decisions) {
+		panic(fmt.Sprintf("assign: vector length %d, want %d", len(picks), len(p.decisions)))
+	}
+	rec := &vectorPicker{plan: p, picks: picks}
+	n, err := build(p.root, nil, rec)
+	if err != nil {
+		panic("assign: plan/build divergence: " + err.Error())
+	}
+	return n
+}
+
+// First returns the widget tree choosing every first candidate (the
+// lowest-M template per slot, since candidates are cost-sorted).
+func (p *Plan) First() *layout.Node {
+	return p.Assignment(make([]int, len(p.decisions)))
+}
+
+// Random samples a uniform random assignment.
+func (p *Plan) Random(rng *rand.Rand) *layout.Node {
+	picks := make([]int, len(p.decisions))
+	for i, d := range p.decisions {
+		picks[i] = rng.Intn(len(d.candidates))
+	}
+	return p.Assignment(picks)
+}
+
+// Enumerate visits every assignment (up to limit trees) in lexicographic
+// order; fn returning false stops early. It reports whether enumeration was
+// exhaustive.
+func (p *Plan) Enumerate(limit int, fn func(*layout.Node) bool) bool {
+	picks := make([]int, len(p.decisions))
+	count := 0
+	for {
+		if count >= limit {
+			return false
+		}
+		count++
+		if !fn(p.Assignment(picks)) {
+			return true
+		}
+		// Odometer increment.
+		i := len(picks) - 1
+		for i >= 0 {
+			picks[i]++
+			if picks[i] < len(p.decisions[i].candidates) {
+				break
+			}
+			picks[i] = 0
+			i--
+		}
+		if i < 0 {
+			return true
+		}
+	}
+}
+
+// picker supplies decisions during tree building; the planning pass records
+// candidates, the materialization pass consumes a vector.
+type picker interface {
+	pick(kind decisionKind, node *difftree.Node, candidates []widgets.Type) widgets.Type
+}
+
+type planRecorder struct {
+	plan *Plan
+}
+
+func (r *planRecorder) pick(kind decisionKind, node *difftree.Node, cands []widgets.Type) widgets.Type {
+	r.plan.decisions = append(r.plan.decisions, decision{kind: kind, node: node, candidates: cands})
+	return cands[0]
+}
+
+type vectorPicker struct {
+	plan  *Plan
+	picks []int
+	next  int
+}
+
+func (v *vectorPicker) pick(kind decisionKind, node *difftree.Node, cands []widgets.Type) widgets.Type {
+	d := v.plan.decisions[v.next]
+	if d.kind != kind || d.node != node {
+		panic("assign: plan/build divergence")
+	}
+	t := cands[v.picks[v.next]]
+	v.next++
+	return t
+}
+
+// build constructs the widget tree for the subtree rooted at d. It returns
+// nil for subtrees without choice nodes (static structure needs no widget).
+func build(d *difftree.Node, parent *difftree.Node, pk picker) (*layout.Node, error) {
+	if d == nil || !d.HasChoice() {
+		return nil, nil
+	}
+	switch d.Kind {
+	case difftree.All:
+		var kids []*layout.Node
+		for _, c := range d.Children {
+			k, err := build(c, d, pk)
+			if err != nil {
+				return nil, err
+			}
+			if k != nil {
+				kids = append(kids, k)
+			}
+		}
+		return box(d, kids, pk), nil
+
+	case difftree.Any:
+		dom := DomainOf(d, parent)
+		if dom.Nested {
+			// Alternatives carry inner widgets: tabs with per-alternative
+			// panels is the only template that can host them.
+			if widgets.IsInf(widgets.Appropriateness(widgets.Tabs, dom)) {
+				return nil, fmt.Errorf("%w: %d nested alternatives", ErrNoWidget, len(d.Children))
+			}
+			tabs := &layout.Node{Type: widgets.Tabs, Domain: dom, Title: dom.Title, Choice: d}
+			for _, alt := range d.Children {
+				panel, err := build(alt, d, pk)
+				if err != nil {
+					return nil, err
+				}
+				if panel != nil {
+					tabs.Children = append(tabs.Children, panel)
+				}
+			}
+			return tabs, nil
+		}
+		cands := sortedCandidates(dom, widgets.Tabs) // leaf tabs excluded; they exist for nesting
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: %d alternatives (scalar=%v)", ErrNoWidget, len(d.Children), dom.Scalar)
+		}
+		t := pk.pick(pickWidget, d, cands)
+		return layout.NewWidget(t, dom, d), nil
+
+	case difftree.Opt:
+		dom := DomainOf(d, parent)
+		cands := sortedCandidates(dom)
+		t := pk.pick(pickWidget, d, cands)
+		toggle := layout.NewWidget(t, dom, d)
+		inner, err := build(d.Children[0], d, pk)
+		if err != nil {
+			return nil, err
+		}
+		if inner == nil {
+			return toggle, nil
+		}
+		// The toggle and its dependent widgets are grouped, as in the
+		// paper's Figure 2(b) (toggle + dropdown share a bounding box).
+		return box(d, []*layout.Node{toggle, inner}, pk), nil
+
+	case difftree.Multi:
+		dom := DomainOf(d, parent)
+		adder := &layout.Node{Type: widgets.Adder, Domain: dom, Title: dom.Title, Choice: d}
+		inner, err := build(d.Children[0], d, pk)
+		if err != nil {
+			return nil, err
+		}
+		if inner != nil {
+			adder.Children = append(adder.Children, inner)
+		}
+		return adder, nil
+	}
+	return nil, nil
+}
+
+// box wraps children in a layout container with a direction decision; single
+// children pass through unwrapped.
+func box(owner *difftree.Node, kids []*layout.Node, pk picker) *layout.Node {
+	switch len(kids) {
+	case 0:
+		return nil
+	case 1:
+		return kids[0]
+	default:
+		dir := pk.pick(pickDir, owner, boxDirs)
+		return layout.NewBox(dir, kids...)
+	}
+}
+
+// sortedCandidates returns applicable widget templates sorted by ascending
+// appropriateness cost, excluding the given types.
+func sortedCandidates(dom widgets.Domain, exclude ...widgets.Type) []widgets.Type {
+	var out []widgets.Type
+	for _, t := range widgets.Candidates(dom) {
+		skip := false
+		for _, e := range exclude {
+			if t == e {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, t)
+		}
+	}
+	// Insertion sort by M (tiny slices).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && widgets.Appropriateness(out[j], dom) < widgets.Appropriateness(out[j-1], dom); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// DomainOf computes the widget domain a choice node exposes. The parent
+// difftree node provides context (e.g. BETWEEN bounds are range-slider
+// friendly).
+func DomainOf(d *difftree.Node, parent *difftree.Node) widgets.Domain {
+	switch d.Kind {
+	case difftree.Opt:
+		return widgets.Domain{Kind: widgets.ToggleDomain, Title: difftree.NodeTitle(d)}
+	case difftree.Multi:
+		return widgets.Domain{Kind: widgets.RepeatDomain, Title: difftree.NodeTitle(d)}
+	}
+	dom := widgets.Domain{
+		Kind:    widgets.ChoiceDomain,
+		Title:   difftree.NodeTitle(d),
+		Options: difftree.OptionLabels(d),
+		Scalar:  true,
+		Numeric: true,
+	}
+	excess := 0
+	for _, alt := range d.Children {
+		if alt.HasChoice() {
+			dom.Nested = true
+		}
+		if alt.IsEmpty() {
+			dom.Numeric = false // "(none)" is not a slider stop
+			continue
+		}
+		excess += alt.Size() - 1
+		isLeaf := alt.Kind == difftree.All && len(alt.Children) == 0 && !alt.IsSeq()
+		if !isLeaf {
+			dom.Scalar = false
+			dom.Numeric = false
+		} else if !numericValue(alt.Value) {
+			dom.Numeric = false
+		}
+	}
+	if len(d.Children) > 0 {
+		dom.Complexity = float64(excess) / float64(len(d.Children))
+	}
+	if dom.Nested {
+		dom.Scalar = false
+		dom.Numeric = false
+	}
+	if dom.Numeric && parent != nil && parent.Kind == difftree.All && parent.Label == ast.KindBetween {
+		dom.Bounds = true
+	}
+	return dom
+}
+
+func numericValue(s string) bool {
+	return ast.Leaf(ast.KindNumExpr, s).IsNumericValue()
+}

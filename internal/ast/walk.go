@@ -1,0 +1,120 @@
+package ast
+
+// Walk visits every node in the subtree rooted at n in pre-order. If fn
+// returns false the children of the current node are not visited.
+func Walk(n *Node, fn func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		Walk(c, fn)
+	}
+}
+
+// Path is a sequence of child indexes from a root to a descendant.
+type Path []int
+
+// Clone copies the path.
+func (p Path) Clone() Path {
+	c := make(Path, len(p))
+	copy(c, p)
+	return c
+}
+
+// At returns the node reached by following p from root, or nil if the path
+// leaves the tree.
+func At(root *Node, p Path) *Node {
+	n := root
+	for _, i := range p {
+		if n == nil || i < 0 || i >= len(n.Children) {
+			return nil
+		}
+		n = n.Children[i]
+	}
+	return n
+}
+
+// WalkPath visits every node with its path from the root in pre-order.
+func WalkPath(root *Node, fn func(*Node, Path) bool) {
+	var rec func(n *Node, p Path) bool
+	rec = func(n *Node, p Path) bool {
+		if n == nil {
+			return true
+		}
+		if !fn(n, p) {
+			return false
+		}
+		for i, c := range n.Children {
+			if !rec(c, append(p, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(root, nil)
+}
+
+// Find returns the path of the first node (pre-order) for which pred holds,
+// or nil, false when none matches.
+func Find(root *Node, pred func(*Node) bool) (Path, bool) {
+	var found Path
+	ok := false
+	WalkPath(root, func(n *Node, p Path) bool {
+		if ok {
+			return false
+		}
+		if pred(n) {
+			found = p.Clone()
+			ok = true
+			return false
+		}
+		return true
+	})
+	return found, ok
+}
+
+// ReplaceAt returns a copy of root with the subtree at path p replaced by
+// repl (repl is used as-is, not cloned). It returns nil if p is invalid.
+func ReplaceAt(root *Node, p Path, repl *Node) *Node {
+	if len(p) == 0 {
+		return repl
+	}
+	if root == nil || p[0] < 0 || p[0] >= len(root.Children) {
+		return nil
+	}
+	out := &Node{Kind: root.Kind, Value: root.Value, Children: make([]*Node, len(root.Children))}
+	copy(out.Children, root.Children)
+	sub := ReplaceAt(root.Children[p[0]], p[1:], repl)
+	if sub == nil {
+		return nil
+	}
+	out.Children[p[0]] = sub
+	return out
+}
+
+// ChildOfKind returns the first direct child of n with the given kind.
+func (n *Node) ChildOfKind(k Kind) *Node {
+	for _, c := range n.Children {
+		if c.Kind == k {
+			return c
+		}
+	}
+	return nil
+}
+
+// Leaves appends all leaf nodes of the subtree to dst and returns it.
+func Leaves(n *Node, dst []*Node) []*Node {
+	if n == nil {
+		return dst
+	}
+	if len(n.Children) == 0 {
+		return append(dst, n)
+	}
+	for _, c := range n.Children {
+		dst = Leaves(c, dst)
+	}
+	return dst
+}

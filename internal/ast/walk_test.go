@@ -1,0 +1,134 @@
+package ast
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWalkPreorder(t *testing.T) {
+	n := sampleTree()
+	var kinds []Kind
+	Walk(n, func(x *Node) bool {
+		kinds = append(kinds, x.Kind)
+		return true
+	})
+	want := []Kind{KindSelect, KindProject, KindColExpr, KindFrom, KindTable,
+		KindWhere, KindBetween, KindColExpr, KindNumExpr, KindNumExpr}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("Walk order = %v, want %v", kinds, want)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	n := sampleTree()
+	count := 0
+	Walk(n, func(x *Node) bool {
+		count++
+		return x.Kind != KindWhere // do not descend into WHERE
+	})
+	if count != 6 {
+		t.Errorf("pruned walk visited %d nodes, want 6", count)
+	}
+}
+
+func TestAtAndWalkPath(t *testing.T) {
+	n := sampleTree()
+	got := At(n, Path{2, 0, 1})
+	if got == nil || got.Kind != KindNumExpr || got.Value != "0" {
+		t.Fatalf("At(2,0,1) = %v", got)
+	}
+	if At(n, Path{9}) != nil {
+		t.Error("out-of-range path should return nil")
+	}
+	if At(n, nil) != n {
+		t.Error("empty path should return root")
+	}
+
+	paths := map[string]Kind{}
+	WalkPath(n, func(x *Node, p Path) bool {
+		key := ""
+		for _, i := range p {
+			key += string(rune('0' + i))
+		}
+		paths[key] = x.Kind
+		return true
+	})
+	if paths["20"] != KindBetween {
+		t.Errorf("path 2/0 wrong: %v", paths["20"])
+	}
+	if paths[""] != KindSelect {
+		t.Error("root path wrong")
+	}
+}
+
+func TestFind(t *testing.T) {
+	n := sampleTree()
+	p, ok := Find(n, func(x *Node) bool { return x.Kind == KindTable })
+	if !ok || !reflect.DeepEqual(p, Path{1, 0}) {
+		t.Errorf("Find(Table) = %v,%v", p, ok)
+	}
+	_, ok = Find(n, func(x *Node) bool { return x.Kind == KindOrderBy })
+	if ok {
+		t.Error("Find should miss absent kinds")
+	}
+}
+
+func TestReplaceAt(t *testing.T) {
+	n := sampleTree()
+	repl := Leaf(KindTable, "galaxies")
+	out := ReplaceAt(n, Path{1, 0}, repl)
+	if out == nil {
+		t.Fatal("ReplaceAt returned nil")
+	}
+	if At(out, Path{1, 0}).Value != "galaxies" {
+		t.Error("replacement not applied")
+	}
+	if At(n, Path{1, 0}).Value != "stars" {
+		t.Error("ReplaceAt mutated the original")
+	}
+	// Shared untouched subtrees are fine, but the spine must be fresh.
+	if out == n || out.Children[1] == n.Children[1] {
+		t.Error("spine must be copied")
+	}
+	if ReplaceAt(n, Path{7, 7}, repl) != nil {
+		t.Error("invalid path should return nil")
+	}
+	if ReplaceAt(n, nil, repl) != repl {
+		t.Error("empty path replaces the root")
+	}
+}
+
+func TestChildOfKind(t *testing.T) {
+	n := sampleTree()
+	if n.ChildOfKind(KindFrom) == nil {
+		t.Error("From child missing")
+	}
+	if n.ChildOfKind(KindOrderBy) != nil {
+		t.Error("unexpected OrderBy child")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	n := sampleTree()
+	ls := Leaves(n, nil)
+	if len(ls) != 5 {
+		t.Fatalf("Leaves = %d nodes, want 5", len(ls))
+	}
+	for _, l := range ls {
+		if len(l.Children) != 0 {
+			t.Error("non-leaf returned by Leaves")
+		}
+	}
+	if Leaves(nil, nil) != nil {
+		t.Error("nil tree should produce no leaves")
+	}
+}
+
+func TestPathClone(t *testing.T) {
+	p := Path{1, 2, 3}
+	c := p.Clone()
+	c[0] = 9
+	if p[0] != 1 {
+		t.Error("Clone must not alias")
+	}
+}

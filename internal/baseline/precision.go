@@ -1,0 +1,190 @@
+// Package baseline reimplements the prior work the paper compares against:
+// the bottom-up syntactic approach of Zhang, Sellam & Wu, "Mining Precision
+// Interfaces from Query Logs" (SIGMOD 2017), as characterized by this
+// paper's introduction. It aligns the query ASTs structurally, maps each
+// divergence point (subtree differences at the same AST path) to the widget
+// with the best appropriateness cost M(·) in isolation, and stacks all
+// widgets in a flat vertical list — no layout reasoning, no account of the
+// query sequence, exactly the limitations the MCTS approach addresses.
+package baseline
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/cost"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/widgets"
+)
+
+// Interface is the baseline's output.
+type Interface struct {
+	DiffTree *difftree.Node
+	UI       *layout.Node
+	Cost     cost.Breakdown
+}
+
+// Build mines a precision interface from the log and scores it with the
+// same cost model as the MCTS system (for a fair comparison).
+func Build(log []*ast.Node, model cost.Model) (*Interface, error) {
+	if len(log) == 0 {
+		return nil, errors.New("baseline: empty query log")
+	}
+	distinct := ast.Dedup(log)
+	nodes := make([]*ast.Node, len(distinct))
+	copy(nodes, distinct)
+
+	d := merge(nodes)
+	if err := difftree.Validate(d); err != nil {
+		return nil, err
+	}
+	if !difftree.ExpressibleAll(d, log) {
+		return nil, errors.New("baseline: merged tree lost queries")
+	}
+
+	ui := flatUI(d)
+	bd := model.NewEvaluator(d, log).Evaluate(ui)
+	return &Interface{DiffTree: d, UI: ui, Cost: bd}, nil
+}
+
+// merge aligns the ASTs top-down: nodes agreeing on (kind, value) recurse
+// into their children aligned by (kind, ordinal); any divergence becomes an
+// ANY over the distinct subtrees (with ∅ for queries lacking the clause).
+// This is the full bottom-up factoring with no intermediate states — the
+// one interface shape the 2017 approach would produce.
+func merge(nodes []*ast.Node) *difftree.Node {
+	present := nodes[:0:0]
+	absent := false
+	for _, n := range nodes {
+		if n == nil {
+			absent = true
+		} else {
+			present = append(present, n)
+		}
+	}
+	if len(present) == 0 {
+		return difftree.Emptyn()
+	}
+
+	agree := !absent
+	first := present[0]
+	for _, n := range present[1:] {
+		if n.Kind != first.Kind || n.Value != first.Value {
+			agree = false
+			break
+		}
+	}
+
+	if !agree {
+		variants := dedupASTs(present)
+		// Canonical order (by structural hash) so the mined interface is
+		// independent of the log order — the 2017 approach treats the log
+		// as a set.
+		sort.Slice(variants, func(i, j int) bool { return ast.Hash(variants[i]) < ast.Hash(variants[j]) })
+		kids := make([]*difftree.Node, 0, len(variants)+1)
+		if absent {
+			kids = append(kids, difftree.Emptyn())
+		}
+		for _, v := range variants {
+			kids = append(kids, difftree.FromAST(v))
+		}
+		if len(kids) == 1 {
+			return kids[0]
+		}
+		return difftree.NewAny(kids...)
+	}
+
+	// Aligned: merge children by (kind, ordinal).
+	type slotKey struct {
+		kind ast.Kind
+		ord  int
+	}
+	var order []slotKey
+	seen := map[slotKey]bool{}
+	perNode := make([]map[slotKey]*ast.Node, len(present))
+	for i, n := range present {
+		counts := map[ast.Kind]int{}
+		perNode[i] = map[slotKey]*ast.Node{}
+		for _, c := range n.Children {
+			k := slotKey{c.Kind, counts[c.Kind]}
+			counts[c.Kind]++
+			perNode[i][k] = c
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+		}
+	}
+	out := difftree.NewAll(first.Kind, first.Value)
+	for _, k := range order {
+		aligned := make([]*ast.Node, len(present))
+		for i := range present {
+			aligned[i] = perNode[i][k] // nil when absent
+		}
+		out.Children = append(out.Children, merge(aligned))
+	}
+	return out
+}
+
+func dedupASTs(ns []*ast.Node) []*ast.Node {
+	seen := make(map[uint64][]*ast.Node)
+	var out []*ast.Node
+	for _, n := range ns {
+		h := ast.Hash(n)
+		dup := false
+		for _, p := range seen[h] {
+			if ast.Equal(p, n) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], n)
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// flatUI stacks one widget per choice node in a single vertical list, each
+// widget chosen purely by appropriateness (the 2017 paper "only considered
+// appropriateness when selecting widgets").
+func flatUI(d *difftree.Node) *layout.Node {
+	var ws []*layout.Node
+	var walk func(n, parent *difftree.Node)
+	walk = func(n, parent *difftree.Node) {
+		if n.Kind.IsChoice() {
+			dom := assign.DomainOf(n, parent)
+			t := bestByM(dom)
+			if t != widgets.Invalid {
+				ws = append(ws, layout.NewWidget(t, dom, n))
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, n)
+		}
+	}
+	walk(d, nil)
+	switch len(ws) {
+	case 0:
+		return nil
+	case 1:
+		return ws[0]
+	default:
+		return layout.NewBox(widgets.VBox, ws...)
+	}
+}
+
+func bestByM(dom widgets.Domain) widgets.Type {
+	best := widgets.Invalid
+	bestC := widgets.Inf
+	for _, t := range widgets.Candidates(dom) {
+		if c := widgets.Appropriateness(t, dom); c < bestC {
+			best, bestC = t, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/cost"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/widgets"
+	"repro/internal/workload"
+)
+
+func TestBuildFigure1(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	model := cost.Default(layout.Wide)
+	iface, err := Build(log, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iface.Cost.Valid {
+		t.Fatalf("baseline invalid: %s", iface.Cost.Reason)
+	}
+	if !difftree.ExpressibleAll(iface.DiffTree, log) {
+		t.Fatal("baseline lost queries")
+	}
+	// Figure 1 queries diverge in ColExpr (Sales/Costs) and the WHERE clause
+	// (USA / EUR / absent): at least 2 widgets.
+	if iface.UI.CountWidgets() < 2 {
+		t.Errorf("widgets:\n%s", layout.RenderASCII(iface.UI))
+	}
+}
+
+func TestBuildSDSS(t *testing.T) {
+	log := workload.SDSSLog()
+	model := cost.Default(layout.Wide)
+	iface, err := Build(log, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iface.Cost.Valid {
+		t.Fatalf("invalid: %s", iface.Cost.Reason)
+	}
+	if !difftree.ExpressibleAll(iface.DiffTree, log) {
+		t.Fatal("lost queries")
+	}
+	// Divergences: projection (2 slots), table (3), 8 literal bounds, TOP:
+	// a flat list of many widgets.
+	n := iface.UI.CountWidgets()
+	if n < 8 {
+		t.Errorf("expected many flat widgets, got %d:\n%s", n, layout.RenderASCII(iface.UI))
+	}
+	// Flat layout: the root is a single VBox of leaf widgets.
+	if iface.UI.Type != widgets.VBox {
+		t.Fatalf("root = %s, want vbox", iface.UI.Type)
+	}
+	for _, c := range iface.UI.Children {
+		if len(c.Children) != 0 {
+			t.Error("baseline layout must be flat")
+		}
+	}
+}
+
+func TestMergeSharesStructure(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	d := merge(log)
+	// Shared FROM stays choice-free. The projection diverges at the ColExpr
+	// level; the WHERE clause diverges as whole subtrees (q3 lacks it, so
+	// the divergence sits at the Where slot with an ∅ alternative).
+	var fromChoiceFree, sawColChoice, sawWhereChoiceWithEmpty bool
+	difftree.WalkPath(d, func(n *difftree.Node, p difftree.Path) bool {
+		if n.Kind == difftree.All && n.Label == ast.KindFrom {
+			fromChoiceFree = !n.HasChoice()
+		}
+		if n.Kind == difftree.Any {
+			hasEmpty, hasWhere := false, false
+			for _, c := range n.Children {
+				if c.Kind == difftree.All && c.Label == ast.KindColExpr {
+					sawColChoice = true
+				}
+				if c.IsEmpty() {
+					hasEmpty = true
+				}
+				if c.Kind == difftree.All && c.Label == ast.KindWhere {
+					hasWhere = true
+				}
+			}
+			if hasEmpty && hasWhere {
+				sawWhereChoiceWithEmpty = true
+			}
+		}
+		return true
+	})
+	if !fromChoiceFree {
+		t.Error("shared FROM must not gain choices")
+	}
+	if !sawColChoice {
+		t.Errorf("projection divergence missing: %s", d)
+	}
+	if !sawWhereChoiceWithEmpty {
+		t.Errorf("optional WHERE divergence missing: %s", d)
+	}
+}
+
+func TestMergeIdenticalQueries(t *testing.T) {
+	q := workload.SDSSSubset(1, 1)
+	iface, err := Build([]*ast.Node{q[0], q[0].Clone()}, cost.Default(layout.Wide))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iface.UI != nil {
+		t.Error("identical queries need no widgets")
+	}
+	if iface.DiffTree.HasChoice() {
+		t.Error("identical queries: choice-free tree")
+	}
+}
+
+func TestBuildEmptyLog(t *testing.T) {
+	if _, err := Build(nil, cost.Default(layout.Wide)); err == nil {
+		t.Error("empty log must error")
+	}
+}
+
+func TestBaselineIgnoresSequence(t *testing.T) {
+	// The baseline output is identical regardless of log order (it ignores
+	// the sequence); only its U score changes.
+	log := workload.PaperFigure1Log()
+	rev := []*ast.Node{log[2], log[1], log[0]}
+	model := cost.Default(layout.Wide)
+	a, err := Build(log, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(rev, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !difftree.Equal(a.DiffTree, b.DiffTree) {
+		t.Error("baseline structure must not depend on order")
+	}
+}
+
+func TestBestByM(t *testing.T) {
+	dom := widgets.Domain{Kind: widgets.ChoiceDomain, Options: []string{"a", "b"}, Scalar: true}
+	if got := bestByM(dom); got != widgets.Radio && got != widgets.Buttons {
+		t.Errorf("small scalar domain best = %s", got)
+	}
+	if got := bestByM(widgets.Domain{Kind: widgets.ChoiceDomain, Options: []string{"only"}}); got != widgets.Invalid {
+		t.Errorf("singleton domain should have no widget, got %s", got)
+	}
+}

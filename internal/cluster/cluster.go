@@ -1,0 +1,215 @@
+// Package cluster groups a mixed query log into structurally coherent
+// sub-logs, one interface per cluster. Real logs interleave unrelated
+// analysis tasks; merging structurally unrelated queries into one difftree
+// yields giant ANY roots and unusable interfaces (Zhang et al. 2017 face
+// the same issue and mine one "template" per structural group). Clustering
+// by AST shape similarity restores the paper's setting — each cluster is a
+// coherent analysis task.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// Options tunes clustering.
+type Options struct {
+	// MinSimilarity in [0,1]: two queries join the same cluster when their
+	// shape similarity reaches it (default 0.55).
+	MinSimilarity float64
+	// MaxClusters caps the number of clusters (0 = unlimited); smallest
+	// clusters merge into their nearest neighbor past the cap.
+	MaxClusters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSimilarity <= 0 || o.MinSimilarity > 1 {
+		o.MinSimilarity = 0.5
+	}
+	return o
+}
+
+// Cluster is a group of structurally similar queries, in log order.
+type Cluster struct {
+	Queries []*ast.Node
+	Indexes []int // positions in the original log
+}
+
+// Split partitions the log into clusters using single-linkage agglomeration
+// over shape similarity. The result order is deterministic: clusters sorted
+// by their first query's log position.
+func Split(log []*ast.Node, opt Options) []Cluster {
+	opt = opt.withDefaults()
+	n := len(log)
+	if n == 0 {
+		return nil
+	}
+
+	profiles := make([]profile, n)
+	for i, q := range log {
+		profiles[i] = profileOf(q)
+	}
+
+	// Union-find over single-linkage pairs.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Similarity(profiles[i], profiles[j]) >= opt.MinSimilarity {
+				union(i, j)
+			}
+		}
+	}
+
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	clusters := make([]Cluster, 0, len(roots))
+	for _, r := range roots {
+		var c Cluster
+		for _, i := range groups[r] {
+			c.Queries = append(c.Queries, log[i])
+			c.Indexes = append(c.Indexes, i)
+		}
+		clusters = append(clusters, c)
+	}
+
+	// Enforce MaxClusters by repeatedly merging the smallest cluster into
+	// its most similar peer.
+	for opt.MaxClusters > 0 && len(clusters) > opt.MaxClusters {
+		smallest := 0
+		for i, c := range clusters {
+			if len(c.Queries) < len(clusters[smallest].Queries) {
+				smallest = i
+			}
+		}
+		bestPeer, bestSim := -1, -1.0
+		for i, c := range clusters {
+			if i == smallest {
+				continue
+			}
+			s := Similarity(profileOf(c.Queries[0]), profileOf(clusters[smallest].Queries[0]))
+			if s > bestSim {
+				bestPeer, bestSim = i, s
+			}
+		}
+		merged := clusters[bestPeer]
+		merged.Queries = append(merged.Queries, clusters[smallest].Queries...)
+		merged.Indexes = append(merged.Indexes, clusters[smallest].Indexes...)
+		clusters[bestPeer] = merged
+		clusters = append(clusters[:smallest], clusters[smallest+1:]...)
+	}
+
+	// Restore intra-cluster log order and deterministic cluster order.
+	for i := range clusters {
+		c := &clusters[i]
+		order := make([]int, len(c.Indexes))
+		for k := range order {
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool { return c.Indexes[order[a]] < c.Indexes[order[b]] })
+		qs := make([]*ast.Node, len(order))
+		idx := make([]int, len(order))
+		for k, o := range order {
+			qs[k], idx[k] = c.Queries[o], c.Indexes[o]
+		}
+		c.Queries, c.Indexes = qs, idx
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a].Indexes[0] < clusters[b].Indexes[0] })
+	return clusters
+}
+
+// profile is a bag of structural features of one query.
+type profile map[string]int
+
+// profileOf extracts (kind, interior-value) features with parent context:
+// "Select/Where", "BiExpr:=", "FuncExpr:count", column names, table names.
+// Literal leaf values are excluded so queries differing only in constants
+// profile identically.
+func profileOf(q *ast.Node) profile {
+	p := make(profile)
+	var walk func(n *ast.Node, parentKind ast.Kind)
+	walk = func(n *ast.Node, parentKind ast.Kind) {
+		key := parentKind.String() + "/" + n.Kind.String()
+		p[key]++
+		switch n.Kind {
+		case ast.KindBiExpr, ast.KindFuncExpr, ast.KindSortKey:
+			p[n.Kind.String()+":"+n.Value]++
+		case ast.KindColExpr, ast.KindTable:
+			p[n.Kind.String()+"="+n.Value]++
+		}
+		for _, c := range n.Children {
+			walk(c, n.Kind)
+		}
+	}
+	walk(q, ast.KindInvalid)
+	return p
+}
+
+// Similarity is the cosine-free Jaccard-style overlap of two profiles:
+// sum(min)/sum(max) over the united feature set, in [0,1].
+func Similarity(a, b profile) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	mins, maxs := 0, 0
+	seen := map[string]bool{}
+	for k, av := range a {
+		bv := b[k]
+		seen[k] = true
+		mins += min(av, bv)
+		maxs += max(av, bv)
+	}
+	for k, bv := range b {
+		if !seen[k] {
+			maxs += bv
+		}
+	}
+	if maxs == 0 {
+		return 1
+	}
+	return float64(mins) / float64(maxs)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

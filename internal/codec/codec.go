@@ -1,0 +1,252 @@
+// Package codec serializes difftrees and widget trees to JSON so generated
+// interfaces can be saved, versioned, and reloaded without re-running the
+// search (a practical necessity for a tool whose searches take a minute).
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/widgets"
+)
+
+// Version is embedded in every encoded artifact; decoding rejects unknown
+// versions.
+const Version = 1
+
+// DiffTreeJSON is the wire form of a difftree node.
+type DiffTreeJSON struct {
+	Kind     string          `json:"kind"`            // ALL | ANY | OPT | MULTI
+	Label    string          `json:"label,omitempty"` // grammar rule for ALL nodes
+	Value    string          `json:"value,omitempty"`
+	Children []*DiffTreeJSON `json:"children,omitempty"`
+}
+
+// WidgetJSON is the wire form of a widget-tree node. Choice nodes are
+// referenced by their pre-order index in the difftree.
+type WidgetJSON struct {
+	Type     string        `json:"type"`
+	Title    string        `json:"title,omitempty"`
+	Options  []string      `json:"options,omitempty"`
+	Choice   *int          `json:"choice,omitempty"` // difftree pre-order index
+	Children []*WidgetJSON `json:"children,omitempty"`
+}
+
+// InterfaceJSON bundles a generated interface.
+type InterfaceJSON struct {
+	Version  int           `json:"version"`
+	Queries  []string      `json:"queries,omitempty"` // the input log (rendered SQL)
+	DiffTree *DiffTreeJSON `json:"difftree"`
+	UI       *WidgetJSON   `json:"ui,omitempty"`
+}
+
+// EncodeDiffTree converts a difftree to its wire form.
+func EncodeDiffTree(n *difftree.Node) *DiffTreeJSON {
+	if n == nil {
+		return nil
+	}
+	out := &DiffTreeJSON{Kind: n.Kind.String(), Value: n.Value}
+	if n.Kind == difftree.All {
+		out.Label = n.Label.String()
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, EncodeDiffTree(c))
+	}
+	return out
+}
+
+// kindByName inverts difftree.Kind.String.
+var kindByName = map[string]difftree.Kind{
+	"ALL": difftree.All, "ANY": difftree.Any, "OPT": difftree.Opt, "MULTI": difftree.Multi,
+}
+
+// labelByName inverts ast.Kind.String for all valid grammar kinds.
+var labelByName = func() map[string]ast.Kind {
+	m := make(map[string]ast.Kind)
+	for k := ast.Kind(1); ; k++ {
+		if !k.Valid() {
+			break
+		}
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// DecodeDiffTree converts the wire form back to a difftree and validates it.
+func DecodeDiffTree(j *DiffTreeJSON) (*difftree.Node, error) {
+	n, err := decodeDiffNode(j)
+	if err != nil {
+		return nil, err
+	}
+	if err := difftree.Validate(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func decodeDiffNode(j *DiffTreeJSON) (*difftree.Node, error) {
+	if j == nil {
+		return nil, fmt.Errorf("codec: nil difftree node")
+	}
+	kind, ok := kindByName[j.Kind]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown difftree kind %q", j.Kind)
+	}
+	n := &difftree.Node{Kind: kind, Value: j.Value}
+	if kind == difftree.All {
+		label, ok := labelByName[j.Label]
+		if !ok {
+			return nil, fmt.Errorf("codec: unknown grammar label %q", j.Label)
+		}
+		n.Label = label
+	}
+	for _, c := range j.Children {
+		child, err := decodeDiffNode(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}
+
+// preorderIndex maps each difftree node to its pre-order position.
+func preorderIndex(root *difftree.Node) (map[*difftree.Node]int, []*difftree.Node) {
+	byNode := make(map[*difftree.Node]int)
+	var byIndex []*difftree.Node
+	difftree.WalkPath(root, func(n *difftree.Node, _ difftree.Path) bool {
+		byNode[n] = len(byIndex)
+		byIndex = append(byIndex, n)
+		return true
+	})
+	return byNode, byIndex
+}
+
+// EncodeUI converts a widget tree to wire form, resolving choice pointers
+// against the difftree.
+func EncodeUI(ui *layout.Node, diff *difftree.Node) (*WidgetJSON, error) {
+	if ui == nil {
+		return nil, nil
+	}
+	idx, _ := preorderIndex(diff)
+	return encodeWidget(ui, idx)
+}
+
+func encodeWidget(n *layout.Node, idx map[*difftree.Node]int) (*WidgetJSON, error) {
+	out := &WidgetJSON{Type: n.Type.String(), Title: n.Title, Options: n.Domain.Options}
+	if n.Choice != nil {
+		i, ok := idx[n.Choice]
+		if !ok {
+			return nil, fmt.Errorf("codec: widget references a node outside the difftree")
+		}
+		out.Choice = &i
+	}
+	for _, c := range n.Children {
+		cj, err := encodeWidget(c, idx)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, cj)
+	}
+	return out, nil
+}
+
+// typeByName inverts widgets.Type.String.
+var typeByName = func() map[string]widgets.Type {
+	m := make(map[string]widgets.Type)
+	for t := widgets.Label; t <= widgets.Adder; t++ {
+		m[t.String()] = t
+	}
+	return m
+}()
+
+// DecodeUI rebuilds a widget tree against a decoded difftree, recomputing
+// each widget's domain from its choice node (domains are derived data, so
+// the decoded tree evaluates identically under the cost model).
+func DecodeUI(j *WidgetJSON, diff *difftree.Node) (*layout.Node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	_, byIndex := preorderIndex(diff)
+	parents := parentIndex(diff)
+	return decodeWidget(j, byIndex, parents)
+}
+
+// parentIndex maps each difftree node to its parent.
+func parentIndex(root *difftree.Node) map[*difftree.Node]*difftree.Node {
+	m := make(map[*difftree.Node]*difftree.Node)
+	var rec func(n *difftree.Node)
+	rec = func(n *difftree.Node) {
+		for _, c := range n.Children {
+			m[c] = n
+			rec(c)
+		}
+	}
+	rec(root)
+	return m
+}
+
+func decodeWidget(j *WidgetJSON, byIndex []*difftree.Node, parents map[*difftree.Node]*difftree.Node) (*layout.Node, error) {
+	t, ok := typeByName[j.Type]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown widget type %q", j.Type)
+	}
+	n := &layout.Node{Type: t, Title: j.Title}
+	n.Domain.Options = j.Options
+	if j.Choice != nil {
+		if *j.Choice < 0 || *j.Choice >= len(byIndex) {
+			return nil, fmt.Errorf("codec: choice index %d out of range", *j.Choice)
+		}
+		n.Choice = byIndex[*j.Choice]
+		n.Domain = assign.DomainOf(n.Choice, parents[n.Choice])
+		if n.Title == "" {
+			n.Title = n.Domain.Title
+		}
+	}
+	for _, c := range j.Children {
+		child, err := decodeWidget(c, byIndex, parents)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}
+
+// Marshal serializes an interface bundle.
+func Marshal(diff *difftree.Node, ui *layout.Node, queries []string) ([]byte, error) {
+	uj, err := EncodeUI(ui, diff)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(InterfaceJSON{
+		Version:  Version,
+		Queries:  queries,
+		DiffTree: EncodeDiffTree(diff),
+		UI:       uj,
+	}, "", "  ")
+}
+
+// Unmarshal deserializes an interface bundle.
+func Unmarshal(data []byte) (*difftree.Node, *layout.Node, []string, error) {
+	var j InterfaceJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, nil, nil, err
+	}
+	if j.Version != Version {
+		return nil, nil, nil, fmt.Errorf("codec: unsupported version %d", j.Version)
+	}
+	diff, err := DecodeDiffTree(j.DiffTree)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ui, err := DecodeUI(j.UI, diff)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diff, ui, j.Queries, nil
+}

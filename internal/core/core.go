@@ -1,0 +1,440 @@
+// Package core orchestrates the paper's end-to-end pipeline: parse the query
+// log into ASTs, build the initial difftree, search the space of difftrees
+// with MCTS (transformation rules as moves, best-of-k random widget
+// assignments as the reward), and finally enumerate widget trees for the
+// best difftree to extract the lowest-cost interface.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/cost"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/mcts"
+	"repro/internal/rules"
+)
+
+// Options tunes interface generation; the zero value is filled with the
+// paper's defaults.
+type Options struct {
+	// Screen is the output screen constraint (default layout.Wide).
+	Screen layout.Screen
+	// Iterations bounds MCTS iterations (default 60; ignored when
+	// TimeBudget is set and Iterations == 0).
+	Iterations int
+	// TimeBudget bounds wall-clock search time (the paper runs ~1 minute).
+	TimeBudget time.Duration
+	// RolloutDepth bounds random walks. The paper allows up to 200 steps;
+	// the default here is 16, which the rollout-depth ablation (EXPERIMENTS
+	// A2) shows already saturates quality on the paper's logs at a fraction
+	// of the cost. Set 200 to mirror the paper exactly.
+	RolloutDepth int
+	// RewardSamples is k, the number of random widget assignments scored per
+	// state during search (default 5).
+	RewardSamples int
+	// ExplorationC is the UCT exploration constant (default √2).
+	ExplorationC float64
+	// EnumLimit caps the final widget-tree enumeration (default 20000).
+	EnumLimit int
+	// Seed makes generation deterministic (default 1).
+	Seed int64
+	// NavUnit is the Steiner-edge navigation cost (default 0.3).
+	NavUnit float64
+	// Rules is the transformation rule set (default rules.All()).
+	Rules []rules.Rule
+}
+
+func (o Options) withDefaults() Options {
+	if o.Screen == (layout.Screen{}) {
+		o.Screen = layout.Wide
+	}
+	if o.Iterations <= 0 && o.TimeBudget <= 0 {
+		o.Iterations = 60
+	}
+	if o.RolloutDepth <= 0 {
+		o.RolloutDepth = 16
+	}
+	if o.RewardSamples <= 0 {
+		o.RewardSamples = 5
+	}
+	if o.ExplorationC == 0 {
+		o.ExplorationC = math.Sqrt2
+	}
+	if o.EnumLimit <= 0 {
+		o.EnumLimit = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.NavUnit == 0 {
+		o.NavUnit = 0.3
+	}
+	if o.Rules == nil {
+		o.Rules = rules.All()
+	}
+	return o
+}
+
+// Result is a generated interface plus search diagnostics.
+type Result struct {
+	DiffTree *difftree.Node // best difftree found
+	UI       *layout.Node   // lowest-cost widget tree for it
+	Cost     cost.Breakdown // its cost breakdown
+	Initial  cost.Breakdown // cost of the initial state's best interface
+	Stats    Stats          // search statistics
+	Log      []*ast.Node    // the input log (parsed)
+}
+
+// Stats summarizes the search.
+type Stats struct {
+	Iterations   int
+	Expanded     int
+	Rollouts     int
+	Evals        int
+	BestReward   float64
+	InitialFan   int // fanout (legal moves) of the initial state
+	EnumComplete bool
+	Elapsed      time.Duration
+}
+
+// Generate runs the full pipeline on parsed query ASTs.
+func Generate(log []*ast.Node, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if len(log) == 0 {
+		return nil, errors.New("core: empty query log")
+	}
+	init, err := difftree.Initial(log)
+	if err != nil {
+		return nil, err
+	}
+
+	model := cost.Model{NavUnit: opt.NavUnit, Screen: opt.Screen}
+	dom := newDomain(log, model, opt)
+	start := time.Now()
+
+	res := mcts.Search(dom, state{d: init, h: difftree.Hash(init)}, mcts.Config{
+		C:                opt.ExplorationC,
+		MaxRolloutDepth:  opt.RolloutDepth,
+		Iterations:       opt.Iterations,
+		TimeBudget:       opt.TimeBudget,
+		Seed:             opt.Seed,
+		EvaluateChildren: true,
+	})
+	best := res.Best.(state).d
+
+	// Final extraction: enumerate all widget trees for the best difftree
+	// (sampling beyond the cap) and keep the argmin.
+	ui, bd, complete := BestInterface(best, log, model, opt.EnumLimit, opt.Seed)
+
+	initUI, initBD, _ := BestInterface(init, log, model, opt.EnumLimit, opt.Seed)
+	_ = initUI
+
+	out := &Result{
+		DiffTree: best,
+		UI:       ui,
+		Cost:     bd,
+		Initial:  initBD,
+		Log:      log,
+		Stats: Stats{
+			Iterations:   res.Iterations,
+			Expanded:     res.Expanded,
+			Rollouts:     res.Rollouts,
+			Evals:        res.Evals,
+			BestReward:   res.BestReward,
+			InitialFan:   len(rules.Moves(init, log, opt.Rules)),
+			EnumComplete: complete,
+			Elapsed:      time.Since(start),
+		},
+	}
+	return out, nil
+}
+
+// BestInterface enumerates (or samples past the cap) the widget trees of a
+// difftree and returns the cheapest, with its breakdown and whether the
+// enumeration was exhaustive.
+func BestInterface(d *difftree.Node, log []*ast.Node, model cost.Model, enumLimit int, seed int64) (*layout.Node, cost.Breakdown, bool) {
+	plan, err := assign.BuildPlan(d)
+	if err != nil {
+		return nil, cost.Breakdown{Valid: false, Reason: err.Error()}, true
+	}
+	ev := model.NewEvaluator(d, log)
+	if !d.HasChoice() {
+		return nil, ev.Evaluate(nil), true
+	}
+
+	var bestUI *layout.Node
+	bestBD := cost.Breakdown{Valid: false, Reason: "no assignment evaluated"}
+	bestC := math.Inf(1)
+	consider := func(ui *layout.Node) {
+		bd := ev.Evaluate(ui)
+		if c := bd.Total(); c < bestC {
+			bestC, bestBD, bestUI = c, bd, ui
+		}
+	}
+
+	complete := plan.Enumerate(enumLimit, func(ui *layout.Node) bool {
+		consider(ui)
+		return true
+	})
+	if !complete {
+		// The space exceeds the cap: top up with random samples.
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < enumLimit/2; i++ {
+			consider(plan.Random(rng))
+		}
+	}
+	if bestUI == nil {
+		return nil, cost.Breakdown{Valid: false, Reason: "no widget tree found"}, complete
+	}
+	return bestUI, bestBD, complete
+}
+
+// StateCost is the paper's reward primitive: the best cost among k random
+// widget assignments (plus the cost-greedy first assignment) for a difftree.
+func StateCost(d *difftree.Node, log []*ast.Node, model cost.Model, k int, rng *rand.Rand) float64 {
+	plan, err := assign.BuildPlan(d)
+	if err != nil {
+		return math.Inf(1)
+	}
+	ev := model.NewEvaluator(d, log)
+	if !d.HasChoice() {
+		return ev.Evaluate(nil).Total()
+	}
+	best := ev.Evaluate(plan.First()).Total()
+	for i := 0; i < k; i++ {
+		if c := ev.Evaluate(plan.Random(rng)).Total(); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// state adapts a difftree to mcts.State.
+type state struct {
+	d *difftree.Node
+	h uint64
+}
+
+// Hash implements mcts.State.
+func (s state) Hash() uint64 { return s.h }
+
+// domain adapts the difftree space to mcts.Domain + mcts.Sampler.
+type domain struct {
+	log     []*ast.Node
+	model   cost.Model
+	k       int
+	ruleSet []rules.Rule
+	rng     *rand.Rand // reward sampling; separate stream from the search's
+	scale   float64    // reward normalization: the initial state's cost
+	cache   map[uint64]float64
+	legal   map[uint64]bool // candidate-state legality, keyed by tree hash
+	sizeCap int             // prune states larger than this (search pruning,
+	// listed by the paper as a needed optimization: expansion rules can
+	// otherwise balloon trees during long rollouts)
+	neighbors map[uint64][]mcts.State // full neighbor lists, keyed by state hash
+}
+
+// ruleKinds maps each rule to the difftree node kinds its pattern can match;
+// the rollout sampler only draws (rule, node) pairs from this table, which
+// raises its hit rate enough to avoid falling back to full enumeration.
+var ruleKinds = map[string]map[difftree.Kind]bool{
+	"Any2All":    {difftree.Any: true},
+	"All2Any":    {difftree.All: true},
+	"Lift":       {difftree.Any: true},
+	"Unlift":     {difftree.All: true},
+	"MultiMerge": {difftree.Any: true, difftree.All: true},
+	"Optional":   {difftree.Any: true},
+	"Unoptional": {difftree.Opt: true},
+	"Unwrap":     {difftree.Any: true},
+	"Flatten":    {difftree.Any: true},
+	"DedupAny":   {difftree.Any: true},
+	"Wrap":       {difftree.All: true},
+}
+
+func newDomain(log []*ast.Node, model cost.Model, opt Options) *domain {
+	d := &domain{
+		log:       log,
+		model:     model,
+		k:         opt.RewardSamples,
+		ruleSet:   opt.Rules,
+		rng:       rand.New(rand.NewSource(opt.Seed + 0x9e37)),
+		cache:     make(map[uint64]float64),
+		legal:     make(map[uint64]bool),
+		neighbors: make(map[uint64][]mcts.State),
+	}
+	init, err := difftree.Initial(log)
+	if err == nil {
+		c := StateCost(init, log, model, opt.RewardSamples, d.rng)
+		if !math.IsInf(c, 1) && c > 0 {
+			d.scale = c
+		}
+		d.sizeCap = 4 * init.Size()
+	}
+	if d.scale <= 0 {
+		d.scale = 10
+	}
+	if d.sizeCap < 64 {
+		d.sizeCap = 64
+	}
+	return d
+}
+
+// isLegal checks (with caching) whether a candidate rewrite preserves the
+// invariant that every input query stays expressible. States recur heavily
+// across rollouts, so the cache pays for itself quickly.
+func (d *domain) isLegal(next *difftree.Node, h uint64) bool {
+	if v, ok := d.legal[h]; ok {
+		return v
+	}
+	v := next.Size() <= d.sizeCap && rules.LegalState(next, d.log)
+	d.legal[h] = v
+	return v
+}
+
+// Neighbors implements mcts.Domain. Results are cached per state hash:
+// rollouts and expansion revisit popular states constantly.
+func (d *domain) Neighbors(s mcts.State) []mcts.State {
+	st := s.(state)
+	if ns, ok := d.neighbors[st.h]; ok {
+		return ns
+	}
+	cur := st.d
+	var out []mcts.State
+	difftree.WalkPath(cur, func(n *difftree.Node, p difftree.Path) bool {
+		for _, r := range d.ruleSet {
+			if kinds, ok := ruleKinds[r.Name()]; ok && !kinds[n.Kind] {
+				continue
+			}
+			next, ok := rules.Candidate(cur, p, r)
+			if !ok {
+				continue
+			}
+			h := difftree.Hash(next)
+			if !d.isLegal(next, h) {
+				continue
+			}
+			out = append(out, state{d: next, h: h})
+		}
+		return true
+	})
+	if len(d.neighbors) < 1<<14 {
+		d.neighbors[st.h] = out
+	}
+	return out
+}
+
+// RandomNeighbor implements mcts.Sampler: it draws random (rule, node)
+// candidates — restricted to node kinds the rule can match — and returns the
+// first legal rewrite, falling back to the (cached) full move set when
+// unlucky. This keeps rollouts cheap relative to full neighbor enumeration.
+func (d *domain) RandomNeighbor(s mcts.State, rng *rand.Rand) (mcts.State, bool) {
+	st := s.(state)
+	if ns, ok := d.neighbors[st.h]; ok {
+		// Already enumerated: sample the exact legal move set.
+		if len(ns) == 0 {
+			return nil, false
+		}
+		return ns[rng.Intn(len(ns))], true
+	}
+	cur := st.d
+	byKind := make(map[difftree.Kind][]difftree.Path)
+	difftree.WalkPath(cur, func(n *difftree.Node, p difftree.Path) bool {
+		byKind[n.Kind] = append(byKind[n.Kind], p.Clone())
+		return true
+	})
+	const tries = 48
+	for i := 0; i < tries; i++ {
+		r := d.ruleSet[rng.Intn(len(d.ruleSet))]
+		kinds := ruleKinds[r.Name()]
+		// Collect the paths this rule could match.
+		var pool []difftree.Path
+		for k, ps := range byKind {
+			if kinds == nil || kinds[k] {
+				pool = append(pool, ps...)
+			}
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		p := pool[rng.Intn(len(pool))]
+		next, ok := rules.Candidate(cur, p, r)
+		if !ok {
+			continue
+		}
+		h := difftree.Hash(next)
+		if !d.isLegal(next, h) {
+			continue
+		}
+		return state{d: next, h: h}, true
+	}
+	ns := d.Neighbors(s)
+	if len(ns) == 0 {
+		return nil, false
+	}
+	return ns[rng.Intn(len(ns))], true
+}
+
+// Reward implements mcts.Domain: 1/(1 + cost/scale), so the initial state
+// scores 0.5 and better interfaces approach 1. Rewards are cached per state
+// hash (cost sampling is stochastic; caching also keeps it stable).
+func (d *domain) Reward(s mcts.State) float64 {
+	st := s.(state)
+	if r, ok := d.cache[st.h]; ok {
+		return r
+	}
+	c := StateCost(st.d, d.log, d.model, d.k, d.rng)
+	r := 0.0
+	if !math.IsInf(c, 1) {
+		r = 1.0 / (1.0 + c/d.scale)
+	}
+	d.cache[st.h] = r
+	return r
+}
+
+// Fanout counts the legal moves of a difftree (the paper reports fanouts up
+// to ~50 on the SDSS log).
+func Fanout(d *difftree.Node, log []*ast.Node, set []rules.Rule) int {
+	return len(rules.Moves(d, log, set))
+}
+
+// RandomWalk performs n random legal moves from the initial state and
+// returns the resulting difftree; used to produce the paper's Figure 6(d)
+// "low reward interface" without search.
+func RandomWalk(log []*ast.Node, steps int, seed int64) (*difftree.Node, error) {
+	init, err := difftree.Initial(log)
+	if err != nil {
+		return nil, err
+	}
+	d := &domain{
+		log:       log,
+		ruleSet:   rules.All(),
+		cache:     map[uint64]float64{},
+		legal:     map[uint64]bool{},
+		neighbors: map[uint64][]mcts.State{},
+		sizeCap:   4*init.Size() + 64,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := state{d: init, h: difftree.Hash(init)}
+	for i := 0; i < steps; i++ {
+		next, ok := d.RandomNeighbor(cur, rng)
+		if !ok {
+			break
+		}
+		cur = next.(state)
+	}
+	return cur.d, nil
+}
+
+// Describe renders a one-line summary of a result for logs and examples.
+func (r *Result) Describe() string {
+	return fmt.Sprintf("cost=%.2f (M=%.2f U=%.2f) widgets=%d bounds=%dx%d iters=%d evals=%d",
+		r.Cost.Total(), r.Cost.M, r.Cost.U, r.Cost.Widgets,
+		r.Cost.Bounds.W, r.Cost.Bounds.H, r.Stats.Iterations, r.Stats.Evals)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// GenerateParallel runs `workers` independent MCTS searches with distinct
+// seeds and returns the best interface found — root parallelization, the
+// simplest of the parallel MCTS schemes and the paper's suggested
+// "parallelization" optimization for interactive run-times. workers <= 0
+// uses GOMAXPROCS. Results are deterministic for a fixed (seed, workers)
+// pair: the winner is the lowest cost with the lowest worker index breaking
+// ties.
+func GenerateParallel(log []*ast.Node, opt Options, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Generate(log, opt)
+	}
+	opt = opt.withDefaults()
+
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := opt
+			o.Seed = opt.Seed + int64(w)*0x9e3779b9
+			results[w], errs[w] = Generate(log, o)
+		}(w)
+	}
+	wg.Wait()
+
+	var best *Result
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		r := results[w]
+		if best == nil || r.Cost.Total() < best.Cost.Total() {
+			best = r
+		}
+	}
+	// Aggregate search statistics across workers.
+	agg := best.Stats
+	agg.Iterations, agg.Expanded, agg.Rollouts, agg.Evals = 0, 0, 0, 0
+	for _, r := range results {
+		agg.Iterations += r.Stats.Iterations
+		agg.Expanded += r.Stats.Expanded
+		agg.Rollouts += r.Stats.Rollouts
+		agg.Evals += r.Stats.Evals
+	}
+	best.Stats = agg
+	return best, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/workload"
+)
+
+func TestGenerateParallelBeatsOrMatchesSingle(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	opt := fastOpts(layout.Wide)
+	single, err := Generate(log, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GenerateParallel(log, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Cost.Total() > single.Cost.Total() {
+		t.Errorf("parallel (%f) worse than its own single-seed member (%f)",
+			par.Cost.Total(), single.Cost.Total())
+	}
+	// Stats aggregate across workers.
+	if par.Stats.Iterations != 3*single.Stats.Iterations {
+		t.Errorf("aggregated iterations = %d, want %d", par.Stats.Iterations, 3*single.Stats.Iterations)
+	}
+}
+
+func TestGenerateParallelDeterministic(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	opt := fastOpts(layout.Wide)
+	a, err := GenerateParallel(log, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateParallel(log, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost.Total() != b.Cost.Total() {
+		t.Error("parallel generation not deterministic per (seed, workers)")
+	}
+}
+
+func TestGenerateParallelSingleWorkerDelegates(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	opt := fastOpts(layout.Wide)
+	a, err := GenerateParallel(log, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(log, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost.Total() != b.Cost.Total() {
+		t.Error("workers=1 must match Generate")
+	}
+}
+
+func TestGenerateParallelErrors(t *testing.T) {
+	if _, err := GenerateParallel(nil, Options{}, 2); err == nil {
+		t.Error("empty log must error")
+	}
+	// workers <= 0 defaults to GOMAXPROCS and still works.
+	log := workload.PaperFigure1Log()
+	opt := fastOpts(layout.Wide)
+	opt.Iterations = 2
+	if _, err := GenerateParallel(log, opt, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/workload"
+)
+
+// BenchmarkProf2 is the end-to-end profiling benchmark used while optimizing
+// the search (see the cached-legality / kind-directed-sampling notes in
+// core.go): one 5-iteration generation over the full SDSS log.
+func BenchmarkProf2(b *testing.B) {
+	log := workload.SDSSLog()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(log, Options{Screen: layout.Wide, Iterations: 5, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

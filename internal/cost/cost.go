@@ -1,0 +1,182 @@
+// Package cost implements the paper's interface cost function
+//
+//	C(W, Q) = Σ_{q_i ∈ Q} U(q_i, q_{i+1}, W) + Σ_{w ∈ W} M(w)
+//
+// where M(w) scores how appropriate each widget is for the subtrees it
+// expresses (borrowed from Zhang, Sellam & Wu 2017) and U models the effort
+// to express consecutive log queries: the size of the minimum spanning
+// (Steiner) subtree of the widget tree connecting the widgets that must
+// change, plus each changed widget's interaction cost. A widget tree that
+// exceeds the screen is invalid and has infinite cost.
+package cost
+
+import (
+	"math"
+
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/widgets"
+)
+
+// Model fixes the cost parameters.
+type Model struct {
+	// NavUnit is the navigation cost per Steiner-tree edge between changed
+	// widgets (moving attention/pointer across the layout hierarchy).
+	NavUnit float64
+	// Screen is the output constraint; oversized interfaces are invalid.
+	Screen layout.Screen
+}
+
+// Default returns the model used throughout the evaluation.
+func Default(screen layout.Screen) Model {
+	return Model{NavUnit: 0.3, Screen: screen}
+}
+
+// Breakdown reports the cost terms of one interface.
+type Breakdown struct {
+	M       float64 // Σ appropriateness
+	U       float64 // Σ transition effort over consecutive log queries
+	Widgets int     // number of interaction widgets
+	Bounds  widgets.Size
+	Valid   bool   // fits the screen and expresses every log query
+	Reason  string // why invalid, when Valid == false
+}
+
+// Total is the paper's C(W,Q); +Inf when invalid.
+func (b Breakdown) Total() float64 {
+	if !b.Valid {
+		return math.Inf(1)
+	}
+	return b.M + b.U
+}
+
+// Evaluate scores a widget tree for a difftree against the (ordered) query
+// log. The widget tree must have been built from exactly this difftree
+// instance (choice-node pointers are shared). When scoring many widget trees
+// for the same difftree, build an Evaluator once instead.
+func (m Model) Evaluate(root *difftree.Node, ui *layout.Node, log []*ast.Node) Breakdown {
+	return m.NewEvaluator(root, log).Evaluate(ui)
+}
+
+// Evaluator scores widget trees for one fixed (difftree, log) pair. The
+// per-query choice assignments — the expensive part — are computed once and
+// shared across every candidate widget tree, which is exactly the access
+// pattern of the search's best-of-k reward and the final enumeration.
+type Evaluator struct {
+	model     Model
+	root      *difftree.Node
+	log       []*ast.Node
+	asg       []difftree.Assignment
+	changed   [][]*difftree.Node // changed choice nodes per consecutive pair
+	expressOK bool
+}
+
+// NewEvaluator expresses every log query against the difftree up front.
+func (m Model) NewEvaluator(root *difftree.Node, log []*ast.Node) *Evaluator {
+	e := &Evaluator{model: m, root: root, log: log, expressOK: true}
+	e.asg = make([]difftree.Assignment, len(log))
+	for i, q := range log {
+		a, ok := difftree.Express(root, q)
+		if !ok {
+			e.expressOK = false
+			return e
+		}
+		e.asg[i] = a
+	}
+	e.changed = make([][]*difftree.Node, 0, len(log))
+	for i := 0; i+1 < len(log); i++ {
+		e.changed = append(e.changed, e.asg[i].Changed(e.asg[i+1]))
+	}
+	return e
+}
+
+// Evaluate scores one widget tree.
+func (e *Evaluator) Evaluate(ui *layout.Node) Breakdown {
+	b := Breakdown{Valid: true}
+	if ui == nil {
+		// A choice-free difftree (single static query) renders no widgets;
+		// it is trivially valid with zero cost.
+		if e.root.HasChoice() {
+			return Breakdown{Valid: false, Reason: "no widget tree for choice-bearing difftree"}
+		}
+		return b
+	}
+	if !e.expressOK {
+		return Breakdown{Valid: false, Reason: "query not expressible"}
+	}
+
+	b.Bounds = ui.Bounds()
+	if b.Bounds.W > e.model.Screen.W || b.Bounds.H > e.model.Screen.H {
+		return Breakdown{Bounds: b.Bounds, Valid: false, Reason: "exceeds screen " + e.model.Screen.String()}
+	}
+
+	byChoice := ui.ByChoice()
+	ws := ui.Widgets()
+	b.Widgets = len(ws)
+	for _, w := range ws {
+		c := widgets.Appropriateness(w.Type, w.Domain)
+		if widgets.IsInf(c) {
+			return Breakdown{Bounds: b.Bounds, Valid: false, Reason: "inapplicable widget " + w.Type.String()}
+		}
+		b.M += c
+	}
+
+	for _, changed := range e.changed {
+		if len(changed) == 0 {
+			continue
+		}
+		var mark []*layout.Node
+		for _, cn := range changed {
+			w, ok := byChoice[cn]
+			if !ok {
+				return Breakdown{Bounds: b.Bounds, Valid: false, Reason: "changed choice without widget"}
+			}
+			mark = append(mark, w)
+			b.U += widgets.InteractionCost(w.Type, w.Domain)
+		}
+		b.U += float64(steinerEdges(ui, mark)) * e.model.NavUnit
+	}
+	return b
+}
+
+// steinerEdges counts the edges of the minimal subtree of the widget tree
+// that connects all marked nodes: an edge (child, parent) belongs to the
+// Steiner tree iff the child's subtree contains some but not all marked
+// nodes.
+func steinerEdges(root *layout.Node, marked []*layout.Node) int {
+	if len(marked) <= 1 {
+		return 0
+	}
+	isMarked := make(map[*layout.Node]bool, len(marked))
+	for _, n := range marked {
+		isMarked[n] = true
+	}
+	total := len(isMarked)
+
+	inSubtree := make(map[*layout.Node]int)
+	var count func(n *layout.Node) int
+	count = func(n *layout.Node) int {
+		c := 0
+		if isMarked[n] {
+			c = 1
+		}
+		for _, ch := range n.Children {
+			c += count(ch)
+		}
+		inSubtree[n] = c
+		return c
+	}
+	count(root)
+
+	edges := 0
+	for n, cnt := range inSubtree {
+		if n == root {
+			continue
+		}
+		if cnt > 0 && cnt < total {
+			edges++
+		}
+	}
+	return edges
+}

@@ -1,0 +1,232 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/sqlparser"
+	"repro/internal/widgets"
+)
+
+func paperLog(t testing.TB) []*ast.Node {
+	t.Helper()
+	srcs := []string{
+		"SELECT Sales FROM sales WHERE cty = USA",
+		"SELECT Costs FROM sales WHERE cty = EUR",
+		"SELECT Costs FROM sales",
+	}
+	qs := make([]*ast.Node, len(srcs))
+	for i, s := range srcs {
+		qs[i] = sqlparser.MustParse(s)
+	}
+	return qs
+}
+
+func figure4Tree() *difftree.Node {
+	project := difftree.NewAll(ast.KindProject, "",
+		difftree.NewAny(
+			difftree.NewAll(ast.KindColExpr, "Sales"),
+			difftree.NewAll(ast.KindColExpr, "Costs"),
+		))
+	from := difftree.NewAll(ast.KindFrom, "", difftree.NewAll(ast.KindTable, "sales"))
+	where := difftree.NewOpt(difftree.NewAll(ast.KindWhere, "",
+		difftree.NewAll(ast.KindBiExpr, "=",
+			difftree.NewAll(ast.KindColExpr, "cty"),
+			difftree.NewAny(
+				difftree.NewAll(ast.KindStrExpr, "USA"),
+				difftree.NewAll(ast.KindStrExpr, "EUR"),
+			))))
+	return difftree.NewAll(ast.KindSelect, "", project, from, where)
+}
+
+func TestEvaluateFigure4(t *testing.T) {
+	d := figure4Tree()
+	log := paperLog(t)
+	p, err := assign.BuildPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui := p.First()
+	m := Default(layout.Wide)
+	b := m.Evaluate(d, ui, log)
+	if !b.Valid {
+		t.Fatalf("valid interface marked invalid: %s", b.Reason)
+	}
+	if b.Widgets != 3 {
+		t.Errorf("widgets = %d", b.Widgets)
+	}
+	if b.M <= 0 || b.U <= 0 {
+		t.Errorf("M=%f U=%f should both be positive", b.M, b.U)
+	}
+	if math.IsInf(b.Total(), 1) {
+		t.Error("valid interface must have finite cost")
+	}
+	if b.Total() != b.M+b.U {
+		t.Error("Total = M + U")
+	}
+}
+
+func TestInvalidWhenOversized(t *testing.T) {
+	d := figure4Tree()
+	log := paperLog(t)
+	p, _ := assign.BuildPlan(d)
+	ui := p.First()
+	tiny := Model{NavUnit: 0.3, Screen: layout.Screen{W: 10, H: 10}}
+	b := tiny.Evaluate(d, ui, log)
+	if b.Valid {
+		t.Fatal("oversized interface must be invalid")
+	}
+	if !math.IsInf(b.Total(), 1) {
+		t.Error("invalid cost must be +Inf")
+	}
+	if b.Reason == "" {
+		t.Error("reason missing")
+	}
+}
+
+func TestInvalidWhenQueryInexpressible(t *testing.T) {
+	d := figure4Tree()
+	p, _ := assign.BuildPlan(d)
+	ui := p.First()
+	badLog := []*ast.Node{sqlparser.MustParse("SELECT Profit FROM sales")}
+	b := Default(layout.Wide).Evaluate(d, ui, badLog)
+	if b.Valid {
+		t.Fatal("inexpressible query must invalidate")
+	}
+}
+
+func TestNilUIChoiceFree(t *testing.T) {
+	q := sqlparser.MustParse("SELECT a FROM t")
+	d := difftree.FromAST(q)
+	b := Default(layout.Wide).Evaluate(d, nil, []*ast.Node{q})
+	if !b.Valid || b.Total() != 0 {
+		t.Errorf("static interface should be free: %+v", b)
+	}
+	// But a nil UI for a choice-bearing tree is invalid.
+	d2 := figure4Tree()
+	b2 := Default(layout.Wide).Evaluate(d2, nil, paperLog(t))
+	if b2.Valid {
+		t.Error("nil UI with choices must be invalid")
+	}
+}
+
+// TestUOrderSensitivity checks that U honors the paper's sequential
+// definition: a log alternating between two distant queries costs more than
+// the same multiset of queries grouped together.
+func TestUOrderSensitivity(t *testing.T) {
+	d := figure4Tree()
+	p, _ := assign.BuildPlan(d)
+	ui := p.First()
+	m := Default(layout.Wide)
+
+	q1 := sqlparser.MustParse("SELECT Sales FROM sales WHERE cty = USA")
+	q2 := sqlparser.MustParse("SELECT Costs FROM sales")
+
+	alternating := []*ast.Node{q1, q2, q1, q2}
+	grouped := []*ast.Node{q1, q1, q2, q2}
+
+	ba := m.Evaluate(d, ui, alternating)
+	bg := m.Evaluate(d, ui, grouped)
+	if !ba.Valid || !bg.Valid {
+		t.Fatal("both logs must be valid")
+	}
+	if ba.U <= bg.U {
+		t.Errorf("alternating log must cost more: alt=%f grouped=%f", ba.U, bg.U)
+	}
+	// M is independent of the log.
+	if ba.M != bg.M {
+		t.Error("M must not depend on the log")
+	}
+}
+
+func TestIdenticalConsecutiveQueriesFree(t *testing.T) {
+	d := figure4Tree()
+	p, _ := assign.BuildPlan(d)
+	ui := p.First()
+	q := sqlparser.MustParse("SELECT Sales FROM sales WHERE cty = USA")
+	b := Default(layout.Wide).Evaluate(d, ui, []*ast.Node{q, q, q})
+	if !b.Valid {
+		t.Fatal(b.Reason)
+	}
+	if b.U != 0 {
+		t.Errorf("repeating the same query must cost U=0, got %f", b.U)
+	}
+}
+
+func TestSingleQueryLogHasNoU(t *testing.T) {
+	d := figure4Tree()
+	p, _ := assign.BuildPlan(d)
+	ui := p.First()
+	q := sqlparser.MustParse("SELECT Sales FROM sales WHERE cty = USA")
+	b := Default(layout.Wide).Evaluate(d, ui, []*ast.Node{q})
+	if b.U != 0 {
+		t.Errorf("single query: U=%f", b.U)
+	}
+	if b.M <= 0 {
+		t.Error("M still counts")
+	}
+}
+
+func TestSteinerEdges(t *testing.T) {
+	// vbox(a, hbox(b, c))
+	a := layout.NewWidget(widgets.Toggle, widgets.Domain{Kind: widgets.ToggleDomain}, nil)
+	b := layout.NewWidget(widgets.Toggle, widgets.Domain{Kind: widgets.ToggleDomain}, nil)
+	c := layout.NewWidget(widgets.Toggle, widgets.Domain{Kind: widgets.ToggleDomain}, nil)
+	h := layout.NewBox(widgets.HBox, b, c)
+	root := layout.NewBox(widgets.VBox, a, h)
+
+	if got := steinerEdges(root, []*layout.Node{a}); got != 0 {
+		t.Errorf("single mark: %d edges", got)
+	}
+	if got := steinerEdges(root, []*layout.Node{b, c}); got != 2 {
+		t.Errorf("siblings under hbox: %d edges, want 2", got)
+	}
+	if got := steinerEdges(root, []*layout.Node{a, b}); got != 3 {
+		t.Errorf("across the tree: %d edges, want 3", got)
+	}
+	if got := steinerEdges(root, []*layout.Node{a, b, c}); got != 4 {
+		t.Errorf("all three: %d edges, want 4", got)
+	}
+	if got := steinerEdges(root, nil); got != 0 {
+		t.Errorf("no marks: %d", got)
+	}
+}
+
+// TestCloserWidgetsCheaper checks the layout-sensitivity of U: the same two
+// changing widgets cost less when adjacent than when separated in the
+// hierarchy.
+func TestCloserWidgetsCheaper(t *testing.T) {
+	ch1 := difftree.NewAny(difftree.Emptyn(), difftree.Emptyn())
+	ch2 := difftree.NewAny(difftree.Emptyn(), difftree.Emptyn())
+	dom := widgets.Domain{Kind: widgets.ChoiceDomain, Options: []string{"x", "y"}, Scalar: true}
+	w1 := layout.NewWidget(widgets.Radio, dom, ch1)
+	w2 := layout.NewWidget(widgets.Radio, dom, ch2)
+	filler := layout.NewWidget(widgets.Toggle, widgets.Domain{Kind: widgets.ToggleDomain}, nil)
+
+	adjacent := layout.NewBox(widgets.VBox, layout.NewBox(widgets.HBox, w1.Clone(), w2.Clone()), filler.Clone())
+	// Rebind clones to the same choice nodes for marking.
+	adjMarks := []*layout.Node{adjacent.Children[0].Children[0], adjacent.Children[0].Children[1]}
+	separated := layout.NewBox(widgets.VBox,
+		layout.NewBox(widgets.VBox, w1.Clone()),
+		filler.Clone(),
+		layout.NewBox(widgets.VBox, w2.Clone()))
+	sepMarks := []*layout.Node{separated.Children[0].Children[0], separated.Children[2].Children[0]}
+
+	if ae, se := steinerEdges(adjacent, adjMarks), steinerEdges(separated, sepMarks); ae >= se {
+		t.Errorf("adjacent widgets should need fewer steiner edges: %d vs %d", ae, se)
+	}
+}
+
+func TestDefaultModel(t *testing.T) {
+	m := Default(layout.Narrow)
+	if m.NavUnit <= 0 {
+		t.Error("NavUnit must be positive")
+	}
+	if m.Screen != layout.Narrow {
+		t.Error("screen not stored")
+	}
+}

@@ -1,0 +1,112 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/workload"
+)
+
+// TestQuickCostProperties checks, over random logs and random widget
+// assignments:
+//
+//   - cost terms are non-negative for valid interfaces,
+//   - M does not depend on the log order (U may),
+//   - enlarging the screen never invalidates an interface that fit.
+func TestQuickCostProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := workload.RandomLog(rng, 2+rng.Intn(3))
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		plan, err := assign.BuildPlan(d)
+		if err != nil {
+			return true // no applicable widget: nothing to check
+		}
+		ui := plan.Random(rng)
+		small := Model{NavUnit: 0.3, Screen: layout.Narrow}
+		big := Model{NavUnit: 0.3, Screen: layout.Screen{W: 10000, H: 10000}}
+
+		bdSmall := small.Evaluate(d, ui, log)
+		bdBig := big.Evaluate(d, ui, log)
+
+		if bdSmall.Valid && !bdBig.Valid {
+			t.Logf("seed %d: bigger screen invalidated the interface", seed)
+			return false
+		}
+		if !bdBig.Valid {
+			return true
+		}
+		if bdBig.M < 0 || bdBig.U < 0 {
+			t.Logf("seed %d: negative cost terms", seed)
+			return false
+		}
+		shuffled := permute(log, rng.Perm(len(log)))
+		bdShuffled := big.Evaluate(d, ui, shuffled)
+		if bdShuffled.Valid && bdShuffled.M != bdBig.M {
+			t.Logf("seed %d: M depends on log order", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRepeatedQueryFreeU: inserting a consecutive duplicate query never
+// increases U (the duplicate transition is free).
+func TestQuickRepeatedQueryFreeU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := workload.RandomLog(rng, 2+rng.Intn(3))
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		plan, err := assign.BuildPlan(d)
+		if err != nil {
+			return true
+		}
+		ui := plan.Random(rng)
+		model := Model{NavUnit: 0.3, Screen: layout.Screen{W: 10000, H: 10000}}
+		base := model.Evaluate(d, ui, log)
+		if !base.Valid {
+			return true
+		}
+		// Duplicate a random query in place.
+		i := rng.Intn(len(log))
+		dup := make([]*ast.Node, 0, len(log)+1)
+		dup = append(dup, log[:i+1]...)
+		dup = append(dup, log[i])
+		dup = append(dup, log[i+1:]...)
+		withDup := model.Evaluate(d, ui, dup)
+		if !withDup.Valid {
+			t.Logf("seed %d: duplicate made interface invalid", seed)
+			return false
+		}
+		if withDup.U != base.U {
+			t.Logf("seed %d: duplicate transition not free (%f vs %f)", seed, withDup.U, base.U)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func permute[T any](xs []T, perm []int) []T {
+	out := make([]T, len(xs))
+	for i, p := range perm {
+		out[i] = xs[p]
+	}
+	return out
+}

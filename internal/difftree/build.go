@@ -1,0 +1,93 @@
+package difftree
+
+import (
+	"errors"
+
+	"repro/internal/ast"
+)
+
+// Initial builds the paper's initial search state: the input query ASTs
+// (duplicates removed) connected with an ANY root. A single distinct query
+// yields its plain All-tree.
+func Initial(queries []*ast.Node) (*Node, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("difftree: empty query log")
+	}
+	distinct := ast.Dedup(queries)
+	if len(distinct) == 1 {
+		return FromAST(distinct[0]), nil
+	}
+	kids := make([]*Node, len(distinct))
+	for i, q := range distinct {
+		kids[i] = FromAST(q)
+	}
+	return NewAny(kids...), nil
+}
+
+// Validate checks the structural invariants every difftree must satisfy:
+//
+//   - Any nodes have >= 1 child,
+//   - Opt and Multi nodes have exactly one child,
+//   - Multi children are not nullable (otherwise matching would diverge),
+//   - All nodes carry a valid grammar label,
+//   - Empty nodes are leaves.
+func Validate(root *Node) error {
+	var err error
+	WalkPath(root, func(n *Node, p Path) bool {
+		if err != nil {
+			return false
+		}
+		switch n.Kind {
+		case Any:
+			if len(n.Children) == 0 {
+				err = errorsAt(p, "ANY node with no children")
+			}
+		case Opt:
+			if len(n.Children) != 1 {
+				err = errorsAt(p, "OPT node must have exactly one child")
+			}
+		case Multi:
+			if len(n.Children) != 1 {
+				err = errorsAt(p, "MULTI node must have exactly one child")
+			} else if Nullable(n.Children[0]) {
+				err = errorsAt(p, "MULTI child must not be nullable")
+			}
+		case All:
+			if !n.Label.Valid() {
+				err = errorsAt(p, "ALL node with invalid grammar label")
+			}
+			if n.Label == ast.KindEmpty && len(n.Children) != 0 {
+				err = errorsAt(p, "Empty node must be a leaf")
+			}
+		}
+		return true
+	})
+	return err
+}
+
+func errorsAt(p Path, msg string) error {
+	return errors.New("difftree: at " + p.String() + ": " + msg)
+}
+
+// ReplaceAt returns root with the subtree at path p replaced by repl (used
+// as-is). Only the spine from the root to p is fresh; untouched siblings are
+// shared with the input — difftrees are treated as immutable values
+// throughout the system, so structural sharing is safe and keeps rule
+// application cheap. It returns nil when p is invalid.
+func ReplaceAt(root *Node, p Path, repl *Node) *Node {
+	if len(p) == 0 {
+		return repl
+	}
+	if root == nil || p[0] < 0 || p[0] >= len(root.Children) {
+		return nil
+	}
+	sub := ReplaceAt(root.Children[p[0]], p[1:], repl)
+	if sub == nil {
+		return nil
+	}
+	out := &Node{Kind: root.Kind, Label: root.Label, Value: root.Value,
+		Children: make([]*Node, len(root.Children))}
+	copy(out.Children, root.Children)
+	out.Children[p[0]] = sub
+	return out
+}

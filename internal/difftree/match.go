@@ -1,0 +1,255 @@
+package difftree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Assignment records, for each choice node, the canonical description of the
+// choices made to express one query. Two queries "use the same widget value"
+// exactly when their assignments agree on that widget's choice node. A node
+// visited several times (inside a Multi) accumulates one entry per instance.
+type Assignment map[*Node]string
+
+// Changed returns the choice nodes whose assignment differs between a and b,
+// including nodes present in only one of them.
+func (a Assignment) Changed(b Assignment) []*Node {
+	var out []*Node
+	for n, v := range a {
+		if bv, ok := b[n]; !ok || bv != v {
+			out = append(out, n)
+		}
+	}
+	for n := range b {
+		if _, ok := a[n]; !ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// matchBudget bounds backtracking work per Express call; exhausted budgets
+// report inexpressibility, which is conservative (the move filter will simply
+// reject the state).
+const matchBudget = 1 << 20
+
+// Expressible reports whether the difftree can generate the query.
+func Expressible(root *Node, q *ast.Node) bool {
+	_, ok := Express(root, q)
+	return ok
+}
+
+// ExpressibleAll reports whether every query is expressible.
+func ExpressibleAll(root *Node, qs []*ast.Node) bool {
+	for _, q := range qs {
+		if !Expressible(root, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Express finds choice assignments under which the difftree generates q.
+// The witness is deterministic (first found in a fixed alternative order).
+func Express(root *Node, q *ast.Node) (Assignment, bool) {
+	m := &matcher{budget: matchBudget}
+	if !m.match(&dlist{head: root}, []*ast.Node{q}) {
+		return nil, false
+	}
+	asg := make(Assignment)
+	for _, e := range m.trail {
+		if prev, ok := asg[e.node]; ok {
+			asg[e.node] = prev + "|" + e.choice
+		} else {
+			asg[e.node] = e.choice
+		}
+	}
+	return asg, true
+}
+
+type trailEvent struct {
+	node   *Node
+	choice string
+}
+
+type matcher struct {
+	trail  []trailEvent
+	budget int
+}
+
+func (m *matcher) mark() int     { return len(m.trail) }
+func (m *matcher) undo(mark int) { m.trail = m.trail[:mark] }
+func (m *matcher) record(n *Node, choice string) {
+	m.trail = append(m.trail, trailEvent{n, choice})
+}
+
+// dlist is an immutable cons list of pending difftree nodes; sharing tails
+// across backtracking alternatives avoids the slice copies that would
+// otherwise dominate matching time.
+type dlist struct {
+	head *Node
+	tail *dlist
+}
+
+// consChildren pushes children onto rest, preserving order.
+func consChildren(children []*Node, rest *dlist) *dlist {
+	out := rest
+	for i := len(children) - 1; i >= 0; i-- {
+		out = &dlist{head: children[i], tail: out}
+	}
+	return out
+}
+
+// match reports whether the pending difftree node list can generate exactly
+// the AST node sequence as. It backtracks across Any/Opt/Multi alternatives
+// and records choices on the trail.
+func (m *matcher) match(ds *dlist, as []*ast.Node) bool {
+	if m.budget <= 0 {
+		return false
+	}
+	m.budget--
+
+	if ds == nil {
+		return len(as) == 0
+	}
+	d := ds.head
+	rest := ds.tail
+	if d == nil {
+		return m.match(rest, as)
+	}
+
+	switch d.Kind {
+	case All:
+		switch d.Label {
+		case ast.KindEmpty:
+			return m.match(rest, as)
+		case ast.KindSeq:
+			return m.match(consChildren(d.Children, rest), as)
+		default:
+			if len(as) == 0 {
+				return false
+			}
+			a := as[0]
+			if a.Kind != d.Label || a.Value != d.Value {
+				return false
+			}
+			mk := m.mark()
+			if !m.match(consChildren(d.Children, nil), a.Children) {
+				m.undo(mk)
+				return false
+			}
+			if !m.match(rest, as[1:]) {
+				m.undo(mk)
+				return false
+			}
+			return true
+		}
+
+	case Any:
+		for i, c := range d.Children {
+			if !headCanMatch(c, as) {
+				continue
+			}
+			mk := m.mark()
+			m.record(d, choiceLabels.get(i))
+			if m.match(&dlist{head: c, tail: rest}, as) {
+				return true
+			}
+			m.undo(mk)
+		}
+		return false
+
+	case Opt:
+		// Try taking the child first (maximal munch), then skipping.
+		mk := m.mark()
+		if headCanMatch(d.Children[0], as) {
+			m.record(d, "on")
+			if m.match(&dlist{head: d.Children[0], tail: rest}, as) {
+				return true
+			}
+			m.undo(mk)
+		}
+		m.record(d, "off")
+		if m.match(rest, as) {
+			return true
+		}
+		m.undo(mk)
+		return false
+
+	case Multi:
+		// Take instances greedily; each instance must consume at least one
+		// AST node (Multi children are validated non-nullable), so the
+		// recursion terminates.
+		mk := m.mark()
+		if headCanMatch(d.Children[0], as) {
+			m.record(d, "+")
+			if m.match(&dlist{head: d.Children[0], tail: &dlist{head: d, tail: rest}}, as) {
+				return true
+			}
+			m.undo(mk)
+		}
+		m.record(d, "0")
+		if m.match(rest, as) {
+			return true
+		}
+		m.undo(mk)
+		return false
+	}
+	return false
+}
+
+// headCanMatch is a cheap pruning check: a plain All node can only start
+// matching when the next AST node agrees on kind and value. Choice nodes,
+// Seq, and ∅ are never pruned here.
+func headCanMatch(d *Node, as []*ast.Node) bool {
+	if d.Kind != All || d.Label == ast.KindEmpty || d.Label == ast.KindSeq {
+		return true
+	}
+	return len(as) > 0 && as[0].Kind == d.Label && as[0].Value == d.Value
+}
+
+// choiceLabels interns the decimal strings for small child indexes so the
+// hot matching loop does not format integers.
+var choiceLabels = func() *labelCache {
+	c := &labelCache{}
+	for i := range c.small {
+		c.small[i] = fmt.Sprintf("%d", i)
+	}
+	return c
+}()
+
+type labelCache struct {
+	small [64]string
+}
+
+func (c *labelCache) get(i int) string {
+	if i >= 0 && i < len(c.small) {
+		return c.small[i]
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+// DescribeAssignment renders an assignment deterministically for tests and
+// debugging: one "path=value" per line sorted by choice node identity string.
+func DescribeAssignment(root *Node, a Assignment) string {
+	type entry struct {
+		path  string
+		value string
+	}
+	var entries []entry
+	WalkPath(root, func(n *Node, p Path) bool {
+		if v, ok := a[n]; ok {
+			entries = append(entries, entry{p.String(), v})
+		}
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].path < entries[j].path })
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s=%s\n", e.path, e.value)
+	}
+	return b.String()
+}

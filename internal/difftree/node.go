@@ -1,0 +1,364 @@
+// Package difftree implements the paper's difftree: a tree whose nodes
+// encode the differences and similarities among a set of query ASTs, and
+// whose structure doubles as the interface layout skeleton.
+//
+// A difftree node generates a *sequence* of AST nodes:
+//
+//   - All(label,value)[c1..cn] generates exactly one AST node whose children
+//     are the concatenation of what c1..cn generate. Two special labels:
+//     ast.KindEmpty generates the empty sequence (the paper's ∅), and
+//     ast.KindSeq splices its children's output into the parent (created by
+//     the Lift rule).
+//   - Any[c1..cn] generates the output of exactly one chosen child.
+//   - Opt[c] generates nothing or c's output.
+//   - Multi[c] generates k >= 0 concatenated instances of c's output.
+//
+// An AST is the special case of a difftree with only All nodes. A query is
+// expressed by the set of choices made at Any/Opt/Multi nodes (see match.go).
+package difftree
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Kind is the difftree node type.
+type Kind uint8
+
+// The four node types from the paper. Any, Opt, and Multi are the choice
+// nodes; All mirrors a grammar AST node.
+const (
+	All Kind = iota
+	Any
+	Opt
+	Multi
+)
+
+// String returns the paper's name for the node type.
+func (k Kind) String() string {
+	switch k {
+	case All:
+		return "ALL"
+	case Any:
+		return "ANY"
+	case Opt:
+		return "OPT"
+	case Multi:
+		return "MULTI"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsChoice reports whether the kind is one of the paper's choice node types.
+func (k Kind) IsChoice() bool { return k == Any || k == Opt || k == Multi }
+
+// Node is one difftree node.
+type Node struct {
+	Kind     Kind
+	Label    ast.Kind // grammar rule, meaningful when Kind == All
+	Value    string   // literal/operator value, meaningful when Kind == All
+	Children []*Node
+}
+
+// NewAll constructs an All node mirroring a grammar rule.
+func NewAll(label ast.Kind, value string, children ...*Node) *Node {
+	return &Node{Kind: All, Label: label, Value: value, Children: children}
+}
+
+// NewAny constructs a choice among the given alternatives.
+func NewAny(children ...*Node) *Node { return &Node{Kind: Any, Children: children} }
+
+// NewOpt constructs an optional wrapper around child.
+func NewOpt(child *Node) *Node { return &Node{Kind: Opt, Children: []*Node{child}} }
+
+// NewMulti constructs a zero-or-more repetition of child.
+func NewMulti(child *Node) *Node { return &Node{Kind: Multi, Children: []*Node{child}} }
+
+// Emptyn returns a fresh ∅ node (All node with the Empty label).
+func Emptyn() *Node { return &Node{Kind: All, Label: ast.KindEmpty} }
+
+// IsEmpty reports whether n is the ∅ marker.
+func (n *Node) IsEmpty() bool { return n != nil && n.Kind == All && n.Label == ast.KindEmpty }
+
+// IsSeq reports whether n is a splice marker produced by the Lift rule.
+func (n *Node) IsSeq() bool { return n != nil && n.Kind == All && n.Label == ast.KindSeq }
+
+// FromAST converts a grammar AST into the equivalent all-All difftree.
+func FromAST(a *ast.Node) *Node {
+	if a == nil {
+		return nil
+	}
+	n := &Node{Kind: All, Label: a.Kind, Value: a.Value}
+	if len(a.Children) > 0 {
+		n.Children = make([]*Node, len(a.Children))
+		for i, c := range a.Children {
+			n.Children[i] = FromAST(c)
+		}
+	}
+	return n
+}
+
+// ToAST converts a choice-free difftree back to a grammar AST. It reports
+// false if the subtree contains any choice node. Seq and Empty markers are
+// spliced away; a root that is itself Seq/Empty yields false unless it
+// resolves to exactly one node.
+func ToAST(n *Node) (*ast.Node, bool) {
+	seq, ok := toASTSeq(n)
+	if !ok || len(seq) != 1 {
+		return nil, false
+	}
+	return seq[0], true
+}
+
+func toASTSeq(n *Node) ([]*ast.Node, bool) {
+	if n == nil {
+		return nil, true
+	}
+	if n.Kind != All {
+		return nil, false
+	}
+	if n.Label == ast.KindEmpty {
+		return nil, true
+	}
+	var kids []*ast.Node
+	for _, c := range n.Children {
+		sub, ok := toASTSeq(c)
+		if !ok {
+			return nil, false
+		}
+		kids = append(kids, sub...)
+	}
+	if n.Label == ast.KindSeq {
+		return kids, true
+	}
+	return []*ast.Node{{Kind: n.Label, Value: n.Value, Children: kids}}, true
+}
+
+// Clone deep-copies the subtree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Label: n.Label, Value: n.Value}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Size counts nodes in the subtree.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// CountChoice counts Any/Opt/Multi nodes in the subtree; the paper uses this
+// as the main driver of search fanout.
+func (n *Node) CountChoice() int {
+	if n == nil {
+		return 0
+	}
+	s := 0
+	if n.Kind.IsChoice() {
+		s = 1
+	}
+	for _, c := range n.Children {
+		s += c.CountChoice()
+	}
+	return s
+}
+
+// HasChoice reports whether the subtree contains any choice node.
+func (n *Node) HasChoice() bool {
+	if n == nil {
+		return false
+	}
+	if n.Kind.IsChoice() {
+		return true
+	}
+	for _, c := range n.Children {
+		if c.HasChoice() {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports structural equality.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Label != b.Label || a.Value != b.Value || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a structural hash of the subtree; used to deduplicate search
+// states.
+func Hash(n *Node) uint64 {
+	h := fnv.New64a()
+	hashInto(n, h)
+	return h.Sum64()
+}
+
+type hashWriter interface{ Write([]byte) (int, error) }
+
+func hashInto(n *Node, h hashWriter) {
+	if n == nil {
+		h.Write([]byte{0xfe})
+		return
+	}
+	h.Write([]byte{byte(n.Kind), byte(n.Label)})
+	h.Write([]byte(n.Value))
+	h.Write([]byte{0x1f})
+	for _, c := range n.Children {
+		hashInto(c, h)
+	}
+	h.Write([]byte{0x1e})
+}
+
+// Nullable reports whether the subtree can generate the empty sequence.
+func Nullable(n *Node) bool {
+	if n == nil {
+		return true
+	}
+	switch n.Kind {
+	case All:
+		if n.Label == ast.KindEmpty {
+			return true
+		}
+		if n.Label == ast.KindSeq {
+			for _, c := range n.Children {
+				if !Nullable(c) {
+					return false
+				}
+			}
+			return true
+		}
+		return false // generates exactly one node
+	case Any:
+		for _, c := range n.Children {
+			if Nullable(c) {
+				return true
+			}
+		}
+		return false
+	case Opt, Multi:
+		return true
+	}
+	return false
+}
+
+// Path addresses a node by child indexes from the root.
+type Path []int
+
+// Clone copies the path.
+func (p Path) Clone() Path {
+	c := make(Path, len(p))
+	copy(c, p)
+	return c
+}
+
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "/"
+	}
+	var b strings.Builder
+	for _, i := range p {
+		fmt.Fprintf(&b, "/%d", i)
+	}
+	return b.String()
+}
+
+// At returns the node at path p, or nil if p leaves the tree.
+func At(root *Node, p Path) *Node {
+	n := root
+	for _, i := range p {
+		if n == nil || i < 0 || i >= len(n.Children) {
+			return nil
+		}
+		n = n.Children[i]
+	}
+	return n
+}
+
+// WalkPath visits every node with its path in pre-order; returning false
+// from fn prunes the node's subtree.
+func WalkPath(root *Node, fn func(*Node, Path) bool) {
+	var rec func(n *Node, p Path)
+	rec = func(n *Node, p Path) {
+		if n == nil || !fn(n, p) {
+			return
+		}
+		for i, c := range n.Children {
+			rec(c, append(p, i))
+		}
+	}
+	rec(root, nil)
+}
+
+// ChoicePaths returns the paths of all choice nodes in pre-order.
+func ChoicePaths(root *Node) []Path {
+	var out []Path
+	WalkPath(root, func(n *Node, p Path) bool {
+		if n.Kind.IsChoice() {
+			out = append(out, p.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// String renders the difftree in the paper's notation, e.g.
+// ANY[ALL(Select)[...] ...]; for debugging and tests.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	if n == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	switch n.Kind {
+	case All:
+		b.WriteString(n.Label.String())
+		if n.Value != "" {
+			b.WriteByte(':')
+			b.WriteString(n.Value)
+		}
+	default:
+		b.WriteString(n.Kind.String())
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('[')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			c.write(b)
+		}
+		b.WriteByte(']')
+	}
+}

@@ -1,0 +1,179 @@
+package difftree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// genAST builds a random small grammar AST (not necessarily a full query —
+// difftree semantics are grammar-agnostic).
+func genAST(rng *rand.Rand, depth int) *ast.Node {
+	kinds := []ast.Kind{ast.KindColExpr, ast.KindNumExpr, ast.KindStrExpr, ast.KindTable}
+	if depth <= 0 || rng.Intn(3) == 0 {
+		k := kinds[rng.Intn(len(kinds))]
+		return ast.Leaf(k, string(rune('a'+rng.Intn(6))))
+	}
+	interior := []ast.Kind{ast.KindAnd, ast.KindProject, ast.KindBetween, ast.KindBiExpr, ast.KindWhere}
+	k := interior[rng.Intn(len(interior))]
+	n := &ast.Node{Kind: k, Value: ""}
+	if k == ast.KindBiExpr {
+		n.Value = "="
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		n.Children = append(n.Children, genAST(rng, depth-1))
+	}
+	return n
+}
+
+// TestQuickFromToASTRoundTrip: ToAST(FromAST(a)) == a for arbitrary ASTs.
+func TestQuickFromToASTRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 10; i++ {
+			a := genAST(rng, 3)
+			d := FromAST(a)
+			back, ok := ToAST(d)
+			if !ok || !ast.Equal(a, back) {
+				t.Logf("round trip failed for %s", a)
+				return false
+			}
+			if d.HasChoice() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInitialExpressesLog: the initial difftree expresses exactly its
+// input queries.
+func TestQuickInitialExpressesLog(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		log := make([]*ast.Node, n)
+		for i := range log {
+			log[i] = genAST(rng, 3)
+		}
+		d, err := Initial(log)
+		if err != nil {
+			return false
+		}
+		if Validate(d) != nil {
+			t.Logf("invalid initial state for seed %d", seed)
+			return false
+		}
+		for _, q := range log {
+			if !Expressible(d, q) {
+				t.Logf("input query inexpressible: %s", q)
+				return false
+			}
+		}
+		// A fresh random tree differing from all inputs must be rejected.
+		probe := genAST(rng, 3)
+		isInput := false
+		for _, q := range log {
+			if ast.Equal(q, probe) {
+				isInput = true
+			}
+		}
+		if !isInput && Expressible(d, probe) {
+			t.Logf("phantom query expressible: %s", probe)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnumerateSubsetOfExpressible: everything EnumerateQueries
+// returns must be Expressible, and hashing/equality must agree.
+func TestQuickEnumerateSubsetOfExpressible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := []*ast.Node{genAST(rng, 2), genAST(rng, 2), genAST(rng, 2)}
+		d, err := Initial(log)
+		if err != nil {
+			return false
+		}
+		for _, q := range EnumerateQueries(d, 20, 2) {
+			if !Expressible(d, q) {
+				t.Logf("enumerated-but-inexpressible: %s", q)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashEqualConsistent: Equal trees hash equally; clones are Equal.
+func TestQuickHashEqualConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := FromAST(genAST(rng, 3))
+		b := a.Clone()
+		if !Equal(a, b) || Hash(a) != Hash(b) {
+			return false
+		}
+		// A mutated copy must not be Equal (value change at a random leaf).
+		c := a.Clone()
+		var leaves []*Node
+		WalkPath(c, func(n *Node, _ Path) bool {
+			if len(n.Children) == 0 {
+				leaves = append(leaves, n)
+			}
+			return true
+		})
+		if len(leaves) == 0 {
+			return true
+		}
+		leaves[rng.Intn(len(leaves))].Value += "x"
+		return !Equal(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReplaceAtPreservesOthers: replacing one subtree leaves all other
+// paths intact and never mutates the original.
+func TestQuickReplaceAtPreservesOthers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := FromAST(genAST(rng, 3))
+		orig := root.Clone()
+		var paths []Path
+		WalkPath(root, func(_ *Node, p Path) bool {
+			paths = append(paths, p.Clone())
+			return true
+		})
+		p := paths[rng.Intn(len(paths))]
+		repl := NewAll(ast.KindColExpr, "replacement")
+		out := ReplaceAt(root, p, repl)
+		if out == nil {
+			return false
+		}
+		if !Equal(At(out, p), repl) {
+			return false
+		}
+		if !Equal(root, orig) {
+			t.Log("ReplaceAt mutated the original")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

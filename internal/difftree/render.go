@@ -1,0 +1,99 @@
+package difftree
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+)
+
+// maxLabelLen caps widget option labels; longer fragments fall back to a
+// generic "option i" label (the paper's Figure 2(a) labels whole queries
+// q1/q2/q3 the same way).
+const maxLabelLen = 24
+
+// OptionLabel renders the i-th alternative of a choice node as a short
+// human-readable widget label: the SQL fragment it denotes when it is
+// choice-free and short, otherwise a generic name.
+func OptionLabel(i int, alt *Node) string {
+	if alt.IsEmpty() {
+		return "(none)"
+	}
+	if !alt.HasChoice() {
+		if a, ok := ToAST(alt); ok {
+			s := sqlparser.RenderFragment(a)
+			if s != "" && len(s) <= maxLabelLen {
+				return s
+			}
+		}
+		// Seq nodes resolve to several AST nodes; render them joined.
+		if seq, ok := toASTSeq(alt); ok {
+			s := ""
+			for j, n := range seq {
+				if j > 0 {
+					s += " "
+				}
+				s += sqlparser.RenderFragment(n)
+			}
+			if s != "" && len(s) <= maxLabelLen {
+				return s
+			}
+		}
+	}
+	return fmt.Sprintf("option %d", i+1)
+}
+
+// OptionLabels renders all alternatives of an Any node.
+func OptionLabels(n *Node) []string {
+	out := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = OptionLabel(i, c)
+	}
+	return out
+}
+
+// NodeTitle describes what a choice node controls, for widget captions:
+// the grammar rule of the nearest enclosing structure the choices share.
+func NodeTitle(n *Node) string {
+	switch n.Kind {
+	case Opt:
+		return childTitle(n.Children[0])
+	case Multi:
+		return childTitle(n.Children[0])
+	case Any:
+		// If all alternatives share a root label, use it.
+		label := ""
+		for _, c := range n.Children {
+			t := childTitle(c)
+			if t == "" {
+				continue
+			}
+			if label == "" {
+				label = t
+			} else if label != t {
+				return "choice"
+			}
+		}
+		if label != "" {
+			return label
+		}
+		return "choice"
+	}
+	return ""
+}
+
+func childTitle(c *Node) string {
+	if c == nil || c.IsEmpty() {
+		return ""
+	}
+	if c.Kind == All && c.Label.Valid() && !c.IsSeq() {
+		return c.Label.String()
+	}
+	if c.Kind.IsChoice() || c.IsSeq() {
+		for _, gc := range c.Children {
+			if t := childTitle(gc); t != "" {
+				return t
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+// testDB builds a small deterministic catalog for exact assertions.
+func testDB(t testing.TB) *DB {
+	t.Helper()
+	db := NewDB()
+	err := db.Add(&Table{Name: "stars", Cols: []*Column{
+		{Name: "objid", Type: Int, Ints: []int64{1, 2, 3, 4, 5}},
+		{Name: "u", Type: Float, Flts: []float64{5, 15, 25, 35, 10}},
+		{Name: "g", Type: Float, Flts: []float64{1, 2, 3, 4, 5}},
+		{Name: "class", Type: String, Strs: []string{"A", "B", "A", "C", "B"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func exec(t testing.TB, db *DB, q string) *Result {
+	t.Helper()
+	res, err := Exec(db, sqlparser.MustParse(q))
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}
+
+func TestSelectAll(t *testing.T) {
+	db := testDB(t)
+	res := exec(t, db, "select * from stars")
+	if len(res.Cols) != 4 || len(res.Rows) != 5 {
+		t.Fatalf("star: %v rows=%d", res.Cols, len(res.Rows))
+	}
+	if res.Rows[0][0] != "1" || res.Rows[4][3] != "B" {
+		t.Errorf("cells wrong: %v", res.Rows)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	db := testDB(t)
+	res := exec(t, db, "select objid, class from stars")
+	if len(res.Cols) != 2 || res.Cols[0] != "objid" || res.Cols[1] != "class" {
+		t.Fatalf("cols: %v", res.Cols)
+	}
+	if res.ColTypes[0] != Int || res.ColTypes[1] != String {
+		t.Error("types wrong")
+	}
+	// Alias.
+	res2 := exec(t, db, "select objid as id from stars")
+	if res2.Cols[0] != "id" {
+		t.Errorf("alias ignored: %v", res2.Cols)
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	db := testDB(t)
+	cases := map[string]int{
+		"select objid from stars where u > 10":                      3,
+		"select objid from stars where u >= 10":                     4,
+		"select objid from stars where u < 10":                      1,
+		"select objid from stars where u <= 10":                     2,
+		"select objid from stars where u = 15":                      1,
+		"select objid from stars where u != 15":                     4,
+		"select objid from stars where class = 'A'":                 2,
+		"select objid from stars where class != 'A'":                3,
+		"select objid from stars where class = A":                   2, // bare identifier literal
+		"select objid from stars where u between 10 and 30":         3,
+		"select objid from stars where objid in (1, 3, 9)":          2,
+		"select objid from stars where class in ('A', 'C')":         3,
+		"select objid from stars where class like 'A'":              2,
+		"select objid from stars where not u > 10":                  2,
+		"select objid from stars where u > 10 and class = 'A'":      1,
+		"select objid from stars where u > 30 or class = 'B'":       3,
+		"select objid from stars where (u > 30 or u < 6) and g < 2": 1,
+	}
+	for q, want := range cases {
+		if got := len(exec(t, db, q).Rows); got != want {
+			t.Errorf("%s: %d rows, want %d", q, got, want)
+		}
+	}
+}
+
+func TestTopAndLimit(t *testing.T) {
+	db := testDB(t)
+	if got := len(exec(t, db, "select top 2 objid from stars").Rows); got != 2 {
+		t.Errorf("TOP 2 = %d rows", got)
+	}
+	if got := len(exec(t, db, "select objid from stars limit 3").Rows); got != 3 {
+		t.Errorf("LIMIT 3 = %d rows", got)
+	}
+	if got := len(exec(t, db, "select top 100 objid from stars").Rows); got != 5 {
+		t.Errorf("TOP over-count = %d rows", got)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	db := testDB(t)
+	res := exec(t, db, "select objid from stars order by u")
+	want := []string{"1", "5", "2", "3", "4"}
+	for i, w := range want {
+		if res.Rows[i][0] != w {
+			t.Fatalf("asc order: %v", res.Rows)
+		}
+	}
+	res = exec(t, db, "select objid from stars order by u desc")
+	if res.Rows[0][0] != "4" {
+		t.Errorf("desc order: %v", res.Rows)
+	}
+	res = exec(t, db, "select objid from stars order by class, u desc")
+	if res.Rows[0][0] != "3" || res.Rows[1][0] != "1" {
+		t.Errorf("two-key order: %v", res.Rows)
+	}
+	// ORDER BY before TOP (SQL semantics).
+	res = exec(t, db, "select top 1 objid from stars order by u desc")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "4" {
+		t.Errorf("top-after-order: %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := testDB(t)
+	res := exec(t, db, "select count(*) from stars where u > 10")
+	if !res.Aggregate || res.Rows[0][0] != "3" {
+		t.Errorf("count: %v", res.Rows)
+	}
+	if res.Cols[0] != "count(*)" {
+		t.Errorf("agg name: %v", res.Cols)
+	}
+	cases := map[string]string{
+		"select sum(g) from stars":   "15",
+		"select avg(g) from stars":   "3",
+		"select min(u) from stars":   "5",
+		"select max(u) from stars":   "35",
+		"select count(u) from stars": "5",
+	}
+	for q, want := range cases {
+		if got := exec(t, db, q).Rows[0][0]; got != want {
+			t.Errorf("%s = %s, want %s", q, got, want)
+		}
+	}
+	// Aggregate over empty selection.
+	res = exec(t, db, "select count(*), avg(u) from stars where u > 1000")
+	if res.Rows[0][0] != "0" || res.Rows[0][1] != "0" {
+		t.Errorf("empty agg: %v", res.Rows)
+	}
+	// Alias on aggregate.
+	if got := exec(t, db, "select count(*) as n from stars").Cols[0]; got != "n" {
+		t.Errorf("agg alias: %s", got)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := testDB(t)
+	res := exec(t, db, "select class, count(*) from stars group by class")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups: %v", res.Rows)
+	}
+	counts := map[string]string{}
+	for _, r := range res.Rows {
+		counts[r[0]] = r[1]
+	}
+	if counts["A"] != "2" || counts["B"] != "2" || counts["C"] != "1" {
+		t.Errorf("group counts: %v", counts)
+	}
+	// Grouped aggregate of another column.
+	res = exec(t, db, "select class, sum(g) from stars group by class")
+	sums := map[string]string{}
+	for _, r := range res.Rows {
+		sums[r[0]] = r[1]
+	}
+	if sums["A"] != "4" || sums["B"] != "7" {
+		t.Errorf("group sums: %v", sums)
+	}
+	// Non-grouped column is an error.
+	if _, err := Exec(db, sqlparser.MustParse("select u, count(*) from stars group by class")); err == nil {
+		t.Error("non-grouped column must fail")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := testDB(t)
+	res := exec(t, db, "select distinct class from stars")
+	if len(res.Rows) != 3 {
+		t.Errorf("distinct: %v", res.Rows)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		"select objid from nope",
+		"select missing from stars",
+		"select objid from stars where missing = 1",
+		"select objid from stars where class between 1 and 2",
+		"select objid from stars where u = 'abc'",
+		"select objid from stars order by missing",
+		"select objid from stars where missing in (1)",
+		"select objid from stars where missing like 'x'",
+		"select median(u) from stars",
+		"select sum(*) from stars",
+		"select u, count(*) from stars",
+	}
+	for _, q := range bad {
+		if _, err := Exec(db, sqlparser.MustParse(q)); err == nil {
+			t.Errorf("%s should fail", q)
+		}
+	}
+	if _, err := Exec(db, nil); err == nil {
+		t.Error("nil query must fail")
+	}
+}
+
+func TestLikePatterns(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"M%", "M31", true},
+		{"M%", "NGC", false},
+		{"%31", "M31", true},
+		{"M_1", "M31", true},
+		{"M_1", "M321", false},
+		{"%", "", true},
+		{"", "", true},
+		{"_", "", false},
+		{"a%b%c", "aXXbYYc", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pat, c.s); got != c.want {
+			t.Errorf("like(%q,%q) = %v", c.pat, c.s, got)
+		}
+	}
+}
+
+func TestDBCatalog(t *testing.T) {
+	db := testDB(t)
+	if _, ok := db.Table("stars"); !ok {
+		t.Error("stars missing")
+	}
+	if _, ok := db.Table("nope"); ok {
+		t.Error("phantom table")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "stars" {
+		t.Errorf("tables: %v", got)
+	}
+	// Duplicate and ragged tables rejected.
+	if err := db.Add(&Table{Name: "stars"}); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if err := db.Add(&Table{Name: "ragged", Cols: []*Column{
+		{Name: "a", Type: Int, Ints: []int64{1, 2}},
+		{Name: "b", Type: Int, Ints: []int64{1}},
+	}}); err == nil {
+		t.Error("ragged table must fail")
+	}
+}
+
+func TestSDSSDB(t *testing.T) {
+	db := SDSSDB(100, 42)
+	for _, name := range []string{"stars", "galaxies", "quasars"} {
+		tbl, ok := db.Table(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if tbl.NumRows() != 100 {
+			t.Errorf("%s rows = %d", name, tbl.NumRows())
+		}
+		for _, col := range []string{"objid", "u", "g", "r", "i", "z"} {
+			if tbl.Col(col) == nil {
+				t.Errorf("%s.%s missing", name, col)
+			}
+		}
+	}
+	// Deterministic across constructions.
+	db2 := SDSSDB(100, 42)
+	a, _ := db.Table("stars")
+	b, _ := db2.Table("stars")
+	for i := 0; i < 100; i++ {
+		if a.Col("u").Flts[i] != b.Col("u").Flts[i] {
+			t.Fatal("SDSSDB not deterministic")
+		}
+	}
+	// Listing 1 queries run against it.
+	for _, src := range []string{
+		"select top 10 objid from stars where u between 0 and 30 and g between 0 and 30 and r between 0 and 30 and i between 0 and 30",
+		"select count(*) from quasars where u between 0 and 30",
+	} {
+		res := exec(t, db, src)
+		if len(res.Rows) == 0 {
+			t.Errorf("%s returned no rows", src)
+		}
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" || String.String() != "string" {
+		t.Error("type names")
+	}
+	if ColType(9).String() != "coltype?" {
+		t.Error("unknown type")
+	}
+}
+
+func TestValueNum(t *testing.T) {
+	if (Value{I: 7}).num(Int) != 7 || (Value{F: 2.5}).num(Float) != 2.5 {
+		t.Error("num conversions")
+	}
+}
+
+func TestCellString(t *testing.T) {
+	c := &Column{Name: "f", Type: Float, Flts: []float64{1.25}}
+	if cellString(c, 0) != "1.25" {
+		t.Errorf("float cell: %s", cellString(c, 0))
+	}
+	i := &Column{Name: "i", Type: Int, Ints: []int64{42}}
+	if cellString(i, 0) != strconv.Itoa(42) {
+		t.Error("int cell")
+	}
+}

@@ -1,0 +1,591 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Result is a query result: column headers and row-major string cells plus
+// typed metadata for the visualization recommender.
+type Result struct {
+	Cols     []string
+	ColTypes []ColType
+	Rows     [][]string
+	// Aggregate marks a single-row aggregate result (e.g. count(*)).
+	Aggregate bool
+}
+
+// Exec runs a parsed query against the database. Supported: projection of
+// columns / count,min,max,avg,sum aggregates / *, FROM one table, WHERE
+// trees of AND/OR/NOT over comparisons, BETWEEN, IN, LIKE, plus TOP/LIMIT,
+// ORDER BY, GROUP BY with aggregates, and DISTINCT.
+func Exec(db *DB, q *ast.Node) (*Result, error) {
+	if q == nil || q.Kind != ast.KindSelect {
+		return nil, fmt.Errorf("engine: not a SELECT")
+	}
+	from := q.ChildOfKind(ast.KindFrom)
+	if from == nil || len(from.Children) == 0 {
+		return nil, fmt.Errorf("engine: missing FROM")
+	}
+	tbl, ok := db.Table(from.Children[0].Value)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", from.Children[0].Value)
+	}
+
+	// Filter.
+	rows := make([]int, 0, tbl.NumRows())
+	var pred *ast.Node
+	if w := q.ChildOfKind(ast.KindWhere); w != nil {
+		pred = w.Children[0]
+	}
+	for r := 0; r < tbl.NumRows(); r++ {
+		ok, err := evalPred(tbl, pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+
+	// Order (before TOP, as in SQL semantics for TOP n ... ORDER BY).
+	if ob := q.ChildOfKind(ast.KindOrderBy); ob != nil {
+		if err := orderRows(tbl, ob, rows); err != nil {
+			return nil, err
+		}
+	}
+
+	proj := q.ChildOfKind(ast.KindProject)
+	if proj == nil {
+		return nil, fmt.Errorf("engine: missing projection")
+	}
+
+	var res *Result
+	var err error
+	if gb := q.ChildOfKind(ast.KindGroupBy); gb != nil {
+		res, err = execGrouped(tbl, proj, gb, rows)
+	} else if isAggregate(proj) {
+		res, err = execAggregate(tbl, proj, rows)
+	} else {
+		res, err = execScan(tbl, proj, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if q.ChildOfKind(ast.KindDistinct) != nil {
+		res.Rows = dedupRows(res.Rows)
+	}
+	limit := -1
+	if top := q.ChildOfKind(ast.KindTop); top != nil {
+		limit = atoiDefault(top.Value, -1)
+	}
+	if lim := q.ChildOfKind(ast.KindLimit); lim != nil {
+		l := atoiDefault(lim.Value, -1)
+		if limit < 0 || (l >= 0 && l < limit) {
+			limit = l
+		}
+	}
+	if limit >= 0 && len(res.Rows) > limit {
+		res.Rows = res.Rows[:limit]
+	}
+	return res, nil
+}
+
+func atoiDefault(s string, def int) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// cell reads a table cell.
+func cell(t *Table, c *Column, row int) Value {
+	switch c.Type {
+	case Int:
+		return Value{I: c.Ints[row]}
+	case Float:
+		return Value{F: c.Flts[row]}
+	default:
+		return Value{S: c.Strs[row]}
+	}
+}
+
+func cellString(c *Column, row int) string {
+	switch c.Type {
+	case Int:
+		return strconv.FormatInt(c.Ints[row], 10)
+	case Float:
+		return strconv.FormatFloat(c.Flts[row], 'g', 6, 64)
+	default:
+		return c.Strs[row]
+	}
+}
+
+// evalPred evaluates a predicate subtree on one row; nil predicates accept.
+func evalPred(t *Table, p *ast.Node, row int) (bool, error) {
+	if p == nil {
+		return true, nil
+	}
+	switch p.Kind {
+	case ast.KindAnd:
+		for _, c := range p.Children {
+			ok, err := evalPred(t, c, row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case ast.KindOr:
+		for _, c := range p.Children {
+			ok, err := evalPred(t, c, row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case ast.KindNot:
+		ok, err := evalPred(t, p.Children[0], row)
+		return !ok, err
+	case ast.KindBetween:
+		col := t.Col(p.Children[0].Value)
+		if col == nil {
+			return false, fmt.Errorf("engine: unknown column %q", p.Children[0].Value)
+		}
+		if col.Type == String {
+			return false, fmt.Errorf("engine: BETWEEN on string column %q", col.Name)
+		}
+		lo, err1 := strconv.ParseFloat(p.Children[1].Value, 64)
+		hi, err2 := strconv.ParseFloat(p.Children[2].Value, 64)
+		if err1 != nil || err2 != nil {
+			return false, fmt.Errorf("engine: non-numeric BETWEEN bounds")
+		}
+		v := cell(t, col, row).num(col.Type)
+		return v >= lo && v <= hi, nil
+	case ast.KindBiExpr:
+		return evalCompare(t, p, row)
+	case ast.KindIn:
+		col := t.Col(p.Children[0].Value)
+		if col == nil {
+			return false, fmt.Errorf("engine: unknown column %q", p.Children[0].Value)
+		}
+		got := cellString(col, row)
+		for _, lit := range p.Children[1:] {
+			if col.Type != String {
+				want, err := strconv.ParseFloat(lit.Value, 64)
+				if err == nil && cell(t, col, row).num(col.Type) == want {
+					return true, nil
+				}
+			} else if got == lit.Value {
+				return true, nil
+			}
+		}
+		return false, nil
+	case ast.KindLike:
+		col := t.Col(p.Children[0].Value)
+		if col == nil {
+			return false, fmt.Errorf("engine: unknown column %q", p.Children[0].Value)
+		}
+		return likeMatch(p.Children[1].Value, cellString(col, row)), nil
+	}
+	return false, fmt.Errorf("engine: unsupported predicate %s", p.Kind)
+}
+
+func evalCompare(t *Table, p *ast.Node, row int) (bool, error) {
+	col := t.Col(p.Children[0].Value)
+	if col == nil {
+		return false, fmt.Errorf("engine: unknown column %q", p.Children[0].Value)
+	}
+	rhs := p.Children[1]
+	if col.Type == String {
+		a, b := cellString(col, row), rhs.Value
+		switch p.Value {
+		case "=":
+			return a == b, nil
+		case "!=":
+			return a != b, nil
+		case "<":
+			return a < b, nil
+		case ">":
+			return a > b, nil
+		case "<=":
+			return a <= b, nil
+		case ">=":
+			return a >= b, nil
+		}
+		return false, fmt.Errorf("engine: bad operator %q", p.Value)
+	}
+	want, err := strconv.ParseFloat(rhs.Value, 64)
+	if err != nil {
+		return false, fmt.Errorf("engine: comparing numeric column %q with %q", col.Name, rhs.Value)
+	}
+	v := cell(t, col, row).num(col.Type)
+	switch p.Value {
+	case "=":
+		return v == want, nil
+	case "!=":
+		return v != want, nil
+	case "<":
+		return v < want, nil
+	case ">":
+		return v > want, nil
+	case "<=":
+		return v <= want, nil
+	case ">=":
+		return v >= want, nil
+	}
+	return false, fmt.Errorf("engine: bad operator %q", p.Value)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one char).
+func likeMatch(pattern, s string) bool {
+	return likeRec(pattern, s)
+}
+
+func likeRec(p, s string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(p[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(p[1:], s[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(p[1:], s[1:])
+	}
+}
+
+func orderRows(t *Table, ob *ast.Node, rows []int) error {
+	type key struct {
+		col  *Column
+		desc bool
+	}
+	var keys []key
+	for _, sk := range ob.Children {
+		col := t.Col(sk.Children[0].Value)
+		if col == nil {
+			return fmt.Errorf("engine: unknown sort column %q", sk.Children[0].Value)
+		}
+		keys = append(keys, key{col: col, desc: sk.Value == "desc"})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			var less, eq bool
+			if k.col.Type == String {
+				a, b := k.col.Strs[rows[i]], k.col.Strs[rows[j]]
+				less, eq = a < b, a == b
+			} else {
+				a := cell(t, k.col, rows[i]).num(k.col.Type)
+				b := cell(t, k.col, rows[j]).num(k.col.Type)
+				less, eq = a < b, a == b
+			}
+			if eq {
+				continue
+			}
+			if k.desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	return nil
+}
+
+func isAggregate(proj *ast.Node) bool {
+	for _, item := range proj.Children {
+		if item.Kind == ast.KindFuncExpr {
+			return true
+		}
+	}
+	return false
+}
+
+func execScan(t *Table, proj *ast.Node, rows []int) (*Result, error) {
+	var cols []*Column
+	var names []string
+	var types []ColType
+	for _, item := range proj.Children {
+		switch item.Kind {
+		case ast.KindStar:
+			for _, c := range t.Cols {
+				cols = append(cols, c)
+				names = append(names, c.Name)
+				types = append(types, c.Type)
+			}
+		case ast.KindColExpr:
+			c := t.Col(item.Value)
+			if c == nil {
+				return nil, fmt.Errorf("engine: unknown column %q", item.Value)
+			}
+			cols = append(cols, c)
+			name := item.Value
+			if a := item.ChildOfKind(ast.KindAlias); a != nil {
+				name = a.Value
+			}
+			names = append(names, name)
+			types = append(types, c.Type)
+		default:
+			return nil, fmt.Errorf("engine: unsupported projection %s", item.Kind)
+		}
+	}
+	res := &Result{Cols: names, ColTypes: types}
+	for _, r := range rows {
+		row := make([]string, len(cols))
+		for i, c := range cols {
+			row[i] = cellString(c, r)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	fn    string
+	col   *Column // nil for count(*)
+	n     int
+	sum   float64
+	min   float64
+	max   float64
+	first bool
+}
+
+func newAggState(fn string, col *Column) *aggState {
+	return &aggState{fn: fn, col: col, first: true}
+}
+
+func (a *aggState) add(t *Table, row int) {
+	a.n++
+	if a.col == nil || a.col.Type == String {
+		return
+	}
+	v := cell(t, a.col, row).num(a.col.Type)
+	a.sum += v
+	if a.first || v < a.min {
+		a.min = v
+	}
+	if a.first || v > a.max {
+		a.max = v
+	}
+	a.first = false
+}
+
+func (a *aggState) value() string {
+	switch a.fn {
+	case "count":
+		return strconv.Itoa(a.n)
+	case "sum":
+		return strconv.FormatFloat(a.sum, 'g', 6, 64)
+	case "avg":
+		if a.n == 0 {
+			return "0"
+		}
+		return strconv.FormatFloat(a.sum/float64(a.n), 'g', 6, 64)
+	case "min":
+		if a.first {
+			return "0"
+		}
+		return strconv.FormatFloat(a.min, 'g', 6, 64)
+	case "max":
+		if a.first {
+			return "0"
+		}
+		return strconv.FormatFloat(a.max, 'g', 6, 64)
+	}
+	return "?"
+}
+
+func aggName(item *ast.Node) string {
+	if a := item.ChildOfKind(ast.KindAlias); a != nil {
+		return a.Value
+	}
+	arg := "*"
+	for _, c := range item.Children {
+		if c.Kind == ast.KindColExpr {
+			arg = c.Value
+		}
+	}
+	return item.Value + "(" + arg + ")"
+}
+
+var supportedAggs = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+func buildAgg(t *Table, item *ast.Node) (*aggState, error) {
+	if !supportedAggs[item.Value] {
+		return nil, fmt.Errorf("engine: unsupported aggregate %q", item.Value)
+	}
+	var col *Column
+	for _, c := range item.Children {
+		if c.Kind == ast.KindColExpr {
+			col = t.Col(c.Value)
+			if col == nil {
+				return nil, fmt.Errorf("engine: unknown column %q", c.Value)
+			}
+		}
+	}
+	if col == nil && item.Value != "count" {
+		return nil, fmt.Errorf("engine: %s(*) is not supported", item.Value)
+	}
+	return newAggState(item.Value, col), nil
+}
+
+func execAggregate(t *Table, proj *ast.Node, rows []int) (*Result, error) {
+	res := &Result{Aggregate: true}
+	var states []*aggState
+	for _, item := range proj.Children {
+		if item.Kind != ast.KindFuncExpr {
+			return nil, fmt.Errorf("engine: mixing aggregates and columns requires GROUP BY")
+		}
+		st, err := buildAgg(t, item)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, st)
+		res.Cols = append(res.Cols, aggName(item))
+		res.ColTypes = append(res.ColTypes, Float)
+	}
+	for _, r := range rows {
+		for _, st := range states {
+			st.add(t, r)
+		}
+	}
+	row := make([]string, len(states))
+	for i, st := range states {
+		row[i] = st.value()
+	}
+	res.Rows = [][]string{row}
+	return res, nil
+}
+
+func execGrouped(t *Table, proj, gb *ast.Node, rows []int) (*Result, error) {
+	var groupCols []*Column
+	for _, g := range gb.Children {
+		c := t.Col(g.Value)
+		if c == nil {
+			return nil, fmt.Errorf("engine: unknown group column %q", g.Value)
+		}
+		groupCols = append(groupCols, c)
+	}
+
+	type group struct {
+		key    []string
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	mkStates := func() ([]*aggState, error) {
+		var out []*aggState
+		for _, item := range proj.Children {
+			if item.Kind == ast.KindFuncExpr {
+				st, err := buildAgg(t, item)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, st)
+			}
+		}
+		return out, nil
+	}
+
+	for _, r := range rows {
+		key := make([]string, len(groupCols))
+		for i, c := range groupCols {
+			key[i] = cellString(c, r)
+		}
+		k := strings.Join(key, "\x00")
+		g, ok := groups[k]
+		if !ok {
+			states, err := mkStates()
+			if err != nil {
+				return nil, err
+			}
+			g = &group{key: key, states: states}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for _, st := range g.states {
+			st.add(t, r)
+		}
+	}
+
+	res := &Result{Aggregate: true}
+	for _, item := range proj.Children {
+		switch item.Kind {
+		case ast.KindColExpr:
+			inGroup := false
+			for _, g := range gb.Children {
+				if g.Value == item.Value {
+					inGroup = true
+				}
+			}
+			if !inGroup {
+				return nil, fmt.Errorf("engine: column %q not in GROUP BY", item.Value)
+			}
+			res.Cols = append(res.Cols, item.Value)
+			res.ColTypes = append(res.ColTypes, colTypeOf(t, item.Value))
+		case ast.KindFuncExpr:
+			res.Cols = append(res.Cols, aggName(item))
+			res.ColTypes = append(res.ColTypes, Float)
+		default:
+			return nil, fmt.Errorf("engine: unsupported grouped projection %s", item.Kind)
+		}
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		var row []string
+		si := 0
+		for _, item := range proj.Children {
+			if item.Kind == ast.KindColExpr {
+				// Find the key position of this group column.
+				for gi, gc := range gb.Children {
+					if gc.Value == item.Value {
+						row = append(row, g.key[gi])
+						break
+					}
+				}
+			} else {
+				row = append(row, g.states[si].value())
+				si++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func colTypeOf(t *Table, name string) ColType {
+	if c := t.Col(name); c != nil {
+		return c.Type
+	}
+	return String
+}
+
+func dedupRows(rows [][]string) [][]string {
+	seen := map[string]bool{}
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := strings.Join(r, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package htmlpage renders a generated interface as a self-contained,
+// *interactive* HTML page: the widget tree becomes live form controls, the
+// difftree is embedded as JSON, and a small JavaScript port of the query
+// generator recomputes and displays the current SQL on every interaction —
+// the shippable equivalent of the paper's Figure 6 screenshots.
+package htmlpage
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/widgets"
+)
+
+// Render emits the page. diff and ui must belong together (shared choice
+// pointers); queries are shown as loadable presets.
+func Render(diff *difftree.Node, ui *layout.Node, queries []string, title string) (string, error) {
+	treeJSON, err := json.Marshal(codec.EncodeDiffTree(diff))
+	if err != nil {
+		return nil2("marshal difftree", err)
+	}
+	presets, err := json.Marshal(queries)
+	if err != nil {
+		return nil2("marshal presets", err)
+	}
+
+	idx, _ := preorder(diff)
+	var controls strings.Builder
+	if ui != nil {
+		renderControls(&controls, ui, idx, 2)
+	} else {
+		controls.WriteString("  <p>This interface is static (a single query).</p>\n")
+	}
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString("<style>\n" + pageCSS + "</style>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	b.WriteString("<div class=\"panes\">\n<div class=\"controls\">\n")
+	b.WriteString(controls.String())
+	b.WriteString("</div>\n<div class=\"output\">\n")
+	b.WriteString("  <h2>Current query</h2>\n  <pre id=\"sql\"></pre>\n")
+	b.WriteString("  <h2>Log presets</h2>\n  <div id=\"presets\"></div>\n")
+	b.WriteString("</div>\n</div>\n")
+	fmt.Fprintf(&b, "<script>\nconst DIFFTREE = %s;\nconst PRESETS = %s;\n%s</script>\n", treeJSON, presets, pageJS)
+	b.WriteString("</body>\n</html>\n")
+	return b.String(), nil
+}
+
+func nil2(what string, err error) (string, error) {
+	return "", fmt.Errorf("htmlpage: %s: %w", what, err)
+}
+
+// preorder returns difftree pre-order indexes (matching the JS walker).
+func preorder(root *difftree.Node) (map[*difftree.Node]int, []*difftree.Node) {
+	byNode := make(map[*difftree.Node]int)
+	var byIndex []*difftree.Node
+	difftree.WalkPath(root, func(n *difftree.Node, _ difftree.Path) bool {
+		byNode[n] = len(byIndex)
+		byIndex = append(byIndex, n)
+		return true
+	})
+	return byNode, byIndex
+}
+
+func renderControls(b *strings.Builder, n *layout.Node, idx map[*difftree.Node]int, depth int) {
+	pad := strings.Repeat(" ", depth)
+	esc := html.EscapeString
+	switch n.Type {
+	case widgets.VBox, widgets.HBox:
+		dir := "column"
+		if n.Type == widgets.HBox {
+			dir = "row"
+		}
+		fmt.Fprintf(b, "%s<div class=\"box\" style=\"flex-direction:%s\">\n", pad, dir)
+		for _, c := range n.Children {
+			renderControls(b, c, idx, depth+1)
+		}
+		fmt.Fprintf(b, "%s</div>\n", pad)
+
+	case widgets.Adder:
+		i := idx[n.Choice]
+		fmt.Fprintf(b, "%s<fieldset><legend>%s</legend>\n", pad, esc(n.Title))
+		fmt.Fprintf(b, "%s  <label>instances <input type=\"number\" min=\"0\" max=\"8\" value=\"1\" data-choice=\"%d\" data-kind=\"count\"></label>\n", pad, i)
+		for _, c := range n.Children {
+			renderControls(b, c, idx, depth+1)
+		}
+		fmt.Fprintf(b, "%s</fieldset>\n", pad)
+
+	case widgets.Tabs:
+		i := idx[n.Choice]
+		fmt.Fprintf(b, "%s<div class=\"tabs\" data-tabs=\"%d\">\n", pad, i)
+		for oi, o := range n.Domain.Options {
+			fmt.Fprintf(b, "%s  <label><input type=\"radio\" name=\"c%d\" value=\"%d\" data-choice=\"%d\" data-kind=\"pick\"%s>%s</label>\n",
+				pad, i, oi, i, checked(oi == 0), esc(o))
+		}
+		for _, c := range n.Children {
+			renderControls(b, c, idx, depth+1)
+		}
+		fmt.Fprintf(b, "%s</div>\n", pad)
+
+	case widgets.Dropdown:
+		i := idx[n.Choice]
+		fmt.Fprintf(b, "%s<label>%s <select data-choice=\"%d\" data-kind=\"pick\">", pad, esc(n.Title), i)
+		for oi, o := range n.Domain.Options {
+			fmt.Fprintf(b, "<option value=\"%d\">%s</option>", oi, esc(o))
+		}
+		b.WriteString("</select></label>\n")
+
+	case widgets.Radio, widgets.Buttons:
+		i := idx[n.Choice]
+		fmt.Fprintf(b, "%s<fieldset class=\"group\"><legend>%s</legend>", pad, esc(n.Title))
+		for oi, o := range n.Domain.Options {
+			fmt.Fprintf(b, "<label><input type=\"radio\" name=\"c%d\" value=\"%d\" data-choice=\"%d\" data-kind=\"pick\"%s>%s</label>",
+				i, oi, i, checked(oi == 0), esc(o))
+		}
+		b.WriteString("</fieldset>\n")
+
+	case widgets.Slider, widgets.RangeSlider:
+		i := idx[n.Choice]
+		max := len(n.Domain.Options) - 1
+		fmt.Fprintf(b, "%s<label>%s <input type=\"range\" min=\"0\" max=\"%d\" value=\"0\" data-choice=\"%d\" data-kind=\"pick\"> <span data-slider-label=\"%d\">%s</span></label>\n",
+			pad, esc(n.Title), max, i, i, esc(first(n.Domain.Options)))
+
+	case widgets.Textbox:
+		i := idx[n.Choice]
+		fmt.Fprintf(b, "%s<label>%s <input type=\"text\" list=\"dl%d\" data-choice=\"%d\" data-kind=\"text\" value=\"%s\"><datalist id=\"dl%d\">",
+			pad, esc(n.Title), i, i, esc(first(n.Domain.Options)), i)
+		for _, o := range n.Domain.Options {
+			fmt.Fprintf(b, "<option value=\"%s\">", esc(o))
+		}
+		b.WriteString("</datalist></label>\n")
+
+	case widgets.Toggle, widgets.Checkbox:
+		i := idx[n.Choice]
+		fmt.Fprintf(b, "%s<label><input type=\"checkbox\" checked data-choice=\"%d\" data-kind=\"toggle\">%s</label>\n",
+			pad, i, esc(n.Title))
+
+	case widgets.Label:
+		fmt.Fprintf(b, "%s<span>%s</span>\n", pad, esc(n.Title))
+	}
+}
+
+func checked(b bool) string {
+	if b {
+		return " checked"
+	}
+	return ""
+}
+
+func first(opts []string) string {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return ""
+}
+
+const pageCSS = `body{font-family:system-ui,sans-serif;margin:24px;background:#fafbfe}
+h1{font-size:1.3rem}
+.panes{display:flex;gap:24px;align-items:flex-start}
+.controls{min-width:320px;display:flex;flex-direction:column;gap:8px;padding:12px;border:1px solid #88c;border-radius:6px;background:#fff}
+.box{display:flex;gap:8px;padding:6px;border:1px dashed #bbd}
+.output{flex:1}
+fieldset{border:1px solid #ccd;border-radius:4px}
+fieldset.group label{margin-right:10px}
+pre#sql{background:#15203b;color:#cfe3ff;padding:12px;border-radius:6px;min-height:2.2em;white-space:pre-wrap}
+#presets button{display:block;margin:4px 0;text-align:left;font-family:monospace}
+.tabs{border:1px solid #ccd;padding:6px;border-radius:4px}
+`
+
+// pageJS is the embedded generator: a faithful port of the Go session
+// generator (difftree -> AST -> SQL) driving the live query display.
+const pageJS = `
+const SEL = {};            // pre-order index -> selection
+const NODES = [];
+(function walk(n){ NODES.push(n); (n.children||[]).forEach(walk); })(DIFFTREE);
+NODES.forEach((n,i)=>{ if(n.kind==='ANY') SEL[i]=0; else if(n.kind==='OPT') SEL[i]=1; else if(n.kind==='MULTI') SEL[i]=1; });
+const IDX = new Map(); NODES.forEach((n,i)=>IDX.set(n,i));
+
+function gen(node){
+  switch(node.kind){
+    case 'ALL': {
+      if(node.label==='Empty') return [];
+      let kids=[]; (node.children||[]).forEach(c=>kids.push(...gen(c)));
+      if(node.label==='Seq') return kids;
+      return [{label:node.label, value:node.value||'', children:kids}];
+    }
+    case 'ANY': {
+      const i=SEL[IDX.get(node)]||0;
+      return gen(node.children[Math.min(i,node.children.length-1)]);
+    }
+    case 'OPT': return (SEL[IDX.get(node)]??1)? gen(node.children[0]) : [];
+    case 'MULTI': {
+      const n=SEL[IDX.get(node)]??1; let out=[];
+      for(let k=0;k<n;k++) out.push(...gen(node.children[0]));
+      return out;
+    }
+  }
+  return [];
+}
+
+function child(n,label){ return (n.children||[]).find(c=>c.label===label); }
+function quoted(s){ return /^[A-Za-z_][A-Za-z0-9_.]*$/.test(s)? s : "'"+s.replace(/'/g,"''")+"'"; }
+
+function sql(n){
+  const kids=n.children||[];
+  switch(n.label){
+    case 'Select': {
+      let parts=['SELECT'];
+      if(child(n,'Distinct')) parts.push('DISTINCT');
+      const top=child(n,'Top'); if(top) parts.push('TOP '+top.value);
+      const order=['Project','From','Where','GroupBy','OrderBy','Limit'];
+      for(const lab of order){ const c=child(n,lab); if(c) parts.push(sql(c)); }
+      return parts.join(' ');
+    }
+    case 'Project': return kids.map(sql).join(', ');
+    case 'From': return 'FROM '+kids.map(sql).join('');
+    case 'Where': return 'WHERE '+kids.map(sql).join('');
+    case 'GroupBy': return 'GROUP BY '+kids.map(sql).join(', ');
+    case 'OrderBy': return 'ORDER BY '+kids.map(sql).join(', ');
+    case 'SortKey': return sql(kids[0])+(n.value==='desc'?' DESC':'');
+    case 'Top': return 'TOP '+n.value;
+    case 'Limit': return 'LIMIT '+n.value;
+    case 'Distinct': return 'DISTINCT';
+    case 'Table': return n.value;
+    case 'ColExpr': {
+      const a=child(n,'Alias');
+      return n.value+(a?' AS '+a.value:'');
+    }
+    case 'StrExpr': return quoted(n.value);
+    case 'NumExpr': return n.value;
+    case 'Star': return '*';
+    case 'FuncExpr': {
+      const args=kids.filter(c=>c.label!=='Alias').map(sql).join(', ');
+      const a=child(n,'Alias');
+      return n.value+'('+args+')'+(a?' AS '+a.value:'');
+    }
+    case 'BiExpr': return (kids[0]?sql(kids[0]):'?')+' '+n.value+' '+(kids[1]?sql(kids[1]):'?');
+    case 'Between': return (kids[0]?sql(kids[0]):'?')+' BETWEEN '+(kids[1]?sql(kids[1]):'?')+' AND '+(kids[2]?sql(kids[2]):'?');
+    case 'In': return sql(kids[0])+' IN ('+kids.slice(1).map(sql).join(', ')+')';
+    case 'Like': return sql(kids[0])+' LIKE '+sql(kids[1]);
+    case 'Not': return 'NOT '+pred(kids[0]);
+    case 'And': return kids.map(pred).join(' AND ');
+    case 'Or': return kids.map(pred).join(' OR ');
+    case 'Alias': return n.value;
+  }
+  return '';
+}
+function pred(n){ const s=sql(n); return (n.label==='And'||n.label==='Or')? '('+s+')' : s; }
+
+function refresh(){
+  const roots=gen(DIFFTREE);
+  document.getElementById('sql').textContent = roots.length===1 ? sql(roots[0]) : roots.map(sql).join('; ');
+  document.querySelectorAll('[data-slider-label]').forEach(span=>{
+    const i=+span.getAttribute('data-slider-label');
+    const node=NODES[i];
+    const k=SEL[i]||0;
+    const alt=node.children[Math.min(k,node.children.length-1)];
+    span.textContent = alt && alt.value ? alt.value : ('option '+(k+1));
+  });
+}
+
+document.querySelectorAll('[data-choice]').forEach(el=>{
+  el.addEventListener('input',()=>{
+    const i=+el.getAttribute('data-choice');
+    const kind=el.getAttribute('data-kind');
+    if(kind==='pick') SEL[i]=+el.value;
+    else if(kind==='toggle') SEL[i]=el.checked?1:0;
+    else if(kind==='count') SEL[i]=Math.max(0,+el.value||0);
+    else if(kind==='text'){
+      const node=NODES[i];
+      const j=(node.children||[]).findIndex(c=>c.value===el.value);
+      if(j>=0) SEL[i]=j;
+    }
+    refresh();
+  });
+});
+
+const presetsDiv=document.getElementById('presets');
+PRESETS.forEach(q=>{
+  const btn=document.createElement('button');
+  btn.textContent=q;
+  btn.addEventListener('click',()=>{ document.getElementById('sql').textContent=q; });
+  presetsDiv.appendChild(btn);
+});
+refresh();
+`

@@ -1,0 +1,98 @@
+package htmlpage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/sqlparser"
+)
+
+func figure4Tree() *difftree.Node {
+	return difftree.NewAll(ast.KindSelect, "",
+		difftree.NewAll(ast.KindProject, "",
+			difftree.NewAny(
+				difftree.NewAll(ast.KindColExpr, "Sales"),
+				difftree.NewAll(ast.KindColExpr, "Costs"))),
+		difftree.NewAll(ast.KindFrom, "", difftree.NewAll(ast.KindTable, "sales")),
+		difftree.NewOpt(difftree.NewAll(ast.KindWhere, "",
+			difftree.NewAll(ast.KindBiExpr, "=",
+				difftree.NewAll(ast.KindColExpr, "cty"),
+				difftree.NewAny(
+					difftree.NewAll(ast.KindStrExpr, "USA"),
+					difftree.NewAll(ast.KindStrExpr, "EUR"))))))
+}
+
+func TestRenderPage(t *testing.T) {
+	d := figure4Tree()
+	plan, err := assign.BuildPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui := plan.First()
+	queries := []string{"SELECT Sales FROM sales WHERE cty = USA"}
+	page, err := Render(d, ui, queries, "Demo <interface>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"const DIFFTREE =",
+		"const PRESETS =",
+		"data-choice=",
+		"function gen(",
+		"function sql(",
+		"SELECT Sales FROM sales WHERE cty = USA",
+		"Demo &lt;interface&gt;", // title escaped
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	if strings.Contains(page, "Demo <interface>") {
+		t.Error("unescaped title leaked")
+	}
+	// Every interaction widget has a control bound to a choice index.
+	controls := strings.Count(page, "data-choice=")
+	if controls < ui.CountWidgets() {
+		t.Errorf("controls=%d widgets=%d", controls, ui.CountWidgets())
+	}
+}
+
+func TestRenderPageStatic(t *testing.T) {
+	d := difftree.FromAST(sqlparser.MustParse("select a from t"))
+	page, err := Render(d, nil, []string{"select a from t"}, "Static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, "static") {
+		t.Error("static note missing")
+	}
+}
+
+func TestRenderPageMultiAndTabs(t *testing.T) {
+	// Adder + tabs + slider + textbox + checkbox all emit controls.
+	multi := difftree.NewAll(ast.KindAnd, "",
+		difftree.NewMulti(difftree.NewAny(
+			difftree.NewAll(ast.KindBetween, "",
+				difftree.NewAll(ast.KindColExpr, "u"),
+				difftree.NewAll(ast.KindNumExpr, "0"),
+				difftree.NewAll(ast.KindNumExpr, "30")),
+			difftree.NewAll(ast.KindBetween, "",
+				difftree.NewAll(ast.KindColExpr, "g"),
+				difftree.NewAll(ast.KindNumExpr, "0"),
+				difftree.NewAll(ast.KindNumExpr, "30")))))
+	plan, err := assign.BuildPlan(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := Render(multi, plan.First(), nil, "adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, "data-kind=\"count\"") {
+		t.Error("adder count control missing")
+	}
+}

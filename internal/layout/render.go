@@ -1,0 +1,165 @@
+package layout
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"repro/internal/widgets"
+)
+
+// RenderASCII draws the widget tree as an indented outline with bounding
+// boxes; the textual analogue of the paper's Figure 6 screenshots.
+func RenderASCII(n *Node) string {
+	var b strings.Builder
+	renderASCII(&b, n, "", true, true)
+	return b.String()
+}
+
+func renderASCII(b *strings.Builder, n *Node, prefix string, isLast, isRoot bool) {
+	if n == nil {
+		return
+	}
+	connector := "├─ "
+	childPrefix := prefix + "│  "
+	if isLast {
+		connector = "└─ "
+		childPrefix = prefix + "   "
+	}
+	if isRoot {
+		connector = ""
+		childPrefix = ""
+	}
+	bounds := n.Bounds()
+	b.WriteString(prefix + connector + describe(n))
+	fmt.Fprintf(b, "  (%dx%d)\n", bounds.W, bounds.H)
+	for i, c := range n.Children {
+		renderASCII(b, c, childPrefix, i == len(n.Children)-1, false)
+	}
+}
+
+func describe(n *Node) string {
+	switch n.Type {
+	case widgets.VBox:
+		return "[vertical]"
+	case widgets.HBox:
+		return "[horizontal]"
+	case widgets.Adder:
+		return fmt.Sprintf("[adder] %q", n.Title)
+	case widgets.Tabs:
+		return fmt.Sprintf("tabs %q {%s}", n.Title, strings.Join(n.Domain.Options, " | "))
+	case widgets.Toggle, widgets.Checkbox:
+		return fmt.Sprintf("%s %q", n.Type, n.Title)
+	default:
+		opts := n.Domain.Options
+		const maxShown = 6
+		shown := opts
+		suffix := ""
+		if len(opts) > maxShown {
+			shown = opts[:maxShown]
+			suffix = fmt.Sprintf(" … +%d", len(opts)-maxShown)
+		}
+		return fmt.Sprintf("%s %q {%s%s}", n.Type, n.Title, strings.Join(shown, " | "), suffix)
+	}
+}
+
+// RenderHTML emits a standalone HTML fragment for the widget tree, giving
+// the examples a browser-viewable interface like the paper's screenshots.
+func RenderHTML(n *Node) string {
+	var b strings.Builder
+	b.WriteString("<div class=\"generated-interface\">\n")
+	renderHTML(&b, n, 1)
+	b.WriteString("</div>\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func renderHTML(b *strings.Builder, n *Node, depth int) {
+	if n == nil {
+		return
+	}
+	esc := html.EscapeString
+	switch n.Type {
+	case widgets.VBox, widgets.HBox:
+		dir := "column"
+		if n.Type == widgets.HBox {
+			dir = "row"
+		}
+		indent(b, depth)
+		fmt.Fprintf(b, "<div class=\"box\" style=\"display:flex;flex-direction:%s;gap:6px;padding:8px;border:1px solid #88c\">\n", dir)
+		for _, c := range n.Children {
+			renderHTML(b, c, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("</div>\n")
+
+	case widgets.Adder:
+		indent(b, depth)
+		fmt.Fprintf(b, "<fieldset class=\"adder\"><legend>%s</legend>\n", esc(n.Title))
+		for _, c := range n.Children {
+			renderHTML(b, c, depth+1)
+		}
+		indent(b, depth+1)
+		b.WriteString("<button type=\"button\">+ add</button>\n")
+		indent(b, depth)
+		b.WriteString("</fieldset>\n")
+
+	case widgets.Tabs:
+		indent(b, depth)
+		fmt.Fprintf(b, "<div class=\"tabs\" role=\"tablist\" aria-label=\"%s\">\n", esc(n.Title))
+		for _, o := range n.Domain.Options {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "<button role=\"tab\">%s</button>\n", esc(o))
+		}
+		for _, c := range n.Children {
+			renderHTML(b, c, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("</div>\n")
+
+	case widgets.Dropdown:
+		indent(b, depth)
+		fmt.Fprintf(b, "<label>%s <select>", esc(n.Title))
+		for _, o := range n.Domain.Options {
+			fmt.Fprintf(b, "<option>%s</option>", esc(o))
+		}
+		b.WriteString("</select></label>\n")
+
+	case widgets.Radio:
+		indent(b, depth)
+		fmt.Fprintf(b, "<fieldset><legend>%s</legend>", esc(n.Title))
+		for _, o := range n.Domain.Options {
+			fmt.Fprintf(b, "<label><input type=\"radio\" name=\"%s\">%s</label>", esc(n.Title), esc(o))
+		}
+		b.WriteString("</fieldset>\n")
+
+	case widgets.Buttons:
+		indent(b, depth)
+		fmt.Fprintf(b, "<div class=\"buttons\" aria-label=\"%s\">", esc(n.Title))
+		for _, o := range n.Domain.Options {
+			fmt.Fprintf(b, "<button type=\"button\">%s</button>", esc(o))
+		}
+		b.WriteString("</div>\n")
+
+	case widgets.Slider, widgets.RangeSlider:
+		indent(b, depth)
+		fmt.Fprintf(b, "<label>%s <input type=\"range\"></label>\n", esc(n.Title))
+
+	case widgets.Textbox:
+		indent(b, depth)
+		fmt.Fprintf(b, "<label>%s <input type=\"text\"></label>\n", esc(n.Title))
+
+	case widgets.Toggle, widgets.Checkbox:
+		indent(b, depth)
+		fmt.Fprintf(b, "<label><input type=\"checkbox\">%s</label>\n", esc(n.Title))
+
+	case widgets.Label:
+		indent(b, depth)
+		fmt.Fprintf(b, "<span>%s</span>\n", esc(n.Title))
+	}
+}

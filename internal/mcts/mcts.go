@@ -1,0 +1,237 @@
+// Package mcts implements Monte Carlo Tree Search with UCT selection, the
+// paper's search procedure: each iteration selects the state with the
+// highest UCT score, expands its immediate neighbor states, performs a
+// random walk of up to MaxRolloutDepth steps (200 in the paper) from each
+// new child, and adds the final state's reward to every state along the
+// path. The search stops on an iteration or wall-clock budget.
+//
+// The package is generic over the state space: the interface-generation
+// domain (difftrees + transformation rules) plugs in via Domain.
+package mcts
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// State is one search state. Hash identifies states for deduplication of a
+// node's children; equal states may hash equally.
+type State interface {
+	Hash() uint64
+}
+
+// Domain defines the search space.
+type Domain interface {
+	// Neighbors returns the states reachable in one legal move.
+	Neighbors(s State) []State
+	// Reward estimates the quality of s in [0, 1] (higher is better). The
+	// paper uses the negated interface cost mapped into this range.
+	Reward(s State) float64
+}
+
+// Sampler is an optional Domain extension: draw one random neighbor without
+// materializing all of them (much cheaper during rollouts). ok is false when
+// s has no neighbors.
+type Sampler interface {
+	RandomNeighbor(s State, rng *rand.Rand) (State, bool)
+}
+
+// Config tunes the search.
+type Config struct {
+	// C is the UCT exploration constant (√2 default).
+	C float64
+	// MaxRolloutDepth bounds random walks (paper: up to 200 steps).
+	MaxRolloutDepth int
+	// Iterations bounds the number of MCTS iterations (0 = unbounded; then
+	// TimeBudget must be set).
+	Iterations int
+	// TimeBudget bounds wall-clock time (0 = unbounded).
+	TimeBudget time.Duration
+	// Seed makes the search deterministic.
+	Seed int64
+	// EvaluateChildren also scores each expanded child directly, so good
+	// intermediate states are never missed; costs one Reward call per child.
+	EvaluateChildren bool
+}
+
+// DefaultConfig mirrors the paper's setup with a deterministic iteration
+// budget instead of the 1-minute wall clock.
+func DefaultConfig() Config {
+	return Config{
+		C:                math.Sqrt2,
+		MaxRolloutDepth:  200,
+		Iterations:       100,
+		Seed:             1,
+		EvaluateChildren: true,
+	}
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Best       State   // highest-reward state seen anywhere in the search
+	BestReward float64 // its reward
+	Iterations int     // iterations actually executed
+	Expanded   int     // total expanded nodes
+	Rollouts   int     // total random walks
+	Evals      int     // total Reward calls
+}
+
+type node struct {
+	state    State
+	parent   *node
+	children []*node
+	visits   int
+	total    float64
+	expanded bool
+}
+
+// uct computes the node's UCT score given its parent's visit count.
+func uct(n *node, c float64) float64 {
+	if n.visits == 0 {
+		return math.Inf(1)
+	}
+	exploit := n.total / float64(n.visits)
+	if n.parent == nil {
+		return exploit
+	}
+	N := n.parent.visits
+	if N < 1 {
+		N = 1
+	}
+	return exploit + c*math.Sqrt(math.Log(float64(N))/float64(n.visits))
+}
+
+// Search runs MCTS from root and returns the best state found.
+func Search(d Domain, root State, cfg Config) Result {
+	if cfg.C == 0 {
+		cfg.C = math.Sqrt2
+	}
+	if cfg.MaxRolloutDepth <= 0 {
+		cfg.MaxRolloutDepth = 200
+	}
+	if cfg.Iterations <= 0 && cfg.TimeBudget <= 0 {
+		cfg.Iterations = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	deadline := time.Time{}
+	if cfg.TimeBudget > 0 {
+		deadline = time.Now().Add(cfg.TimeBudget)
+	}
+
+	s := &searcher{d: d, cfg: cfg, rng: rng}
+	rootNode := &node{state: root}
+	s.res.Best = root
+	s.res.BestReward = s.eval(root)
+
+	for {
+		if cfg.Iterations > 0 && s.res.Iterations >= cfg.Iterations {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		s.res.Iterations++
+		s.iterate(rootNode)
+	}
+	return s.res
+}
+
+type searcher struct {
+	d   Domain
+	cfg Config
+	rng *rand.Rand
+	res Result
+}
+
+func (s *searcher) eval(st State) float64 {
+	s.res.Evals++
+	r := s.d.Reward(st)
+	if r > s.res.BestReward {
+		s.res.BestReward = r
+		s.res.Best = st
+	}
+	return r
+}
+
+func (s *searcher) iterate(root *node) {
+	// Selection: descend by UCT until an unexpanded node.
+	n := root
+	for n.expanded && len(n.children) > 0 {
+		best := n.children[0]
+		bestScore := uct(best, s.cfg.C)
+		for _, c := range n.children[1:] {
+			if sc := uct(c, s.cfg.C); sc > bestScore {
+				best, bestScore = c, sc
+			}
+		}
+		n = best
+	}
+
+	// Expansion: materialize all immediate neighbors, dropping duplicates.
+	if !n.expanded {
+		n.expanded = true
+		s.res.Expanded++
+		seen := map[uint64]bool{n.state.Hash(): true}
+		for _, st := range s.d.Neighbors(n.state) {
+			h := st.Hash()
+			if seen[h] {
+				continue
+			}
+			seen[h] = true
+			n.children = append(n.children, &node{state: st, parent: n})
+		}
+	}
+
+	if len(n.children) == 0 {
+		// Terminal: reward the node itself.
+		backprop(n, s.eval(n.state))
+		return
+	}
+
+	// Simulation: one random walk from every new child (paper: "perform a
+	// random walk ... from all of its immediate neighbor states").
+	for _, c := range n.children {
+		if c.visits > 0 {
+			continue
+		}
+		if s.cfg.EvaluateChildren {
+			s.eval(c.state)
+		}
+		r := s.rollout(c.state)
+		backprop(c, r)
+	}
+}
+
+// rollout performs a uniformly random walk from st and returns the final
+// state's reward.
+func (s *searcher) rollout(st State) float64 {
+	s.res.Rollouts++
+	cur := st
+	sampler, hasSampler := s.d.(Sampler)
+	for i := 0; i < s.cfg.MaxRolloutDepth; i++ {
+		var next State
+		ok := false
+		if hasSampler {
+			next, ok = sampler.RandomNeighbor(cur, s.rng)
+		} else {
+			ns := s.d.Neighbors(cur)
+			if len(ns) > 0 {
+				next, ok = ns[s.rng.Intn(len(ns))], true
+			}
+		}
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	return s.eval(cur)
+}
+
+// backprop adds the reward to every state along the path to the root.
+func backprop(n *node, r float64) {
+	for ; n != nil; n = n.parent {
+		n.visits++
+		n.total += r
+	}
+}

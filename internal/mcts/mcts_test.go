@@ -1,0 +1,196 @@
+package mcts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// lineState is a toy domain: integers 0..n-1 on a line, reward peaked at a
+// hidden target. Neighbors are ±1. A random walker drifts; UCT should home
+// in on the peak.
+type lineState int
+
+func (s lineState) Hash() uint64 { return uint64(s) }
+
+type lineDomain struct {
+	n, target int
+}
+
+func (d lineDomain) Neighbors(s State) []State {
+	v := int(s.(lineState))
+	var out []State
+	if v > 0 {
+		out = append(out, lineState(v-1))
+	}
+	if v < d.n-1 {
+		out = append(out, lineState(v+1))
+	}
+	return out
+}
+
+func (d lineDomain) Reward(s State) float64 {
+	v := int(s.(lineState))
+	dist := math.Abs(float64(v - d.target))
+	return 1.0 / (1.0 + dist)
+}
+
+// trapDomain has a deceptive local optimum near the start (a greedy hill
+// climber parks there) plus a gentle slope toward the distant global
+// optimum; exploration must escape the trap.
+type trapDomain struct{ lineDomain }
+
+func (d trapDomain) Reward(s State) float64 {
+	v := int(s.(lineState))
+	switch {
+	case v == 2:
+		return 0.5 // local optimum: both neighbors score lower
+	case v == d.target:
+		return 1.0
+	default:
+		return 0.1 + 0.3*float64(v)/float64(d.n)
+	}
+}
+
+func TestSearchFindsPeak(t *testing.T) {
+	d := lineDomain{n: 40, target: 25}
+	res := Search(d, lineState(0), Config{Iterations: 600, MaxRolloutDepth: 60, Seed: 5, EvaluateChildren: true})
+	got := int(res.Best.(lineState))
+	if got != d.target {
+		t.Errorf("best state = %d, want %d (reward %f)", got, d.target, res.BestReward)
+	}
+	if res.BestReward != 1.0 {
+		t.Errorf("best reward = %f", res.BestReward)
+	}
+	if res.Iterations != 600 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	if res.Expanded == 0 || res.Rollouts == 0 || res.Evals == 0 {
+		t.Errorf("counters zero: %+v", res)
+	}
+}
+
+func TestSearchEscapesTrap(t *testing.T) {
+	d := trapDomain{lineDomain{n: 30, target: 22}}
+	res := Search(d, lineState(0), Config{Iterations: 800, MaxRolloutDepth: 40, Seed: 3, EvaluateChildren: true})
+	if int(res.Best.(lineState)) != 22 {
+		t.Errorf("stuck at %d (reward %f)", int(res.Best.(lineState)), res.BestReward)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	d := lineDomain{n: 40, target: 31}
+	cfg := Config{Iterations: 100, MaxRolloutDepth: 30, Seed: 9}
+	a := Search(d, lineState(0), cfg)
+	b := Search(d, lineState(0), cfg)
+	if a.Best.(lineState) != b.Best.(lineState) || a.Evals != b.Evals || a.Rollouts != b.Rollouts {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMoreIterationsNoWorse(t *testing.T) {
+	d := lineDomain{n: 100, target: 83}
+	short := Search(d, lineState(0), Config{Iterations: 10, MaxRolloutDepth: 20, Seed: 2})
+	long := Search(d, lineState(0), Config{Iterations: 500, MaxRolloutDepth: 20, Seed: 2})
+	if long.BestReward < short.BestReward {
+		t.Errorf("more iterations got worse: %f vs %f", long.BestReward, short.BestReward)
+	}
+}
+
+// terminalDomain has no moves at all: the search must terminate and return
+// the root.
+type terminalDomain struct{}
+
+func (terminalDomain) Neighbors(State) []State { return nil }
+func (terminalDomain) Reward(State) float64    { return 0.25 }
+
+func TestTerminalRoot(t *testing.T) {
+	res := Search(terminalDomain{}, lineState(7), Config{Iterations: 5, Seed: 1})
+	if res.Best.(lineState) != 7 {
+		t.Error("root should be best in a terminal domain")
+	}
+	if res.BestReward != 0.25 {
+		t.Errorf("reward = %f", res.BestReward)
+	}
+}
+
+// samplerDomain verifies the Sampler fast path is used during rollouts.
+type samplerDomain struct {
+	lineDomain
+	samplerCalls int
+}
+
+func (d *samplerDomain) RandomNeighbor(s State, rng *rand.Rand) (State, bool) {
+	d.samplerCalls++
+	ns := d.Neighbors(s)
+	if len(ns) == 0 {
+		return nil, false
+	}
+	return ns[rng.Intn(len(ns))], true
+}
+
+func TestSamplerUsed(t *testing.T) {
+	d := &samplerDomain{lineDomain: lineDomain{n: 20, target: 15}}
+	Search(d, lineState(0), Config{Iterations: 20, MaxRolloutDepth: 10, Seed: 4})
+	if d.samplerCalls == 0 {
+		t.Error("sampler never called")
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	d := lineDomain{n: 1000, target: 999}
+	start := time.Now()
+	res := Search(d, lineState(0), Config{TimeBudget: 30 * time.Millisecond, MaxRolloutDepth: 10, Seed: 1})
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Errorf("time budget ignored: ran %v", elapsed)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations within budget")
+	}
+}
+
+func TestUCTMath(t *testing.T) {
+	parent := &node{visits: 10}
+	child := &node{parent: parent, visits: 2, total: 1.0}
+	got := uct(child, 1.0)
+	want := 0.5 + math.Sqrt(math.Log(10)/2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("uct = %f, want %f", got, want)
+	}
+	if !math.IsInf(uct(&node{parent: parent}, 1.0), 1) {
+		t.Error("unvisited node must have infinite UCT")
+	}
+	root := &node{visits: 3, total: 1.5}
+	if uct(root, 1.0) != 0.5 {
+		t.Error("root UCT is pure exploitation")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MaxRolloutDepth != 200 {
+		t.Error("paper rollout depth is 200")
+	}
+	if cfg.C != math.Sqrt2 {
+		t.Error("default C")
+	}
+	// Zero-value config still runs (defaults kick in).
+	res := Search(lineDomain{n: 5, target: 4}, lineState(0), Config{Seed: 1})
+	if res.Iterations == 0 {
+		t.Error("zero config should default to a bounded run")
+	}
+}
+
+func TestBackprop(t *testing.T) {
+	root := &node{}
+	mid := &node{parent: root}
+	leaf := &node{parent: mid}
+	backprop(leaf, 0.75)
+	for i, n := range []*node{root, mid, leaf} {
+		if n.visits != 1 || n.total != 0.75 {
+			t.Errorf("node %d: visits=%d total=%f", i, n.visits, n.total)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package rules
+
+import (
+	"repro/internal/ast"
+	"repro/internal/difftree"
+)
+
+// Any2All is the paper's main factoring rule: an ANY whose children are ALL
+// nodes with the same root and alignable child sequences becomes a single
+// ALL whose children are per-position choices. Aligned positions that agree
+// in every branch collapse to a plain node; positions with variants become
+// ANY nodes; positions missing from some branch gain an ∅ alternative
+// (which the Optional rule can then turn into OPT).
+type Any2All struct{}
+
+// Name implements Rule.
+func (Any2All) Name() string { return "Any2All" }
+
+// alignKey identifies which grandchildren align across branches: plain All
+// children align by grammar label; choice children align only with
+// structurally identical choice nodes.
+func alignKey(c *difftree.Node) (string, bool) {
+	switch c.Kind {
+	case difftree.All:
+		if c.IsEmpty() || c.IsSeq() {
+			return "", false
+		}
+		return "L" + c.Label.String(), true
+	default:
+		return "C" + c.Kind.String() + hashKey(c), true
+	}
+}
+
+func hashKey(c *difftree.Node) string {
+	h := difftree.Hash(c)
+	buf := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		buf[i] = "0123456789abcdef"[h&0xf]
+		h >>= 4
+	}
+	return string(buf)
+}
+
+// Apply implements Rule.
+func (Any2All) Apply(n *difftree.Node) (*difftree.Node, bool) {
+	label, value, ok := sameAllHead(n)
+	if !ok {
+		return nil, false
+	}
+
+	// Per branch: sequence of (key, node). Keys get an ordinal suffix per
+	// repeated label so four BETWEEN conjuncts align positionally.
+	type slot struct {
+		key  string
+		node *difftree.Node
+	}
+	branches := make([][]slot, len(n.Children))
+	for bi, b := range n.Children {
+		counts := map[string]int{}
+		for _, c := range b.Children {
+			k, ok := alignKey(c)
+			if !ok {
+				return nil, false // Seq children: not alignable
+			}
+			ord := counts[k]
+			counts[k]++
+			branches[bi] = append(branches[bi], slot{key: k + "#" + itoa(ord), node: c})
+		}
+	}
+
+	// Position order: first appearance scanning branches in order.
+	var order []string
+	seen := map[string]bool{}
+	for _, br := range branches {
+		for _, s := range br {
+			if !seen[s.key] {
+				seen[s.key] = true
+				order = append(order, s.key)
+			}
+		}
+	}
+
+	if len(order) == 0 {
+		return nil, false // all branches empty: nothing to factor
+	}
+
+	// Collect variants per position.
+	newKids := make([]*difftree.Node, 0, len(order))
+	for _, key := range order {
+		var variants []*difftree.Node
+		missing := false
+		for _, br := range branches {
+			found := (*difftree.Node)(nil)
+			for _, s := range br {
+				if s.key == key {
+					found = s.node
+					break
+				}
+			}
+			if found == nil {
+				missing = true
+			} else {
+				variants = append(variants, found.Clone())
+			}
+		}
+		variants = dedupNodes(variants)
+		var kid *difftree.Node
+		switch {
+		case len(variants) == 1 && !missing:
+			kid = variants[0]
+		case missing:
+			kid = difftree.NewAny(append([]*difftree.Node{difftree.Emptyn()}, variants...)...)
+		default:
+			kid = difftree.NewAny(variants...)
+		}
+		newKids = append(newKids, kid)
+	}
+
+	out := difftree.NewAll(label, value, newKids...)
+	// A no-op rewrite (e.g. identical branches) is not a move.
+	if difftree.Equal(out, n) {
+		return nil, false
+	}
+	return out, true
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// All2Any is the inverse direction: an ALL node whose direct ANY children
+// all have the same alternative count k expands back into an ANY of k ALL
+// combinations, pairing alternatives positionally. (The expressibility
+// filter in Moves rejects pairings that lose input queries.)
+type All2Any struct{}
+
+// Name implements Rule.
+func (All2Any) Name() string { return "All2Any" }
+
+// maxExpandBranches bounds the number of combinations All2Any may emit.
+const maxExpandBranches = 12
+
+// Apply implements Rule.
+func (All2Any) Apply(n *difftree.Node) (*difftree.Node, bool) {
+	if n.Kind != difftree.All || n.IsEmpty() || n.Label == ast.KindSeq {
+		return nil, false
+	}
+	k := 0
+	hasAny := false
+	for _, c := range n.Children {
+		if c.Kind == difftree.Any {
+			hasAny = true
+			if k == 0 {
+				k = len(c.Children)
+			} else if k != len(c.Children) {
+				return nil, false
+			}
+		}
+	}
+	if !hasAny || k < 2 || k > maxExpandBranches {
+		return nil, false
+	}
+	branches := make([]*difftree.Node, k)
+	for i := 0; i < k; i++ {
+		kids := make([]*difftree.Node, 0, len(n.Children))
+		for _, c := range n.Children {
+			if c.Kind == difftree.Any {
+				alt := c.Children[i]
+				if alt.IsEmpty() {
+					continue // ∅ alternative: clause absent in this branch
+				}
+				kids = append(kids, alt.Clone())
+			} else {
+				kids = append(kids, c.Clone())
+			}
+		}
+		branches[i] = difftree.NewAll(n.Label, n.Value, kids...)
+	}
+	branches = dedupNodes(branches)
+	if len(branches) == 1 {
+		return branches[0], true
+	}
+	return difftree.NewAny(branches...), true
+}

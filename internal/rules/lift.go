@@ -1,0 +1,100 @@
+package rules
+
+import (
+	"repro/internal/ast"
+	"repro/internal/difftree"
+)
+
+// Lift factors only the shared root out of an ANY:
+//
+//	ANY[ ALL(z)[xs...], ALL(z)[ys...] ]  →  ALL(z)[ ANY[ Seq(xs...), Seq(ys...) ] ]
+//
+// Unlike Any2All it does not align the child sequences; the ANY then holds
+// the whole (headless) child sequences as Seq splices, which later rules can
+// refine. This produces the intermediate states that give the paper its long
+// (~100-step) search paths.
+type Lift struct{}
+
+// Name implements Rule.
+func (Lift) Name() string { return "Lift" }
+
+// Apply implements Rule.
+func (Lift) Apply(n *difftree.Node) (*difftree.Node, bool) {
+	label, value, ok := sameAllHead(n)
+	if !ok {
+		return nil, false
+	}
+	alts := make([]*difftree.Node, 0, len(n.Children))
+	for _, b := range n.Children {
+		alts = append(alts, seqOf(b.Children))
+	}
+	alts = dedupNodes(alts)
+	var inner *difftree.Node
+	if len(alts) == 1 {
+		inner = alts[0]
+	} else {
+		inner = difftree.NewAny(alts...)
+	}
+	if inner.IsSeq() {
+		// Single branch whose children can be inlined directly.
+		return difftree.NewAll(label, value, cloneAll(inner.Children)...), true
+	}
+	return difftree.NewAll(label, value, inner), true
+}
+
+// seqOf wraps a child sequence for splicing: zero children become ∅, one
+// child passes through, several children become a Seq node.
+func seqOf(cs []*difftree.Node) *difftree.Node {
+	switch len(cs) {
+	case 0:
+		return difftree.Emptyn()
+	case 1:
+		return cs[0].Clone()
+	default:
+		return difftree.NewAll(ast.KindSeq, "", cloneAll(cs)...)
+	}
+}
+
+func cloneAll(cs []*difftree.Node) []*difftree.Node {
+	out := make([]*difftree.Node, len(cs))
+	for i, c := range cs {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// Unlift is the inverse of Lift: an ALL whose only child is an ANY of
+// spliceable sequences expands back to an ANY of complete ALL branches.
+type Unlift struct{}
+
+// Name implements Rule.
+func (Unlift) Name() string { return "Unlift" }
+
+// Apply implements Rule.
+func (Unlift) Apply(n *difftree.Node) (*difftree.Node, bool) {
+	if n.Kind != difftree.All || n.IsEmpty() || n.Label == ast.KindSeq {
+		return nil, false
+	}
+	if len(n.Children) != 1 || n.Children[0].Kind != difftree.Any {
+		return nil, false
+	}
+	anyNode := n.Children[0]
+	branches := make([]*difftree.Node, 0, len(anyNode.Children))
+	for _, alt := range anyNode.Children {
+		var kids []*difftree.Node
+		switch {
+		case alt.IsSeq():
+			kids = cloneAll(alt.Children)
+		case alt.IsEmpty():
+			kids = nil
+		default:
+			kids = []*difftree.Node{alt.Clone()}
+		}
+		branches = append(branches, difftree.NewAll(n.Label, n.Value, kids...))
+	}
+	branches = dedupNodes(branches)
+	if len(branches) == 1 {
+		return branches[0], true
+	}
+	return difftree.NewAny(branches...), true
+}

@@ -1,0 +1,106 @@
+package rules
+
+import (
+	"repro/internal/ast"
+	"repro/internal/difftree"
+)
+
+// MultiMerge replaces a run of two or more consecutive siblings that denote
+// the same grammar rule with a single MULTI node whose child expresses all
+// of them (paper: ANY[ALL[x x x x], ALL[x x]] → ALL[MULTI[x]]; e.g. merging
+// repeated predicates so the interface gains an "adder" widget). The rule is
+// the only non-bidirectional rule in the paper.
+type MultiMerge struct{}
+
+// Name implements Rule.
+func (MultiMerge) Name() string { return "MultiMerge" }
+
+// elemLabel returns the grammar rule a sibling denotes, looking through ANY
+// alternatives; ok is false for nodes that cannot participate in a run
+// (Seq, Empty, Opt, Multi, or mixed-label Any).
+func elemLabel(c *difftree.Node) (ast.Kind, bool) {
+	switch c.Kind {
+	case difftree.All:
+		if c.IsEmpty() || c.IsSeq() {
+			return 0, false
+		}
+		return c.Label, true
+	case difftree.Any:
+		var label ast.Kind
+		for i, alt := range c.Children {
+			l, ok := elemLabel(alt)
+			if !ok {
+				return 0, false
+			}
+			if i == 0 {
+				label = l
+			} else if l != label {
+				return 0, false
+			}
+		}
+		return label, len(c.Children) > 0
+	}
+	return 0, false
+}
+
+// alternativesOf flattens a run element into its concrete alternatives.
+func alternativesOf(c *difftree.Node) []*difftree.Node {
+	if c.Kind == difftree.Any {
+		var out []*difftree.Node
+		for _, alt := range c.Children {
+			out = append(out, alternativesOf(alt)...)
+		}
+		return out
+	}
+	return []*difftree.Node{c.Clone()}
+}
+
+// Apply implements Rule. It merges the first maximal run of length >= 2
+// found among n's children (one run per move keeps fanout proportional to
+// the number of runs, and repeated application handles the rest).
+func (MultiMerge) Apply(n *difftree.Node) (*difftree.Node, bool) {
+	if n.Kind == difftree.Opt || n.Kind == difftree.Multi {
+		return nil, false
+	}
+	if n.Kind == difftree.All && n.IsEmpty() {
+		return nil, false
+	}
+	kids := n.Children
+	for start := 0; start < len(kids); start++ {
+		label, ok := elemLabel(kids[start])
+		if !ok {
+			continue
+		}
+		end := start + 1
+		for end < len(kids) {
+			l, ok := elemLabel(kids[end])
+			if !ok || l != label {
+				break
+			}
+			end++
+		}
+		if end-start < 2 {
+			continue
+		}
+		var alts []*difftree.Node
+		for i := start; i < end; i++ {
+			alts = append(alts, alternativesOf(kids[i])...)
+		}
+		alts = dedupNodes(alts)
+		var child *difftree.Node
+		if len(alts) == 1 {
+			child = alts[0]
+		} else {
+			child = difftree.NewAny(alts...)
+		}
+		if difftree.Nullable(child) {
+			continue // would break the MULTI invariant
+		}
+		out := &difftree.Node{Kind: n.Kind, Label: n.Label, Value: n.Value}
+		out.Children = append(out.Children, cloneAll(kids[:start])...)
+		out.Children = append(out.Children, difftree.NewMulti(child))
+		out.Children = append(out.Children, cloneAll(kids[end:])...)
+		return out, true
+	}
+	return nil, false
+}

@@ -1,0 +1,105 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/difftree"
+	"repro/internal/workload"
+)
+
+// TestQuickWalkInvariantRandomLogs is the system's central property
+// quantified over random logs: along any path of legal moves, the difftree
+// stays valid and every input query stays expressible.
+func TestQuickWalkInvariantRandomLogs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := workload.RandomLog(rng, 2+rng.Intn(3))
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 8; step++ {
+			moves := Moves(d, log, All())
+			if len(moves) == 0 {
+				break
+			}
+			next, err := ApplyMove(d, moves[rng.Intn(len(moves))])
+			if err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+			if difftree.Validate(next) != nil {
+				t.Logf("seed %d step %d: invalid state", seed, step)
+				return false
+			}
+			if !difftree.ExpressibleAll(next, log) {
+				t.Logf("seed %d step %d: lost a query", seed, step)
+				return false
+			}
+			d = next
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBidirectionalPairsInvert checks rule inverses on random states:
+// whenever Lift applies, Unlift(Lift(x)) == x; same for Optional/Unoptional
+// and Wrap/Unwrap.
+func TestQuickBidirectionalPairsInvert(t *testing.T) {
+	pairs := []struct {
+		fwd, bwd Rule
+	}{
+		{Lift{}, Unlift{}},
+		{Optional{}, Unoptional{}},
+		{Wrap{}, Unwrap{}},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := workload.RandomLog(rng, 2+rng.Intn(3))
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		// Wander a little to diversify shapes.
+		for step := 0; step < rng.Intn(4); step++ {
+			moves := Moves(d, log, All())
+			if len(moves) == 0 {
+				break
+			}
+			if next, err := ApplyMove(d, moves[rng.Intn(len(moves))]); err == nil {
+				d = next
+			}
+		}
+		ok := true
+		difftree.WalkPath(d, func(n *difftree.Node, _ difftree.Path) bool {
+			for _, pr := range pairs {
+				mid, applied := pr.fwd.Apply(n)
+				if !applied {
+					continue
+				}
+				back, applied := pr.bwd.Apply(mid)
+				if !applied {
+					continue // inverse not applicable on this output shape
+				}
+				if !difftree.Equal(back, n) {
+					t.Logf("seed %d: %s then %s changed %s into %s", seed, pr.fwd.Name(), pr.bwd.Name(), n, back)
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package rules implements the paper's difftree transformation rules
+// (Figure 5): Any2All, Lift, MultiMerge, Optional, and Noop, together with
+// their inverses (all rules are bidirectional except MultiMerge).
+//
+// A rule rewrites the subtree rooted at one node; a Move names a rule and
+// the path of the node it applies to. Moves(root, queries) enumerates every
+// legal move, filtering out rewrites that would make any input query
+// inexpressible — the system-wide invariant.
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/difftree"
+)
+
+// Rule rewrites a single difftree node.
+type Rule interface {
+	// Name identifies the rule (stable; used in Move and logs).
+	Name() string
+	// Apply attempts the rewrite on the subtree rooted at n and returns the
+	// replacement subtree. It must not mutate n. ok is false when the rule's
+	// input pattern does not match.
+	Apply(n *difftree.Node) (out *difftree.Node, ok bool)
+}
+
+// Move is one applicable (rule, node) pair.
+type Move struct {
+	Rule string
+	Path difftree.Path
+}
+
+func (m Move) String() string { return fmt.Sprintf("%s@%s", m.Rule, m.Path) }
+
+// All returns the full rule set in canonical order.
+func All() []Rule {
+	return []Rule{
+		Any2All{},
+		All2Any{},
+		Lift{},
+		Unlift{},
+		MultiMerge{},
+		Optional{},
+		Unoptional{},
+		Unwrap{},
+		Flatten{},
+		DedupAny{},
+		Wrap{},
+	}
+}
+
+// Forward returns only the factoring (forward) rules; useful for greedy
+// baselines that never want to expand a tree.
+func Forward() []Rule {
+	return []Rule{Any2All{}, Lift{}, MultiMerge{}, Optional{}, Unwrap{}, Flatten{}, DedupAny{}}
+}
+
+var ruleByName = func() map[string]Rule {
+	m := make(map[string]Rule)
+	for _, r := range All() {
+		m[r.Name()] = r
+	}
+	return m
+}()
+
+// ByName looks a rule up by its name.
+func ByName(name string) (Rule, bool) {
+	r, ok := ruleByName[name]
+	return r, ok
+}
+
+// parentAware lets a rule veto application based on the node's parent; used
+// by Wrap to bound fanout (wrapping is only useful on choice alternatives).
+type parentAware interface {
+	AllowedUnder(parent *difftree.Node) bool
+}
+
+// LegalState reports whether a rewritten difftree satisfies the system
+// invariant: structurally valid and still expressing every input query.
+func LegalState(next *difftree.Node, queries []*ast.Node) bool {
+	return difftree.Validate(next) == nil && difftree.ExpressibleAll(next, queries)
+}
+
+// Candidate applies one (rule, path) pattern without the legality gate,
+// returning the rewritten tree. Callers must check LegalState (directly or
+// through a cache) before treating the result as a search state.
+func Candidate(root *difftree.Node, p difftree.Path, r Rule) (*difftree.Node, bool) {
+	n := difftree.At(root, p)
+	if n == nil {
+		return nil, false
+	}
+	if pa, ok := r.(parentAware); ok {
+		var parent *difftree.Node
+		if len(p) > 0 {
+			parent = difftree.At(root, p[:len(p)-1])
+		}
+		if !pa.AllowedUnder(parent) {
+			return nil, false
+		}
+	}
+	sub, ok := r.Apply(n)
+	if !ok {
+		return nil, false
+	}
+	next := difftree.ReplaceAt(root, p, sub)
+	if next == nil {
+		return nil, false
+	}
+	return next, true
+}
+
+// Moves enumerates all legal moves on root using the given rule set: the
+// rule pattern matches, the resulting tree validates, and every query stays
+// expressible. The result order is deterministic (pre-order paths, rule
+// order).
+func Moves(root *difftree.Node, queries []*ast.Node, set []Rule) []Move {
+	var out []Move
+	difftree.WalkPath(root, func(n *difftree.Node, p difftree.Path) bool {
+		for _, r := range set {
+			next, ok := Candidate(root, p, r)
+			if !ok || !LegalState(next, queries) {
+				continue
+			}
+			out = append(out, Move{Rule: r.Name(), Path: p.Clone()})
+		}
+		return true
+	})
+	return out
+}
+
+// TryApply attempts one (rule, path) candidate with the full legality gate
+// used by Moves: parent admissibility, pattern match, validation, and
+// expressibility preservation. It is the primitive behind random move
+// sampling in rollouts.
+func TryApply(root *difftree.Node, p difftree.Path, r Rule, queries []*ast.Node) (*difftree.Node, bool) {
+	next, ok := Candidate(root, p, r)
+	if !ok || !LegalState(next, queries) {
+		return nil, false
+	}
+	return next, true
+}
+
+// ApplyMove applies a move to root, returning the rewritten tree. It errors
+// if the move no longer matches (e.g. applied to a different tree).
+func ApplyMove(root *difftree.Node, m Move) (*difftree.Node, error) {
+	r, ok := ByName(m.Rule)
+	if !ok {
+		return nil, fmt.Errorf("rules: unknown rule %q", m.Rule)
+	}
+	n := difftree.At(root, m.Path)
+	if n == nil {
+		return nil, fmt.Errorf("rules: move %s: path does not exist", m)
+	}
+	sub, ok := r.Apply(n)
+	if !ok {
+		return nil, fmt.Errorf("rules: move %s: rule pattern no longer matches", m)
+	}
+	next := difftree.ReplaceAt(root, m.Path, sub)
+	if next == nil {
+		return nil, fmt.Errorf("rules: move %s: replace failed", m)
+	}
+	return next, nil
+}
+
+// dedupNodes removes structural duplicates preserving order.
+func dedupNodes(ns []*difftree.Node) []*difftree.Node {
+	seen := make(map[uint64][]*difftree.Node, len(ns))
+	var out []*difftree.Node
+	for _, n := range ns {
+		h := difftree.Hash(n)
+		dup := false
+		for _, prev := range seen[h] {
+			if difftree.Equal(prev, n) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], n)
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sameAllHead reports whether every child of n is a plain All node (not
+// Empty, not Seq) sharing one (Label, Value) head; it returns that head.
+func sameAllHead(n *difftree.Node) (label ast.Kind, value string, ok bool) {
+	if n.Kind != difftree.Any || len(n.Children) < 2 {
+		return 0, "", false
+	}
+	first := n.Children[0]
+	if first.Kind != difftree.All || first.IsEmpty() || first.IsSeq() {
+		return 0, "", false
+	}
+	for _, c := range n.Children[1:] {
+		if c.Kind != difftree.All || c.Label != first.Label || c.Value != first.Value {
+			return 0, "", false
+		}
+	}
+	return first.Label, first.Value, true
+}

@@ -1,0 +1,174 @@
+// Package search implements the non-MCTS search strategies used as
+// comparators in the evaluation: uniform random walks, greedy hill-climbing,
+// beam search, and exhaustive breadth-first enumeration (feasible only for
+// tiny inputs). All operate on the same difftree state space and legality
+// gate as the MCTS search, differing only in exploration policy.
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/rules"
+)
+
+// Objective scores a difftree; lower is better (interface cost).
+type Objective func(d *difftree.Node) float64
+
+// Result reports a search outcome.
+type Result struct {
+	Best     *difftree.Node
+	BestCost float64
+	Evals    int // objective evaluations
+	States   int // states visited/generated
+}
+
+// track updates the incumbent.
+func (r *Result) track(d *difftree.Node, c float64) {
+	if c < r.BestCost {
+		r.Best, r.BestCost = d, c
+	}
+}
+
+// Random performs `walks` independent uniform random walks of length ≤ depth
+// from init, evaluating every visited state.
+func Random(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, walks, depth int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
+	for w := 0; w < walks; w++ {
+		cur := init
+		for s := 0; s < depth; s++ {
+			ms := rules.Moves(cur, log, set)
+			if len(ms) == 0 {
+				break
+			}
+			next, err := rules.ApplyMove(cur, ms[rng.Intn(len(ms))])
+			if err != nil {
+				break
+			}
+			cur = next
+			res.States++
+			c := obj(cur)
+			res.Evals++
+			res.track(cur, c)
+		}
+	}
+	return res
+}
+
+// Greedy hill-climbs: at each step it applies the single move whose
+// resulting state has the lowest objective, stopping at a local optimum or
+// after maxSteps.
+func Greedy(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, maxSteps int) Result {
+	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
+	cur, curCost := init, res.BestCost
+	for s := 0; s < maxSteps; s++ {
+		ms := rules.Moves(cur, log, set)
+		var best *difftree.Node
+		bestCost := curCost
+		for _, m := range ms {
+			next, err := rules.ApplyMove(cur, m)
+			if err != nil {
+				continue
+			}
+			res.States++
+			c := obj(next)
+			res.Evals++
+			if c < bestCost {
+				best, bestCost = next, c
+			}
+		}
+		if best == nil {
+			break // local optimum
+		}
+		cur, curCost = best, bestCost
+		res.track(cur, curCost)
+	}
+	return res
+}
+
+// Beam keeps the `width` best states per generation for maxSteps
+// generations, deduplicating by structural hash.
+func Beam(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, width, maxSteps int) Result {
+	type scored struct {
+		d *difftree.Node
+		c float64
+	}
+	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
+	frontier := []scored{{init, res.BestCost}}
+	seen := map[uint64]bool{difftree.Hash(init): true}
+
+	for s := 0; s < maxSteps && len(frontier) > 0; s++ {
+		var next []scored
+		for _, st := range frontier {
+			for _, m := range rules.Moves(st.d, log, set) {
+				nd, err := rules.ApplyMove(st.d, m)
+				if err != nil {
+					continue
+				}
+				h := difftree.Hash(nd)
+				if seen[h] {
+					continue
+				}
+				seen[h] = true
+				res.States++
+				c := obj(nd)
+				res.Evals++
+				res.track(nd, c)
+				next = append(next, scored{nd, c})
+			}
+		}
+		// Partial selection: keep the width best.
+		for i := 0; i < len(next); i++ {
+			for j := i + 1; j < len(next); j++ {
+				if next[j].c < next[i].c {
+					next[i], next[j] = next[j], next[i]
+				}
+			}
+		}
+		if len(next) > width {
+			next = next[:width]
+		}
+		frontier = next
+	}
+	return res
+}
+
+// Exhaustive runs breadth-first enumeration with a visited set until the
+// space is exhausted or maxStates states have been generated; it returns
+// the optimum over everything visited (and reports completeness).
+func Exhaustive(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, maxStates int) (Result, bool) {
+	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
+	queue := []*difftree.Node{init}
+	seen := map[uint64]bool{difftree.Hash(init): true}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, m := range rules.Moves(cur, log, set) {
+			next, err := rules.ApplyMove(cur, m)
+			if err != nil {
+				continue
+			}
+			h := difftree.Hash(next)
+			if seen[h] {
+				continue
+			}
+			seen[h] = true
+			res.States++
+			c := obj(next)
+			res.Evals++
+			res.track(next, c)
+			if res.States >= maxStates {
+				return res, false
+			}
+			queue = append(queue, next)
+		}
+	}
+	return res, true
+}
+
+// Inf is a convenience for objectives.
+var Inf = math.Inf(1)

@@ -1,0 +1,118 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+func TestGreedyImproves(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	init, err := difftree.Initial(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.Default(layout.Wide)
+	rng := rand.New(rand.NewSource(1))
+	obj := func(d *difftree.Node) float64 {
+		return core.StateCost(d, log, model, 3, rng)
+	}
+	res := Greedy(init, log, rules.All(), obj, 30)
+	if res.BestCost > obj(init) {
+		t.Errorf("greedy regressed: %f", res.BestCost)
+	}
+	if res.Evals == 0 || res.States == 0 {
+		t.Error("counters empty")
+	}
+	if !difftree.ExpressibleAll(res.Best, log) {
+		t.Error("greedy lost queries")
+	}
+}
+
+func TestRandomFindsSomething(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	init, _ := difftree.Initial(log)
+	model := cost.Default(layout.Wide)
+	rng := rand.New(rand.NewSource(2))
+	obj := func(d *difftree.Node) float64 {
+		return core.StateCost(d, log, model, 2, rng)
+	}
+	res := Random(init, log, rules.All(), obj, 4, 6, 7)
+	if math.IsInf(res.BestCost, 1) {
+		t.Error("random found nothing finite")
+	}
+	if res.States < 2 {
+		t.Error("random never moved")
+	}
+}
+
+func TestBeamAtLeastGreedy(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	init, _ := difftree.Initial(log)
+	model := cost.Default(layout.Wide)
+	// Deterministic objective (k=0: first assignment only) so beam ⊇ greedy
+	// comparisons are meaningful.
+	rng := rand.New(rand.NewSource(3))
+	obj := func(d *difftree.Node) float64 {
+		return core.StateCost(d, log, model, 0, rng)
+	}
+	g := Greedy(init, log, rules.All(), obj, 10)
+	b := Beam(init, log, rules.All(), obj, 3, 10)
+	if b.BestCost > g.BestCost+1e-9 {
+		t.Errorf("beam(3) worse than greedy: %f vs %f", b.BestCost, g.BestCost)
+	}
+}
+
+func TestExhaustiveTinySpace(t *testing.T) {
+	// Two queries differing in one literal: the space is tiny.
+	log := workload.PaperFigure1Log()[:2]
+	init, _ := difftree.Initial(log)
+	model := cost.Default(layout.Wide)
+	rng := rand.New(rand.NewSource(4))
+	obj := func(d *difftree.Node) float64 {
+		return core.StateCost(d, log, model, 0, rng)
+	}
+	res, complete := Exhaustive(init, log, rules.All(), obj, 3000)
+	if !complete {
+		t.Logf("space larger than cap (states=%d)", res.States)
+	}
+	// Exhaustive (even capped) must beat or match greedy.
+	g := Greedy(init, log, rules.All(), obj, 10)
+	if complete && res.BestCost > g.BestCost+1e-9 {
+		t.Errorf("exhaustive worse than greedy: %f vs %f", res.BestCost, g.BestCost)
+	}
+	if res.States == 0 {
+		t.Error("no states")
+	}
+}
+
+func TestExhaustiveCap(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	init, _ := difftree.Initial(log)
+	obj := func(d *difftree.Node) float64 { return float64(d.Size()) }
+	res, complete := Exhaustive(init, log, rules.All(), obj, 5)
+	if complete {
+		t.Error("cap of 5 must not complete")
+	}
+	if res.States != 5 {
+		t.Errorf("states = %d, want 5", res.States)
+	}
+}
+
+func TestRandomDeterministicSeed(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	init, _ := difftree.Initial(log)
+	obj := func(d *difftree.Node) float64 { return float64(d.Size()) }
+	a := Random(init, log, rules.All(), obj, 3, 5, 11)
+	b := Random(init, log, rules.All(), obj, 3, 5, 11)
+	if a.BestCost != b.BestCost || a.States != b.States {
+		t.Error("random search must be deterministic per seed")
+	}
+}

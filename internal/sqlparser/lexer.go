@@ -1,0 +1,182 @@
+package sqlparser
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns SQL text into a token stream.
+type lexer struct {
+	src []rune
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src)} }
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if unicode.IsSpace(r) {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if r == '-' && l.at(1) == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		// /* block comments */
+		if r == '/' && l.at(1) == '*' {
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.at(1) == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token, or an error on malformed input.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	r := l.src[l.pos]
+
+	switch {
+	case isIdentStart(r):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := string(l.src[start:l.pos])
+		if keywords[strings.ToLower(word)] {
+			return token{kind: tokKeyword, text: strings.ToLower(word), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.at(1))):
+		return l.lexNumber(start)
+
+	case r == '-' && (unicode.IsDigit(l.at(1)) || l.at(1) == '.'):
+		l.pos++
+		return l.lexNumber(start)
+
+	case r == '\'' || r == '"':
+		quote := r
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == quote {
+				if l.at(1) == quote { // doubled quote escapes itself
+					b.WriteRune(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteRune(c)
+			l.pos++
+		}
+		return token{}, errorf(start, "unterminated string literal")
+
+	default:
+		return l.lexSymbol(start)
+	}
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			nxt := l.at(1)
+			if unicode.IsDigit(nxt) || ((nxt == '+' || nxt == '-') && unicode.IsDigit(l.at(2))) {
+				seenExp = true
+				l.pos++
+				if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+					l.pos++
+				}
+			} else {
+				return token{kind: tokNumber, text: string(l.src[start:l.pos]), pos: start}, nil
+			}
+		default:
+			return token{kind: tokNumber, text: string(l.src[start:l.pos]), pos: start}, nil
+		}
+	}
+	return token{kind: tokNumber, text: string(l.src[start:l.pos]), pos: start}, nil
+}
+
+func (l *lexer) lexSymbol(start int) (token, error) {
+	r := l.src[l.pos]
+	two := string(r) + string(l.at(1))
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		if two == "<>" {
+			two = "!="
+		}
+		return token{kind: tokSymbol, text: two, pos: start}, nil
+	}
+	switch r {
+	case '(', ')', ',', '*', '=', '<', '>':
+		l.pos++
+		return token{kind: tokSymbol, text: string(r), pos: start}, nil
+	case ';':
+		// Trailing semicolons terminate the statement.
+		l.pos++
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	return token{}, errorf(start, "unexpected character %q", string(r))
+}
+
+// lexAll tokenizes the whole input (used by the parser and tests).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var ts []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+		if t.kind == tokEOF {
+			return ts, nil
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package sqlparser
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Parse parses one SQL query into a grammar AST (paper Figure 1 shape).
+func Parse(src string) (*ast.Node, error) {
+	ts, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: ts}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errorf(p.peek().pos, "unexpected trailing %s", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static query lists.
+func MustParse(src string) *ast.Node {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseLog parses a multi-line query log: one query per non-empty line.
+// Lines starting with "--" or "#" are comments.
+func ParseLog(src string) ([]*ast.Node, error) {
+	var out []*ast.Node
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errorf(p.peek().pos, "expected %q, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return errorf(p.peek().pos, "expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.advance()
+		return t.text, nil
+	}
+	return "", errorf(p.peek().pos, "expected identifier, found %s", p.peek())
+}
+
+func (p *parser) expectNumber() (string, error) {
+	if t := p.peek(); t.kind == tokNumber {
+		p.advance()
+		return t.text, nil
+	}
+	return "", errorf(p.peek().pos, "expected number, found %s", p.peek())
+}
+
+// parseQuery := SELECT [DISTINCT] [TOP n] selectList FROM ident [WHERE ...]
+// [GROUP BY ...] [ORDER BY ...] [LIMIT n]
+func (p *parser) parseQuery() (*ast.Node, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel := ast.New(ast.KindSelect, "")
+
+	distinct := p.acceptKeyword("distinct")
+
+	var topNode *ast.Node
+	if p.acceptKeyword("top") {
+		n, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		topNode = ast.Leaf(ast.KindTop, n)
+	}
+
+	proj, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	sel.Children = append(sel.Children, proj)
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	sel.Children = append(sel.Children, ast.New(ast.KindFrom, "", ast.Leaf(ast.KindTable, tbl)))
+
+	if p.acceptKeyword("where") {
+		pred, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Children = append(sel.Children, ast.New(ast.KindWhere, "", pred))
+	}
+
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		gb := ast.New(ast.KindGroupBy, "")
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			gb.Children = append(gb.Children, ast.Leaf(ast.KindColExpr, col))
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		sel.Children = append(sel.Children, gb)
+	}
+
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		ob := ast.New(ast.KindOrderBy, "")
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			dir := "asc"
+			if p.acceptKeyword("desc") {
+				dir = "desc"
+			} else {
+				p.acceptKeyword("asc")
+			}
+			ob.Children = append(ob.Children, ast.New(ast.KindSortKey, dir, ast.Leaf(ast.KindColExpr, col)))
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		sel.Children = append(sel.Children, ob)
+	}
+
+	if p.acceptKeyword("limit") {
+		n, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		sel.Children = append(sel.Children, ast.Leaf(ast.KindLimit, n))
+	}
+
+	// TOP and DISTINCT trail the clause list in the AST so that clause order
+	// in the tree is stable regardless of SQL surface position.
+	if topNode != nil {
+		sel.Children = append(sel.Children, topNode)
+	}
+	if distinct {
+		sel.Children = append(sel.Children, ast.Leaf(ast.KindDistinct, ""))
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectList() (*ast.Node, error) {
+	proj := ast.New(ast.KindProject, "")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		proj.Children = append(proj.Children, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return proj, nil
+}
+
+func (p *parser) parseSelectItem() (*ast.Node, error) {
+	if p.acceptSymbol("*") {
+		return ast.Leaf(ast.KindStar, ""), nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var item *ast.Node
+	if p.acceptSymbol("(") {
+		// Aggregate or scalar function call: name(arg)
+		fn := ast.New(ast.KindFuncExpr, strings.ToLower(name))
+		if p.acceptSymbol("*") {
+			fn.Children = append(fn.Children, ast.Leaf(ast.KindStar, ""))
+		} else {
+			arg, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn.Children = append(fn.Children, ast.Leaf(ast.KindColExpr, arg))
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		item = fn
+	} else {
+		item = ast.Leaf(ast.KindColExpr, name)
+	}
+	if p.acceptKeyword("as") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item.Children = append(item.Children, ast.Leaf(ast.KindAlias, alias))
+	}
+	return item, nil
+}
+
+// parseOrExpr := andExpr (OR andExpr)*   — n-ary, flattened.
+func (p *parser) parseOrExpr() (*ast.Node, error) {
+	first, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokKeyword || p.peek().text != "or" {
+		return first, nil
+	}
+	or := ast.New(ast.KindOr, "", first)
+	for p.acceptKeyword("or") {
+		next, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		or.Children = append(or.Children, next)
+	}
+	return or, nil
+}
+
+// parseAndExpr := pred (AND pred)*   — n-ary, flattened.
+func (p *parser) parseAndExpr() (*ast.Node, error) {
+	first, err := p.parsePred()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokKeyword || p.peek().text != "and" {
+		return first, nil
+	}
+	and := ast.New(ast.KindAnd, "", first)
+	for p.acceptKeyword("and") {
+		next, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		and.Children = append(and.Children, next)
+	}
+	return and, nil
+}
+
+func (p *parser) parsePred() (*ast.Node, error) {
+	if p.acceptSymbol("(") {
+		inner, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	if p.acceptKeyword("not") {
+		inner, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		return ast.New(ast.KindNot, "", inner), nil
+	}
+
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	colNode := ast.Leaf(ast.KindColExpr, col)
+
+	switch {
+	case p.acceptKeyword("between"):
+		lo, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.expectNumber()
+		if err != nil {
+			return nil, err
+		}
+		return ast.New(ast.KindBetween, "", colNode,
+			ast.Leaf(ast.KindNumExpr, lo), ast.Leaf(ast.KindNumExpr, hi)), nil
+
+	case p.acceptKeyword("in"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := ast.New(ast.KindIn, "", colNode)
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			in.Children = append(in.Children, lit)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case p.acceptKeyword("like"):
+		if t := p.peek(); t.kind == tokString {
+			p.advance()
+			return ast.New(ast.KindLike, "", colNode, ast.Leaf(ast.KindStrExpr, t.text)), nil
+		}
+		return nil, errorf(p.peek().pos, "expected string after LIKE, found %s", p.peek())
+
+	default:
+		t := p.peek()
+		if t.kind != tokSymbol {
+			return nil, errorf(t.pos, "expected comparison operator, found %s", t)
+		}
+		switch t.text {
+		case "=", "<", ">", "<=", ">=", "!=":
+			p.advance()
+			rhs, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			return ast.New(ast.KindBiExpr, t.text, colNode, rhs), nil
+		}
+		return nil, errorf(t.pos, "expected comparison operator, found %s", t)
+	}
+}
+
+// parseLiteral := number | string | bare identifier (paper writes cty = USA
+// without quotes; a bare identifier on the RHS is treated as a string).
+func (p *parser) parseLiteral() (*ast.Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return ast.Leaf(ast.KindNumExpr, t.text), nil
+	case tokString:
+		p.advance()
+		return ast.Leaf(ast.KindStrExpr, t.text), nil
+	case tokIdent:
+		p.advance()
+		return ast.Leaf(ast.KindStrExpr, t.text), nil
+	}
+	return nil, errorf(t.pos, "expected literal, found %s", t)
+}

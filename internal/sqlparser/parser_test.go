@@ -1,0 +1,358 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestParsePaperQ1(t *testing.T) {
+	// Paper Figure 1: SELECT Sales FROM sales WHERE cty = USA
+	q, err := Parse("SELECT Sales FROM sales WHERE cty = USA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != ast.KindSelect {
+		t.Fatalf("root kind = %v", q.Kind)
+	}
+	proj := q.ChildOfKind(ast.KindProject)
+	if proj == nil || len(proj.Children) != 1 || proj.Children[0].Value != "Sales" {
+		t.Fatalf("projection wrong: %v", proj)
+	}
+	from := q.ChildOfKind(ast.KindFrom)
+	if from == nil || from.Children[0].Value != "sales" {
+		t.Fatalf("from wrong: %v", from)
+	}
+	where := q.ChildOfKind(ast.KindWhere)
+	if where == nil {
+		t.Fatal("missing where")
+	}
+	be := where.Children[0]
+	if be.Kind != ast.KindBiExpr || be.Value != "=" {
+		t.Fatalf("predicate wrong: %v", be)
+	}
+	if be.Children[0].Value != "cty" || be.Children[1].Value != "USA" {
+		t.Fatalf("operands wrong: %v", be)
+	}
+	if be.Children[1].Kind != ast.KindStrExpr {
+		t.Errorf("bare RHS identifier should parse as string, got %v", be.Children[1].Kind)
+	}
+}
+
+func TestParsePaperQ3NoWhere(t *testing.T) {
+	q := MustParse("SELECT Costs FROM sales")
+	if q.ChildOfKind(ast.KindWhere) != nil {
+		t.Error("q3 has no WHERE clause")
+	}
+	if len(q.Children) != 2 {
+		t.Errorf("q3 should have exactly Project and From, got %d children", len(q.Children))
+	}
+}
+
+func TestParseSDSSStyle(t *testing.T) {
+	q := MustParse("select top 10 objid from stars where u between 0 and 30 and g between 0 and 30")
+	top := q.ChildOfKind(ast.KindTop)
+	if top == nil || top.Value != "10" {
+		t.Fatalf("top wrong: %v", top)
+	}
+	where := q.ChildOfKind(ast.KindWhere)
+	and := where.Children[0]
+	if and.Kind != ast.KindAnd || len(and.Children) != 2 {
+		t.Fatalf("expected 2-ary AND, got %v", and)
+	}
+	for _, c := range and.Children {
+		if c.Kind != ast.KindBetween {
+			t.Errorf("conjunct kind = %v, want Between", c.Kind)
+		}
+		if len(c.Children) != 3 {
+			t.Errorf("between arity = %d", len(c.Children))
+		}
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := MustParse("select count(*) from quasars")
+	proj := q.ChildOfKind(ast.KindProject)
+	fn := proj.Children[0]
+	if fn.Kind != ast.KindFuncExpr || fn.Value != "count" {
+		t.Fatalf("func wrong: %v", fn)
+	}
+	if fn.Children[0].Kind != ast.KindStar {
+		t.Errorf("count arg should be Star, got %v", fn.Children[0].Kind)
+	}
+}
+
+func TestParseAggregateWithColumnAndAlias(t *testing.T) {
+	q := MustParse("select avg(u) as mean_u, count(*) from stars")
+	proj := q.ChildOfKind(ast.KindProject)
+	if len(proj.Children) != 2 {
+		t.Fatalf("want 2 items, got %d", len(proj.Children))
+	}
+	avg := proj.Children[0]
+	if avg.Value != "avg" || avg.Children[0].Value != "u" {
+		t.Errorf("avg parse wrong: %v", avg)
+	}
+	if a := avg.ChildOfKind(ast.KindAlias); a == nil || a.Value != "mean_u" {
+		t.Errorf("alias wrong: %v", a)
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	q := MustParse("select class, count(*) from stars where u > 5 group by class order by class desc limit 20")
+	gb := q.ChildOfKind(ast.KindGroupBy)
+	if gb == nil || gb.Children[0].Value != "class" {
+		t.Fatalf("group by wrong: %v", gb)
+	}
+	ob := q.ChildOfKind(ast.KindOrderBy)
+	if ob == nil || ob.Children[0].Value != "desc" {
+		t.Fatalf("order by wrong: %v", ob)
+	}
+	lim := q.ChildOfKind(ast.KindLimit)
+	if lim == nil || lim.Value != "20" {
+		t.Fatalf("limit wrong: %v", lim)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q := MustParse("select distinct objid from stars")
+	if q.ChildOfKind(ast.KindDistinct) == nil {
+		t.Error("distinct marker missing")
+	}
+}
+
+func TestParseInLikeNotOrParens(t *testing.T) {
+	q := MustParse("select objid from stars where (class in (1, 2, 3) or name like 'M%') and not u < 0")
+	where := q.ChildOfKind(ast.KindWhere)
+	and := where.Children[0]
+	if and.Kind != ast.KindAnd {
+		t.Fatalf("want AND root, got %v", and.Kind)
+	}
+	or := and.Children[0]
+	if or.Kind != ast.KindOr || len(or.Children) != 2 {
+		t.Fatalf("want OR with 2 children, got %v", or)
+	}
+	if or.Children[0].Kind != ast.KindIn || len(or.Children[0].Children) != 4 {
+		t.Errorf("IN parse wrong: %v", or.Children[0])
+	}
+	if or.Children[1].Kind != ast.KindLike {
+		t.Errorf("LIKE parse wrong: %v", or.Children[1])
+	}
+	if and.Children[1].Kind != ast.KindNot {
+		t.Errorf("NOT parse wrong: %v", and.Children[1])
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	for _, op := range []string{"=", "<", ">", "<=", ">=", "!="} {
+		q, err := Parse("select a from t where x " + op + " 5")
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		be := q.ChildOfKind(ast.KindWhere).Children[0]
+		if be.Value != op {
+			t.Errorf("op %s parsed as %s", op, be.Value)
+		}
+	}
+	// <> normalizes to !=
+	q := MustParse("select a from t where x <> 5")
+	if got := q.ChildOfKind(ast.KindWhere).Children[0].Value; got != "!=" {
+		t.Errorf("<> should normalize to !=, got %s", got)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	for _, n := range []string{"0", "30", "-5", "3.14", "1e3", "2.5e-2", ".5"} {
+		q, err := Parse("select a from t where x = " + n)
+		if err != nil {
+			t.Fatalf("number %s: %v", n, err)
+		}
+		rhs := q.ChildOfKind(ast.KindWhere).Children[0].Children[1]
+		if rhs.Kind != ast.KindNumExpr {
+			t.Errorf("number %s parsed as %v", n, rhs.Kind)
+		}
+		if !rhs.IsNumericValue() {
+			t.Errorf("number %s value %q not numeric", n, rhs.Value)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := MustParse("select a from t where name = 'O''Brien'")
+	rhs := q.ChildOfKind(ast.KindWhere).Children[0].Children[1]
+	if rhs.Value != "O'Brien" {
+		t.Errorf("escaped quote: got %q", rhs.Value)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := Parse("select a -- projection\nfrom t /* the table */ where x = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ChildOfKind(ast.KindWhere) == nil {
+		t.Error("where lost after comments")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"update t set a = 1",
+		"select from t",
+		"select a from",
+		"select a from t where",
+		"select a from t where x",
+		"select a from t where x ==",
+		"select a from t where x between 1",
+		"select a from t where x between 1 and",
+		"select a from t where x in ()",
+		"select a from t where x like 5",
+		"select top from t",
+		"select a from t group class",
+		"select a from t extra",
+		"select a from t where name = 'unterminated",
+		"select a from t where x = 1 ??",
+		"select a, from t",
+		"select f( from t",
+		"select a from t where (x = 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("Parse(%q) error type %T, want *Error", src, err)
+		}
+	}
+}
+
+func TestParseLog(t *testing.T) {
+	log := `
+-- the log
+select a from t
+# comment
+select b from t
+
+select c from t where x = 1
+`
+	qs, err := ParseLog(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("ParseLog = %d queries, want 3", len(qs))
+	}
+	if _, err := ParseLog("select a from t\nnot sql"); err == nil {
+		t.Error("ParseLog should propagate parse errors")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not sql")
+}
+
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT Sales FROM sales WHERE cty = USA",
+		"SELECT Costs FROM sales",
+		"select top 10 objid from stars where u between 0 and 30 and g between 0 and 30 and r between 0 and 30 and i between 0 and 30",
+		"select count(*) from quasars where u between 1 and 29",
+		"select distinct class, count(*) as n from stars group by class order by class desc limit 5",
+		"select objid from stars where (class in (1, 2) or name like 'M%') and not u < 0",
+		"select a from t where x != 3.5 or y >= 1e3",
+	}
+	for _, src := range queries {
+		n1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out := Render(n1)
+		n2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse %q (rendered from %q): %v", out, src, err)
+		}
+		if !ast.Equal(n1, n2) {
+			t.Errorf("round trip changed tree:\n src: %s\n out: %s\n n1: %s\n n2: %s", src, out, n1, n2)
+		}
+	}
+}
+
+func TestRenderCanonicalForms(t *testing.T) {
+	cases := map[string]string{
+		"select  a ,b from t":                  "SELECT a, b FROM t",
+		"select top 10 a from t where x = 1":   "SELECT TOP 10 a FROM t WHERE x = 1",
+		"select count(*) from t":               "SELECT count(*) FROM t",
+		"select a from t where s = 'hi there'": "SELECT a FROM t WHERE s = 'hi there'",
+	}
+	for src, want := range cases {
+		if got := Render(MustParse(src)); got != want {
+			t.Errorf("Render(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestRenderFragment(t *testing.T) {
+	q := MustParse("select a from t where u between 0 and 30")
+	where := q.ChildOfKind(ast.KindWhere)
+	if got := RenderFragment(where.Children[0]); got != "u BETWEEN 0 AND 30" {
+		t.Errorf("fragment = %q", got)
+	}
+	if got := RenderFragment(ast.Leaf(ast.KindEmpty, "")); got != "" {
+		t.Errorf("empty fragment = %q", got)
+	}
+	seq := ast.New(ast.KindSeq, "", ast.Leaf(ast.KindColExpr, "a"), ast.Leaf(ast.KindColExpr, "b"))
+	if got := RenderFragment(seq); got != "a b" {
+		t.Errorf("seq fragment = %q", got)
+	}
+}
+
+func TestNeedsQuotes(t *testing.T) {
+	if needsQuotes("USA") {
+		t.Error("bare ident should not need quotes")
+	}
+	for _, s := range []string{"", "hi there", "select", "9lives", "a-b"} {
+		if !needsQuotes(s) {
+			t.Errorf("%q should need quotes", s)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("select a from t where x = 'bad")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	perr := err.(*Error)
+	if perr.Pos != strings.Index("select a from t where x = 'bad", "'") {
+		t.Errorf("error position = %d", perr.Pos)
+	}
+	if !strings.Contains(perr.Error(), "offset") {
+		t.Errorf("error text should mention offset: %s", perr)
+	}
+}
+
+func TestRenderMalformedSubtrees(t *testing.T) {
+	// Transformation rules can synthesize arity-violating subtrees (the
+	// paper's "combinations ... may not make semantic sense"); rendering
+	// must never panic and marks missing operands with '?'.
+	cases := []*ast.Node{
+		ast.New(ast.KindBiExpr, "=", ast.Leaf(ast.KindColExpr, "a")),
+		ast.New(ast.KindBiExpr, "="),
+		ast.New(ast.KindBetween, "", ast.Leaf(ast.KindColExpr, "u")),
+		ast.New(ast.KindLike, ""),
+		ast.New(ast.KindNot, ""),
+		ast.New(ast.KindIn, ""),
+		ast.New(ast.KindSortKey, "desc"),
+	}
+	for _, n := range cases {
+		out := RenderFragment(n)
+		if !strings.Contains(out, "?") && n.Kind != ast.KindIn {
+			t.Errorf("%s rendered %q without placeholder", n, out)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package sqlparser
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Render turns a grammar AST back into canonical SQL text. Render(Parse(q))
+// is a fixed point for canonical inputs; Parse(Render(n)) reproduces n for
+// every tree the parser can emit (round-trip tested).
+func Render(n *ast.Node) string {
+	var b strings.Builder
+	renderNode(&b, n)
+	return b.String()
+}
+
+// RenderFragment renders any subtree (not necessarily a whole query) as the
+// SQL fragment it denotes; used for widget option labels.
+func RenderFragment(n *ast.Node) string {
+	var b strings.Builder
+	renderNode(&b, n)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *ast.Node) {
+	if n == nil {
+		return
+	}
+	switch n.Kind {
+	case ast.KindSelect:
+		renderSelect(b, n)
+	case ast.KindProject:
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderNode(b, c)
+		}
+	case ast.KindFrom:
+		b.WriteString("FROM ")
+		for _, c := range n.Children {
+			renderNode(b, c)
+		}
+	case ast.KindWhere:
+		b.WriteString("WHERE ")
+		for _, c := range n.Children {
+			renderNode(b, c)
+		}
+	case ast.KindGroupBy:
+		b.WriteString("GROUP BY ")
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderNode(b, c)
+		}
+	case ast.KindOrderBy:
+		b.WriteString("ORDER BY ")
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderNode(b, c)
+		}
+	case ast.KindSortKey:
+		renderChild(b, n, 0)
+		if n.Value == "desc" {
+			b.WriteString(" DESC")
+		}
+	case ast.KindTop:
+		b.WriteString("TOP ")
+		b.WriteString(n.Value)
+	case ast.KindLimit:
+		b.WriteString("LIMIT ")
+		b.WriteString(n.Value)
+	case ast.KindDistinct:
+		b.WriteString("DISTINCT")
+	case ast.KindTable:
+		b.WriteString(n.Value)
+	case ast.KindColExpr:
+		b.WriteString(n.Value)
+		if a := n.ChildOfKind(ast.KindAlias); a != nil {
+			b.WriteString(" AS ")
+			b.WriteString(a.Value)
+		}
+	case ast.KindStrExpr:
+		if needsQuotes(n.Value) {
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(n.Value, "'", "''"))
+			b.WriteByte('\'')
+		} else {
+			b.WriteString(n.Value)
+		}
+	case ast.KindNumExpr:
+		b.WriteString(n.Value)
+	case ast.KindStar:
+		b.WriteByte('*')
+	case ast.KindFuncExpr:
+		b.WriteString(n.Value)
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if c.Kind == ast.KindAlias {
+				continue
+			}
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderNode(b, c)
+		}
+		b.WriteByte(')')
+		if a := n.ChildOfKind(ast.KindAlias); a != nil {
+			b.WriteString(" AS ")
+			b.WriteString(a.Value)
+		}
+	case ast.KindBiExpr:
+		// Transformation rules can synthesize grammar-arity-violating
+		// subtrees (the paper's "combinations of widget choices may not
+		// make semantic sense"); render defensively with ? placeholders.
+		renderChild(b, n, 0)
+		b.WriteByte(' ')
+		b.WriteString(n.Value)
+		b.WriteByte(' ')
+		renderChild(b, n, 1)
+	case ast.KindBetween:
+		renderChild(b, n, 0)
+		b.WriteString(" BETWEEN ")
+		renderChild(b, n, 1)
+		b.WriteString(" AND ")
+		renderChild(b, n, 2)
+	case ast.KindIn:
+		renderChild(b, n, 0)
+		b.WriteString(" IN (")
+		if len(n.Children) > 1 {
+			for i, c := range n.Children[1:] {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				renderNode(b, c)
+			}
+		}
+		b.WriteByte(')')
+	case ast.KindLike:
+		renderChild(b, n, 0)
+		b.WriteString(" LIKE ")
+		renderChild(b, n, 1)
+	case ast.KindNot:
+		b.WriteString("NOT ")
+		if len(n.Children) > 0 {
+			renderPred(b, n.Children[0])
+		} else {
+			b.WriteByte('?')
+		}
+	case ast.KindAnd:
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			renderPred(b, c)
+		}
+	case ast.KindOr:
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			renderPred(b, c)
+		}
+	case ast.KindAlias:
+		b.WriteString(n.Value)
+	case ast.KindEmpty:
+		// empty sequence: nothing
+	case ast.KindSeq:
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			renderNode(b, c)
+		}
+	default:
+		b.WriteString(n.String())
+	}
+}
+
+// renderChild renders the i-th child or a ? placeholder when the child is
+// missing (malformed subtrees synthesized by transformation rules).
+func renderChild(b *strings.Builder, n *ast.Node, i int) {
+	if i < len(n.Children) {
+		renderNode(b, n.Children[i])
+		return
+	}
+	b.WriteByte('?')
+}
+
+// renderPred parenthesizes nested boolean connectives so that precedence
+// survives the round trip (AND binds tighter than OR).
+func renderPred(b *strings.Builder, n *ast.Node) {
+	if n.Kind == ast.KindOr || n.Kind == ast.KindAnd {
+		b.WriteByte('(')
+		renderNode(b, n)
+		b.WriteByte(')')
+		return
+	}
+	renderNode(b, n)
+}
+
+func renderSelect(b *strings.Builder, n *ast.Node) {
+	b.WriteString("SELECT ")
+	if n.ChildOfKind(ast.KindDistinct) != nil {
+		b.WriteString("DISTINCT ")
+	}
+	if t := n.ChildOfKind(ast.KindTop); t != nil {
+		b.WriteString("TOP ")
+		b.WriteString(t.Value)
+		b.WriteByte(' ')
+	}
+	// Clause order in text: projection, FROM, WHERE, GROUP BY, ORDER BY, LIMIT.
+	order := []ast.Kind{ast.KindProject, ast.KindFrom, ast.KindWhere, ast.KindGroupBy, ast.KindOrderBy, ast.KindLimit}
+	first := true
+	for _, k := range order {
+		c := n.ChildOfKind(k)
+		if c == nil {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		renderNode(b, c)
+		first = false
+	}
+}
+
+// needsQuotes reports whether a string literal must be quoted to re-lex as a
+// single string token (bare identifiers like USA round-trip unquoted).
+func needsQuotes(s string) bool {
+	if s == "" {
+		return true
+	}
+	if keywords[strings.ToLower(s)] {
+		return true
+	}
+	for i, r := range s {
+		if i == 0 && !isIdentStart(r) {
+			return true
+		}
+		if !isIdentPart(r) {
+			return true
+		}
+	}
+	return false
+}

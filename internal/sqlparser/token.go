@@ -1,0 +1,85 @@
+// Package sqlparser lexes and parses the SQL subset used by the paper's
+// evaluation (SDSS-style analytic SELECT queries) into the generic grammar
+// AST of internal/ast, and renders ASTs back to canonical SQL text.
+//
+// Supported grammar:
+//
+//	query      := SELECT [DISTINCT] [TOP n] selectList FROM ident
+//	              [WHERE orExpr] [GROUP BY cols] [ORDER BY keys] [LIMIT n]
+//	selectList := item ("," item)*
+//	item       := "*" | ident [AS ident] | func "(" ("*"|ident) ")" [AS ident]
+//	orExpr     := andExpr (OR andExpr)*
+//	andExpr    := pred (AND pred)*
+//	pred       := "(" orExpr ")" | NOT pred
+//	            | ident BETWEEN num AND num
+//	            | ident op literal
+//	            | ident IN "(" literal ("," literal)* ")"
+//	            | ident LIKE string
+package sqlparser
+
+import "fmt"
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokKeyword
+	tokSymbol // ( ) , * = < > <= >= != <>
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokKeyword:
+		return "keyword"
+	case tokSymbol:
+		return "symbol"
+	}
+	return "unknown"
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // keywords are lower-cased; identifiers keep original case
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%s %q", t.kind, t.text)
+}
+
+// keywords recognized by the lexer (case-insensitive).
+var keywords = map[string]bool{
+	"select": true, "distinct": true, "top": true, "from": true,
+	"where": true, "and": true, "or": true, "not": true,
+	"between": true, "in": true, "like": true, "as": true,
+	"group": true, "order": true, "by": true, "asc": true, "desc": true,
+	"limit": true,
+}
+
+// Error describes a lex or parse failure with its byte offset in the input.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sqlparser: at offset %d: %s", e.Pos, e.Msg) }
+
+func errorf(pos int, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,254 @@
+// Package viz is the automatic visualization substrate the paper leverages
+// ("we leverage existing automatic visualization techniques that recommend
+// visualizations based on a dataset", citing Show Me and plotly): a
+// rule-based recommender that picks a chart type for a query result, plus a
+// plain-text renderer so examples can show the live result under the
+// generated widgets.
+package viz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// ChartType enumerates the recommendable visualizations.
+type ChartType uint8
+
+// Chart types in Show Me's spirit: single values, distributions of one
+// numeric column, category/value bars, numeric scatter, and tables as the
+// fallback.
+const (
+	BigNumber ChartType = iota
+	Histogram
+	Bar
+	Scatter
+	TableChart
+)
+
+func (t ChartType) String() string {
+	switch t {
+	case BigNumber:
+		return "big-number"
+	case Histogram:
+		return "histogram"
+	case Bar:
+		return "bar"
+	case Scatter:
+		return "scatter"
+	case TableChart:
+		return "table"
+	}
+	return "chart?"
+}
+
+// Spec is a recommended visualization.
+type Spec struct {
+	Type ChartType
+	X, Y string // column bindings (empty when unused)
+}
+
+// Recommend picks a chart for a query result following Show Me-style rules:
+//
+//   - a 1x1 aggregate → big number
+//   - one categorical + one numeric column → bar
+//   - two numeric columns → scatter
+//   - one numeric column → histogram
+//   - anything else → table
+func Recommend(r *engine.Result) Spec {
+	if r == nil || len(r.Cols) == 0 {
+		return Spec{Type: TableChart}
+	}
+	if r.Aggregate && len(r.Cols) == 1 && len(r.Rows) == 1 {
+		return Spec{Type: BigNumber, Y: r.Cols[0]}
+	}
+	numeric, categorical := classify(r)
+	switch {
+	case len(categorical) >= 1 && len(numeric) >= 1:
+		return Spec{Type: Bar, X: categorical[0], Y: numeric[0]}
+	case len(numeric) >= 2:
+		return Spec{Type: Scatter, X: numeric[0], Y: numeric[1]}
+	case len(numeric) == 1 && len(r.Cols) == 1:
+		return Spec{Type: Histogram, X: numeric[0]}
+	default:
+		return Spec{Type: TableChart}
+	}
+}
+
+func classify(r *engine.Result) (numeric, categorical []string) {
+	for i, c := range r.Cols {
+		t := engine.String
+		if i < len(r.ColTypes) {
+			t = r.ColTypes[i]
+		}
+		if t == engine.Int || t == engine.Float {
+			numeric = append(numeric, c)
+		} else {
+			categorical = append(categorical, c)
+		}
+	}
+	return numeric, categorical
+}
+
+// Render draws the recommended chart as plain text (the examples' stand-in
+// for the paper's plotly output). Tables and charts are truncated to
+// maxRows rows.
+func Render(r *engine.Result, spec Spec, maxRows int) string {
+	if r == nil {
+		return "(no result)\n"
+	}
+	var b strings.Builder
+	switch spec.Type {
+	case BigNumber:
+		fmt.Fprintf(&b, "┌────────────┐\n│ %s = %s\n└────────────┘\n", spec.Y, cellOrEmpty(r, 0, 0))
+	case Bar:
+		renderBars(&b, r, spec, maxRows)
+	case Histogram:
+		renderHistogram(&b, r, spec, maxRows)
+	default:
+		renderTable(&b, r, maxRows)
+	}
+	return b.String()
+}
+
+func cellOrEmpty(r *engine.Result, row, col int) string {
+	if row < len(r.Rows) && col < len(r.Rows[row]) {
+		return r.Rows[row][col]
+	}
+	return ""
+}
+
+func colIndex(r *engine.Result, name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+const barWidth = 32
+
+func renderBars(b *strings.Builder, r *engine.Result, spec Spec, maxRows int) {
+	xi, yi := colIndex(r, spec.X), colIndex(r, spec.Y)
+	if xi < 0 || yi < 0 {
+		renderTable(b, r, maxRows)
+		return
+	}
+	maxV := 0.0
+	n := len(r.Rows)
+	if n > maxRows {
+		n = maxRows
+	}
+	for _, row := range r.Rows[:n] {
+		if v, err := strconv.ParseFloat(row[yi], 64); err == nil && v > maxV {
+			maxV = v
+		}
+	}
+	for _, row := range r.Rows[:n] {
+		v, _ := strconv.ParseFloat(row[yi], 64)
+		w := 0
+		if maxV > 0 {
+			w = int(v / maxV * barWidth)
+		}
+		fmt.Fprintf(b, "%-12s │%s %s\n", trunc(row[xi], 12), strings.Repeat("█", w), row[yi])
+	}
+}
+
+func renderHistogram(b *strings.Builder, r *engine.Result, spec Spec, maxRows int) {
+	xi := colIndex(r, spec.X)
+	if xi < 0 || len(r.Rows) == 0 {
+		renderTable(b, r, maxRows)
+		return
+	}
+	const bins = 8
+	lo, hi := 0.0, 0.0
+	first := true
+	var vals []float64
+	for _, row := range r.Rows {
+		v, err := strconv.ParseFloat(row[xi], 64)
+		if err != nil {
+			continue
+		}
+		vals = append(vals, v)
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	if len(vals) == 0 || hi == lo {
+		renderTable(b, r, maxRows)
+		return
+	}
+	counts := make([]int, bins)
+	for _, v := range vals {
+		i := int((v - lo) / (hi - lo) * bins)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range counts {
+		blo := lo + float64(i)*(hi-lo)/bins
+		w := 0
+		if maxC > 0 {
+			w = c * barWidth / maxC
+		}
+		fmt.Fprintf(b, "%8.2f │%s %d\n", blo, strings.Repeat("█", w), c)
+	}
+}
+
+func renderTable(b *strings.Builder, r *engine.Result, maxRows int) {
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	n := len(r.Rows)
+	if n > maxRows {
+		n = maxRows
+	}
+	for _, row := range r.Rows[:n] {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range r.Cols {
+		fmt.Fprintf(b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Cols {
+		b.WriteString(strings.Repeat("─", widths[i]) + "  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows[:n] {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(b, "%-*s  ", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Rows) > n {
+		fmt.Fprintf(b, "… %d more rows\n", len(r.Rows)-n)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

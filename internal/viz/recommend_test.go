@@ -1,0 +1,154 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/sqlparser"
+)
+
+func TestRecommendBigNumber(t *testing.T) {
+	r := &engine.Result{Cols: []string{"count(*)"}, ColTypes: []engine.ColType{engine.Float},
+		Rows: [][]string{{"42"}}, Aggregate: true}
+	spec := Recommend(r)
+	if spec.Type != BigNumber || spec.Y != "count(*)" {
+		t.Errorf("spec = %+v", spec)
+	}
+	out := Render(r, spec, 10)
+	if !strings.Contains(out, "42") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestRecommendBar(t *testing.T) {
+	r := &engine.Result{
+		Cols:      []string{"class", "count(*)"},
+		ColTypes:  []engine.ColType{engine.String, engine.Float},
+		Rows:      [][]string{{"A", "4"}, {"B", "2"}},
+		Aggregate: true,
+	}
+	spec := Recommend(r)
+	if spec.Type != Bar || spec.X != "class" || spec.Y != "count(*)" {
+		t.Errorf("spec = %+v", spec)
+	}
+	out := Render(r, spec, 10)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "A") {
+		t.Errorf("bar render: %s", out)
+	}
+}
+
+func TestRecommendScatter(t *testing.T) {
+	r := &engine.Result{
+		Cols:     []string{"u", "g"},
+		ColTypes: []engine.ColType{engine.Float, engine.Float},
+		Rows:     [][]string{{"1", "2"}},
+	}
+	spec := Recommend(r)
+	if spec.Type != Scatter || spec.X != "u" || spec.Y != "g" {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestRecommendHistogram(t *testing.T) {
+	r := &engine.Result{
+		Cols:     []string{"u"},
+		ColTypes: []engine.ColType{engine.Float},
+		Rows:     [][]string{{"1"}, {"2"}, {"3"}, {"9"}},
+	}
+	spec := Recommend(r)
+	if spec.Type != Histogram || spec.X != "u" {
+		t.Errorf("spec = %+v", spec)
+	}
+	out := Render(r, spec, 10)
+	if !strings.Contains(out, "│") {
+		t.Errorf("hist render: %s", out)
+	}
+	// Degenerate (all equal) histograms fall back to a table.
+	flat := &engine.Result{Cols: []string{"u"}, ColTypes: []engine.ColType{engine.Float},
+		Rows: [][]string{{"5"}, {"5"}}}
+	if !strings.Contains(Render(flat, Recommend(flat), 10), "u") {
+		t.Error("flat histogram should render something")
+	}
+}
+
+func TestRecommendTableFallback(t *testing.T) {
+	r := &engine.Result{
+		Cols:     []string{"name", "class"},
+		ColTypes: []engine.ColType{engine.String, engine.String},
+		Rows:     [][]string{{"M31", "A"}},
+	}
+	if spec := Recommend(r); spec.Type != TableChart {
+		t.Errorf("spec = %+v", spec)
+	}
+	if Recommend(nil).Type != TableChart {
+		t.Error("nil result → table")
+	}
+	if Recommend(&engine.Result{}).Type != TableChart {
+		t.Error("empty result → table")
+	}
+}
+
+func TestRenderTableTruncation(t *testing.T) {
+	rows := make([][]string, 30)
+	for i := range rows {
+		rows[i] = []string{"x", "y"}
+	}
+	r := &engine.Result{Cols: []string{"a", "b"}, ColTypes: []engine.ColType{engine.String, engine.String}, Rows: rows}
+	out := Render(r, Spec{Type: TableChart}, 5)
+	if !strings.Contains(out, "25 more rows") {
+		t.Errorf("truncation note missing:\n%s", out)
+	}
+}
+
+func TestRenderNil(t *testing.T) {
+	if !strings.Contains(Render(nil, Spec{}, 5), "no result") {
+		t.Error("nil render")
+	}
+}
+
+func TestChartTypeString(t *testing.T) {
+	names := map[ChartType]string{
+		BigNumber: "big-number", Histogram: "histogram", Bar: "bar",
+		Scatter: "scatter", TableChart: "table",
+	}
+	for ct, want := range names {
+		if ct.String() != want {
+			t.Errorf("%d = %s", ct, ct.String())
+		}
+	}
+	if ChartType(99).String() != "chart?" {
+		t.Error("unknown chart type")
+	}
+}
+
+func TestTrunc(t *testing.T) {
+	if trunc("short", 10) != "short" {
+		t.Error("no-op trunc")
+	}
+	if got := trunc("averylongvalue", 6); len(got) != 8 { // 5 bytes + 3-byte ellipsis
+		t.Errorf("trunc = %q", got)
+	}
+}
+
+func TestEndToEndWithEngine(t *testing.T) {
+	db := engine.SDSSDB(50, 1)
+	q := "select count(*) from stars where u between 0 and 30"
+	res, err := engine.Exec(db, mustParse(t, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Recommend(res)
+	if spec.Type != BigNumber {
+		t.Errorf("count query should be a big number, got %s", spec.Type)
+	}
+	if Render(res, spec, 5) == "" {
+		t.Error("empty render")
+	}
+}
+
+func mustParse(t testing.TB, q string) *ast.Node {
+	t.Helper()
+	return sqlparser.MustParse(q)
+}

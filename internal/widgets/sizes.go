@@ -1,0 +1,92 @@
+package widgets
+
+// Size is a widget footprint in abstract layout units (≈ pixels).
+type Size struct {
+	W, H int
+}
+
+// Layout constants shared with the layout engine.
+const (
+	CharW   = 8  // monospace character width
+	RowH    = 24 // text row height
+	Pad     = 8  // container padding
+	Spacing = 6  // gap between siblings
+)
+
+// SizeClass discretizes widget widths; the paper fixes widget sizes by
+// predefining small/medium/large templates per widget instead of computing
+// continuous sizes.
+type SizeClass uint8
+
+// The three discrete templates.
+const (
+	Small SizeClass = iota
+	Medium
+	Large
+)
+
+func (c SizeClass) String() string {
+	switch c {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return "sizeclass?"
+}
+
+// classWidths maps a size class to the discretized control width.
+var classWidths = [...]int{Small: 56, Medium: 96, Large: 160}
+
+// ClassOf picks the discrete template for a label length.
+func ClassOf(labelLen int) SizeClass {
+	switch {
+	case labelLen <= 7:
+		return Small
+	case labelLen <= 14:
+		return Medium
+	default:
+		return Large
+	}
+}
+
+// ClassWidth returns the control width of a size class.
+func ClassWidth(c SizeClass) int { return classWidths[c] }
+
+// Measure returns the fixed footprint of an interaction widget on the given
+// domain. Each widget has a fixed size that depends only on its domain
+// (paper: "Each widget has a fixed size only depending on the domain").
+// Layout widgets are measured by the layout engine from their children.
+func Measure(t Type, d Domain) Size {
+	n := d.Cardinality()
+	labelW := ClassWidth(ClassOf(d.MaxLabelLen()))
+	titleW := ClassWidth(ClassOf(len(d.Title)))
+	switch t {
+	case Label:
+		return Size{W: titleW, H: RowH}
+	case Textbox:
+		return Size{W: labelW + 2*Pad, H: RowH + 6}
+	case Dropdown:
+		return Size{W: labelW + 32, H: RowH + 6}
+	case Slider:
+		return Size{W: 180, H: RowH + 10}
+	case RangeSlider:
+		return Size{W: 200, H: RowH + 14}
+	case Checkbox:
+		return Size{W: titleW + 28, H: RowH}
+	case Radio:
+		// Vertical stack of n labeled circles.
+		return Size{W: labelW + 28, H: n*RowH + Pad}
+	case Buttons:
+		// Horizontal row of n buttons.
+		return Size{W: n*(labelW+2*Pad) + (n-1)*Spacing, H: RowH + 8}
+	case Toggle:
+		return Size{W: titleW + 52, H: RowH}
+	case Tabs:
+		// The tab bar; panel bodies are measured by the layout engine.
+		return Size{W: n*(labelW+2*Pad) + (n-1)*2, H: RowH + 8}
+	}
+	return Size{}
+}

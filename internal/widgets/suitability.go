@@ -1,0 +1,130 @@
+package widgets
+
+import "math"
+
+// Inf is the infinite cost marking an inapplicable widget (the paper assigns
+// infinite cost to invalid interfaces).
+var Inf = math.Inf(1)
+
+// IsInf reports whether a cost is infinite.
+func IsInf(c float64) bool { return math.IsInf(c, 1) }
+
+// Cost weights of the option-complexity terms: widgets whose options denote
+// large subtrees (e.g. whole queries) are penalized in appropriateness
+// (ComplexityM per excess node) and in per-use effort (ComplexityU per
+// excess node — scanning/reading long option labels).
+const (
+	ComplexityM = 0.3
+	ComplexityU = 0.15
+)
+
+// Appropriateness is the paper's M(w): how well a widget template suits the
+// set of subtrees it must express. The shape of the table follows Zhang,
+// Sellam & Wu (2017): sliders fit numeric ranges, radio buttons fit small
+// discrete domains and degrade linearly, dropdowns scale logarithmically-ish
+// with a scroll penalty, textboxes accept any scalar at a high flat cost,
+// and every choice widget degrades with the complexity of the subtrees its
+// options denote.
+func Appropriateness(t Type, d Domain) float64 {
+	n := float64(d.Cardinality())
+	switch d.Kind {
+	case ToggleDomain:
+		switch t {
+		case Toggle:
+			return 0.4
+		case Checkbox:
+			return 0.5
+		}
+		return Inf
+
+	case RepeatDomain:
+		// Only the adder layout widget expresses repetition; it is scored
+		// here so the cost function can treat it uniformly.
+		if t == Adder {
+			return 2.0
+		}
+		return Inf
+
+	case ChoiceDomain:
+		if n < 2 {
+			return Inf // nothing to choose
+		}
+		pen := ComplexityM * d.Complexity
+		switch t {
+		case Slider:
+			if d.Numeric && d.Scalar && !d.Nested {
+				return 1.0 + 0.02*n + pen
+			}
+			return Inf
+		case RangeSlider:
+			if d.Numeric && d.Scalar && d.Bounds && !d.Nested {
+				return 0.8 + 0.02*n + pen
+			}
+			return Inf
+		case Dropdown:
+			if d.Nested {
+				return Inf // alternatives with inner widgets need tabs
+			}
+			if n > 60 {
+				return Inf
+			}
+			return 2.0 + 0.08*n + pen
+		case Radio:
+			if d.Nested || n > 8 {
+				return Inf
+			}
+			return 0.3 + 0.35*n + pen
+		case Buttons:
+			if d.Nested || n > 10 {
+				return Inf
+			}
+			return 0.3 + 0.3*n + pen
+		case Textbox:
+			if d.Scalar && !d.Nested {
+				return 5.0 + pen
+			}
+			return Inf
+		case Tabs:
+			if n > 6 {
+				return Inf
+			}
+			return 1.5 + 0.5*n + pen
+		}
+		return Inf
+	}
+	return Inf
+}
+
+// InteractionCost is the per-use effort of changing a widget's value; the U
+// term of the paper's cost function sums it over the widgets that must
+// change between consecutive log queries.
+func InteractionCost(t Type, d Domain) float64 {
+	// Scanning/reading effort grows with the complexity of the options the
+	// widget shows (whole-query options are slow to read and compare).
+	pen := 0.0
+	if d.Kind == ChoiceDomain {
+		pen = ComplexityU * d.Complexity
+	}
+	switch t {
+	case Toggle, Checkbox:
+		return 0.5
+	case Radio, Buttons:
+		return 1.0 + pen
+	case Slider:
+		return 1.2
+	case RangeSlider:
+		return 1.5
+	case Tabs:
+		return 1.5 + pen
+	case Dropdown:
+		return 2.0 + pen
+	case Textbox:
+		// Typing effort grows with expected value length.
+		return 3.0 + 0.2*float64(d.MaxLabelLen()) + pen
+	case Adder:
+		return 3.0
+	case Label:
+		return 0
+	}
+	return 1.0
+}

@@ -1,0 +1,143 @@
+// Package widgets models the paper's widget template library: interaction
+// widgets (label, textbox, dropdown, slider, range slider, checkbox, radio
+// buttons, buttons, toggle, tabs) and layout widgets (horizontal, vertical,
+// tabs, adder). Each interaction widget is a function w(q, u) -> q' that
+// replaces a subtree at a fixed path of the current query's AST; here we
+// model the pieces the cost function needs: the domain a widget exposes, its
+// fixed (discretized) size, its appropriateness cost M(w), and its
+// per-interaction cost used by U.
+package widgets
+
+import "fmt"
+
+// Type enumerates the widget templates.
+type Type uint8
+
+// Interaction widget types (chosen for difftree choice nodes) and layout
+// widget types (structure only).
+const (
+	Invalid Type = iota
+
+	// Interaction widgets.
+	Label
+	Textbox
+	Dropdown
+	Slider
+	RangeSlider
+	Checkbox
+	Radio
+	Buttons
+	Toggle
+	Tabs
+
+	// Layout widgets.
+	VBox
+	HBox
+	Adder
+
+	typeMax
+)
+
+var typeNames = [...]string{
+	Invalid:     "invalid",
+	Label:       "label",
+	Textbox:     "textbox",
+	Dropdown:    "dropdown",
+	Slider:      "slider",
+	RangeSlider: "rangeslider",
+	Checkbox:    "checkbox",
+	Radio:       "radio",
+	Buttons:     "buttons",
+	Toggle:      "toggle",
+	Tabs:        "tabs",
+	VBox:        "vbox",
+	HBox:        "hbox",
+	Adder:       "adder",
+}
+
+// String returns the widget template name.
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// IsLayout reports whether the type organizes children rather than exposing
+// a choice (the paper's layout widgets: horizontal, vertical, tabs, adder;
+// Tabs is both — it exposes a choice and hosts per-alternative children).
+func (t Type) IsLayout() bool { return t == VBox || t == HBox || t == Adder }
+
+// IsInteraction reports whether the type exposes a user choice.
+func (t Type) IsInteraction() bool { return t >= Label && t <= Tabs }
+
+// DomainKind distinguishes what a choice node asks of the user.
+type DomainKind uint8
+
+// The three choice shapes a difftree produces.
+const (
+	ChoiceDomain DomainKind = iota // ANY: pick one of n alternatives
+	ToggleDomain                   // OPT: on/off
+	RepeatDomain                   // MULTI: zero or more instances
+)
+
+func (k DomainKind) String() string {
+	switch k {
+	case ChoiceDomain:
+		return "choice"
+	case ToggleDomain:
+		return "toggle"
+	case RepeatDomain:
+		return "repeat"
+	}
+	return "unknown"
+}
+
+// Domain describes the value set a widget must expose.
+type Domain struct {
+	Kind    DomainKind
+	Title   string   // caption, e.g. the grammar rule the choices share
+	Options []string // labels for ChoiceDomain alternatives
+	Scalar  bool     // every alternative is a single leaf value
+	Numeric bool     // every alternative is a numeric literal
+	Bounds  bool     // alternatives are BETWEEN bounds (range-slider friendly)
+	Nested  bool     // some alternative contains further choice nodes
+	// Complexity is the average subtree size (excess nodes beyond a leaf) of
+	// the alternatives: 0 for scalar values, large for whole-query options.
+	// Widgets expressing complex subtrees are ill-suited (higher M) and
+	// slower to use (higher interaction cost) — this is what pushes the
+	// search to factor structure out instead of enumerating whole queries.
+	Complexity float64
+}
+
+// Cardinality is the number of alternatives (2 for toggles).
+func (d Domain) Cardinality() int {
+	if d.Kind == ToggleDomain {
+		return 2
+	}
+	return len(d.Options)
+}
+
+// MaxLabelLen returns the longest option label length (≥ title length floor
+// of 0); sizes derive from it.
+func (d Domain) MaxLabelLen() int {
+	m := 0
+	for _, o := range d.Options {
+		if len(o) > m {
+			m = len(o)
+		}
+	}
+	return m
+}
+
+// Candidates returns the interaction widget types applicable to the domain,
+// i.e. those with finite appropriateness cost, in canonical order.
+func Candidates(d Domain) []Type {
+	var out []Type
+	for t := Label; t <= Tabs; t++ {
+		if !IsInf(Appropriateness(t, d)) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

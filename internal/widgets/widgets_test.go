@@ -1,0 +1,282 @@
+package widgets
+
+import (
+	"strings"
+	"testing"
+)
+
+func choiceDomain(opts ...string) Domain {
+	return Domain{Kind: ChoiceDomain, Title: "t", Options: opts, Scalar: true}
+}
+
+func numericDomain(opts ...string) Domain {
+	d := choiceDomain(opts...)
+	d.Numeric = true
+	return d
+}
+
+func TestTypeString(t *testing.T) {
+	if Dropdown.String() != "dropdown" || Adder.String() != "adder" {
+		t.Error("names wrong")
+	}
+	if !strings.Contains(Type(99).String(), "99") {
+		t.Error("unknown type name")
+	}
+}
+
+func TestTypeClasses(t *testing.T) {
+	for _, lt := range []Type{VBox, HBox, Adder} {
+		if !lt.IsLayout() {
+			t.Errorf("%s should be layout", lt)
+		}
+		if lt.IsInteraction() {
+			t.Errorf("%s should not be interaction", lt)
+		}
+	}
+	for _, it := range []Type{Label, Textbox, Dropdown, Slider, RangeSlider, Checkbox, Radio, Buttons, Toggle, Tabs} {
+		if !it.IsInteraction() {
+			t.Errorf("%s should be interaction", it)
+		}
+		if it.IsLayout() {
+			t.Errorf("%s should not be layout", it)
+		}
+	}
+}
+
+func TestDomainKindString(t *testing.T) {
+	if ChoiceDomain.String() != "choice" || ToggleDomain.String() != "toggle" || RepeatDomain.String() != "repeat" {
+		t.Error("domain kind names wrong")
+	}
+	if DomainKind(9).String() != "unknown" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	if (Domain{Kind: ToggleDomain}).Cardinality() != 2 {
+		t.Error("toggle cardinality is 2")
+	}
+	if choiceDomain("a", "b", "c").Cardinality() != 3 {
+		t.Error("choice cardinality wrong")
+	}
+}
+
+func TestSliderNeedsNumeric(t *testing.T) {
+	num := numericDomain("10", "100", "1000")
+	if IsInf(Appropriateness(Slider, num)) {
+		t.Error("slider should accept numeric scalars")
+	}
+	str := choiceDomain("USA", "EUR")
+	if !IsInf(Appropriateness(Slider, str)) {
+		t.Error("slider must reject non-numeric domains")
+	}
+	nested := num
+	nested.Nested = true
+	if !IsInf(Appropriateness(Slider, nested)) {
+		t.Error("slider must reject nested domains")
+	}
+}
+
+func TestRangeSliderNeedsBounds(t *testing.T) {
+	num := numericDomain("0", "30")
+	if !IsInf(Appropriateness(RangeSlider, num)) {
+		t.Error("range slider needs the bounds flag")
+	}
+	num.Bounds = true
+	if IsInf(Appropriateness(RangeSlider, num)) {
+		t.Error("range slider should accept BETWEEN bounds")
+	}
+}
+
+// TestRadioDegradesWithDomainSize encodes the paper's example: "radio
+// buttons are well suited for a small number of subtrees, but ill-suited
+// for a large number".
+func TestRadioDegradesWithDomainSize(t *testing.T) {
+	small := choiceDomain("a", "b", "c")
+	big := choiceDomain("a", "b", "c", "d", "e", "f", "g", "h", "i")
+	cSmall := Appropriateness(Radio, small)
+	if IsInf(cSmall) {
+		t.Fatal("radio should accept small domains")
+	}
+	if !IsInf(Appropriateness(Radio, big)) {
+		t.Error("radio must reject domains past the cap")
+	}
+	mid := choiceDomain("a", "b", "c", "d", "e", "f")
+	if Appropriateness(Radio, mid) <= cSmall {
+		t.Error("radio cost must grow with domain size")
+	}
+}
+
+// TestRadioBeatsDropdownSmall / TestDropdownBeatsRadioLarge encode the
+// crossover that drives Figure 6(a) vs (b): enumerating widgets win on small
+// domains, dropdowns win as domains grow (or screens shrink).
+func TestRadioBeatsDropdownSmall(t *testing.T) {
+	d := choiceDomain("objid", "count")
+	if Appropriateness(Radio, d) >= Appropriateness(Dropdown, d) {
+		t.Error("radio should beat dropdown on a 2-option domain")
+	}
+}
+
+func TestDropdownScales(t *testing.T) {
+	opts := make([]string, 40)
+	for i := range opts {
+		opts[i] = "opt" + string(rune('a'+i%26))
+	}
+	d := choiceDomain(opts...)
+	if IsInf(Appropriateness(Dropdown, d)) {
+		t.Error("dropdown should accept 40 options")
+	}
+	if !IsInf(Appropriateness(Radio, d)) || !IsInf(Appropriateness(Buttons, d)) {
+		t.Error("radio/buttons must reject 40 options")
+	}
+	huge := make([]string, 80)
+	copy(huge, opts)
+	for i := 40; i < 80; i++ {
+		huge[i] = "x" + string(rune('a'+i%26))
+	}
+	if !IsInf(Appropriateness(Dropdown, choiceDomain(huge...))) {
+		t.Error("dropdown must reject 80 options")
+	}
+}
+
+func TestToggleDomainWidgets(t *testing.T) {
+	d := Domain{Kind: ToggleDomain, Title: "Where"}
+	if IsInf(Appropriateness(Toggle, d)) || IsInf(Appropriateness(Checkbox, d)) {
+		t.Error("toggle/checkbox should accept OPT domains")
+	}
+	for _, bad := range []Type{Dropdown, Radio, Buttons, Slider, Textbox, Tabs} {
+		if !IsInf(Appropriateness(bad, d)) {
+			t.Errorf("%s must reject OPT domains", bad)
+		}
+	}
+}
+
+func TestRepeatDomainWidgets(t *testing.T) {
+	d := Domain{Kind: RepeatDomain, Title: "Between"}
+	if IsInf(Appropriateness(Adder, d)) {
+		t.Error("adder should accept MULTI domains")
+	}
+	for _, bad := range []Type{Dropdown, Radio, Toggle, Textbox} {
+		if !IsInf(Appropriateness(bad, d)) {
+			t.Errorf("%s must reject MULTI domains", bad)
+		}
+	}
+}
+
+func TestNestedDomainsNeedTabs(t *testing.T) {
+	d := Domain{Kind: ChoiceDomain, Options: []string{"a", "b"}, Nested: true}
+	if IsInf(Appropriateness(Tabs, d)) {
+		t.Error("tabs should accept nested domains")
+	}
+	for _, bad := range []Type{Dropdown, Radio, Buttons, Textbox, Slider} {
+		if !IsInf(Appropriateness(bad, d)) {
+			t.Errorf("%s must reject nested domains", bad)
+		}
+	}
+}
+
+func TestTextboxScalarOnly(t *testing.T) {
+	scalar := choiceDomain("a", "b")
+	if IsInf(Appropriateness(Textbox, scalar)) {
+		t.Error("textbox accepts scalars")
+	}
+	sub := Domain{Kind: ChoiceDomain, Options: []string{"a", "b"}, Scalar: false}
+	if !IsInf(Appropriateness(Textbox, sub)) {
+		t.Error("textbox must reject subtree domains")
+	}
+}
+
+func TestSingletonChoiceInvalid(t *testing.T) {
+	d := choiceDomain("only")
+	for ty := Label; ty <= Tabs; ty++ {
+		if !IsInf(Appropriateness(ty, d)) {
+			t.Errorf("%s must reject singleton domains", ty)
+		}
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	got := Candidates(numericDomain("10", "100", "1000"))
+	want := map[Type]bool{Dropdown: true, Slider: true, Radio: true, Buttons: true, Textbox: true, Tabs: true}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for _, ty := range got {
+		if !want[ty] {
+			t.Errorf("unexpected candidate %s", ty)
+		}
+	}
+	if cs := Candidates(Domain{Kind: ToggleDomain}); len(cs) != 2 {
+		t.Errorf("toggle candidates = %v", cs)
+	}
+}
+
+func TestInteractionCosts(t *testing.T) {
+	d := choiceDomain("a", "b")
+	if InteractionCost(Radio, d) >= InteractionCost(Dropdown, d) {
+		t.Error("radio (1 click) should cost less than dropdown (2 clicks)")
+	}
+	if InteractionCost(Toggle, d) >= InteractionCost(Radio, d) {
+		t.Error("toggle should be cheapest")
+	}
+	long := choiceDomain("averyveryverylongvalue", "b")
+	if InteractionCost(Textbox, long) <= InteractionCost(Textbox, choiceDomain("a", "b")) {
+		t.Error("textbox cost should grow with value length")
+	}
+	if InteractionCost(Label, d) != 0 {
+		t.Error("labels are not interactive")
+	}
+	if InteractionCost(VBox, d) != 1.0 {
+		t.Error("default interaction cost")
+	}
+}
+
+func TestSizeClasses(t *testing.T) {
+	if ClassOf(3) != Small || ClassOf(10) != Medium || ClassOf(20) != Large {
+		t.Error("class thresholds wrong")
+	}
+	if !(ClassWidth(Small) < ClassWidth(Medium) && ClassWidth(Medium) < ClassWidth(Large)) {
+		t.Error("class widths must increase")
+	}
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Error("class names wrong")
+	}
+	if SizeClass(9).String() != "sizeclass?" {
+		t.Error("unknown class name")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	d3 := choiceDomain("aaa", "bbb", "ccc")
+	d6 := choiceDomain("aaa", "bbb", "ccc", "ddd", "eee", "fff")
+
+	r3, r6 := Measure(Radio, d3), Measure(Radio, d6)
+	if r6.H <= r3.H {
+		t.Error("radio height must grow with options")
+	}
+	b3, b6 := Measure(Buttons, d3), Measure(Buttons, d6)
+	if b6.W <= b3.W {
+		t.Error("buttons width must grow with options")
+	}
+	dd := Measure(Dropdown, d6)
+	if dd.H != Measure(Dropdown, d3).H {
+		t.Error("dropdown height is fixed (closed state)")
+	}
+	if dd.W <= 0 || dd.H <= 0 {
+		t.Error("sizes must be positive")
+	}
+	// Dropdown is much shorter than radio on big domains — the narrow-screen
+	// driver of Figure 6(b).
+	if Measure(Dropdown, d6).H >= Measure(Radio, d6).H {
+		t.Error("dropdown must be shorter than radio")
+	}
+	for _, ty := range []Type{Label, Textbox, Slider, RangeSlider, Checkbox, Toggle, Tabs} {
+		s := Measure(ty, d3)
+		if s.W <= 0 || s.H <= 0 {
+			t.Errorf("%s measured %v", ty, s)
+		}
+	}
+	if (Measure(VBox, d3) != Size{}) {
+		t.Error("layout widgets are measured by the layout engine")
+	}
+}

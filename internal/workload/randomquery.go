@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+// RandomQuerySQL builds one random query over the full supported grammar
+// (aggregates, DISTINCT, WHERE trees with AND/OR/NOT/IN/LIKE/BETWEEN,
+// GROUP BY, ORDER BY, TOP, LIMIT). It is the input generator for the
+// property-based tests: every string it returns must parse, and the
+// parse/render round trip must be a fixed point.
+func RandomQuerySQL(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if rng.Intn(6) == 0 {
+		b.WriteString("distinct ")
+	}
+	if rng.Intn(4) == 0 {
+		fmt.Fprintf(&b, "top %d ", 1+rng.Intn(1000))
+	}
+
+	cols := []string{"a", "b", "c", "objid", "u", "g"}
+	aggs := []string{"count", "sum", "avg", "min", "max"}
+	nItems := 1 + rng.Intn(3)
+	grouped := rng.Intn(3) == 0
+	var groupCols []string
+	for i := 0; i < nItems; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case grouped && i == 0:
+			col := cols[rng.Intn(len(cols))]
+			groupCols = append(groupCols, col)
+			b.WriteString(col)
+		case rng.Intn(3) == 0:
+			agg := aggs[rng.Intn(len(aggs))]
+			if agg == "count" && rng.Intn(2) == 0 {
+				b.WriteString("count(*)")
+			} else {
+				fmt.Fprintf(&b, "%s(%s)", agg, cols[rng.Intn(len(cols))])
+			}
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&b, " as alias%d", i)
+			}
+		default:
+			if grouped {
+				// Non-aggregate items must be group columns.
+				col := groupCols[0]
+				b.WriteString(col)
+			} else {
+				b.WriteString(cols[rng.Intn(len(cols))])
+			}
+		}
+	}
+
+	tables := []string{"t1", "stars", "galaxies"}
+	fmt.Fprintf(&b, " from %s", tables[rng.Intn(len(tables))])
+
+	if rng.Intn(3) != 0 {
+		b.WriteString(" where ")
+		writePred(&b, rng, 2)
+	}
+	if grouped {
+		fmt.Fprintf(&b, " group by %s", strings.Join(groupCols, ", "))
+	}
+	if rng.Intn(4) == 0 {
+		dir := ""
+		if rng.Intn(2) == 0 {
+			dir = " desc"
+		}
+		fmt.Fprintf(&b, " order by %s%s", cols[rng.Intn(len(cols))], dir)
+	}
+	if rng.Intn(5) == 0 {
+		fmt.Fprintf(&b, " limit %d", 1+rng.Intn(100))
+	}
+	return b.String()
+}
+
+func writePred(b *strings.Builder, rng *rand.Rand, depth int) {
+	cols := []string{"a", "b", "u", "g"}
+	col := cols[rng.Intn(len(cols))]
+	switch choice := rng.Intn(8); {
+	case choice == 0 && depth > 0:
+		b.WriteString("(")
+		writePred(b, rng, depth-1)
+		b.WriteString(" or ")
+		writePred(b, rng, depth-1)
+		b.WriteString(")")
+	case choice == 1 && depth > 0:
+		writePred(b, rng, depth-1)
+		b.WriteString(" and ")
+		writePred(b, rng, depth-1)
+	case choice == 2 && depth > 0:
+		b.WriteString("not ")
+		// NOT binds a single predicate; recurse at depth 0 to avoid
+		// needing parentheses.
+		writePred(b, rng, 0)
+	case choice == 3:
+		fmt.Fprintf(b, "%s between %d and %d", col, rng.Intn(10), 10+rng.Intn(30))
+	case choice == 4:
+		n := 1 + rng.Intn(3)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%d", rng.Intn(100))
+		}
+		fmt.Fprintf(b, "%s in (%s)", col, strings.Join(vals, ", "))
+	case choice == 5:
+		fmt.Fprintf(b, "name like 'M%d%%'", rng.Intn(10))
+	default:
+		ops := []string{"=", "<", ">", "<=", ">=", "!="}
+		if rng.Intn(4) == 0 {
+			fmt.Fprintf(b, "%s %s '%s'", col, ops[rng.Intn(len(ops))], []string{"USA", "EUR", "x y"}[rng.Intn(3)])
+		} else {
+			fmt.Fprintf(b, "%s %s %g", col, ops[rng.Intn(len(ops))], float64(rng.Intn(200))/4)
+		}
+	}
+}
+
+// RandomQuery parses RandomQuerySQL; it panics if the generator emits an
+// unparsable query (a generator bug, caught by the property tests).
+func RandomQuery(rng *rand.Rand) *ast.Node {
+	return sqlparser.MustParse(RandomQuerySQL(rng))
+}
+
+// RandomLog builds a log of n random queries sharing some structure: it
+// mutates a base query's literals/clauses with probability, so logs look
+// like real analysis sessions rather than unrelated queries.
+func RandomLog(rng *rand.Rand, n int) []*ast.Node {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*ast.Node, 0, n)
+	base := RandomQuery(rng)
+	out = append(out, base)
+	for len(out) < n {
+		if rng.Intn(3) == 0 {
+			out = append(out, RandomQuery(rng))
+			continue
+		}
+		out = append(out, mutate(base.Clone(), rng))
+	}
+	return out
+}
+
+// mutate tweaks one random leaf literal of the query.
+func mutate(q *ast.Node, rng *rand.Rand) *ast.Node {
+	leaves := ast.Leaves(q, nil)
+	var lits []*ast.Node
+	for _, l := range leaves {
+		if l.Kind == ast.KindNumExpr || l.Kind == ast.KindStrExpr || l.Kind == ast.KindColExpr {
+			lits = append(lits, l)
+		}
+	}
+	if len(lits) == 0 {
+		return q
+	}
+	l := lits[rng.Intn(len(lits))]
+	switch l.Kind {
+	case ast.KindNumExpr:
+		l.Value = fmt.Sprintf("%d", rng.Intn(500))
+	case ast.KindStrExpr:
+		l.Value = []string{"USA", "EUR", "APAC"}[rng.Intn(3)]
+	case ast.KindColExpr:
+		l.Value = []string{"a", "b", "c", "u"}[rng.Intn(4)]
+	}
+	return q
+}

@@ -1,0 +1,175 @@
+// Package workload provides the paper's evaluation inputs: the Sloan
+// Digital Sky Survey query log of Listing 1 and a parameterized synthetic
+// log generator for scaling and ablation experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+// sdssWhere is the WHERE clause shared by the SDSS queries. The paper prints
+// queries 1–2 in full and notes "All queries have the same WHERE clause
+// structure"; we reuse query 1's literals for queries 3–10 (so, as the paper
+// observes for Figure 6(c), queries 6–8 have identical WHERE clauses).
+const sdssWhere = "u between 0 and 30 and g between 0 and 30 and r between 0 and 30 and i between 0 and 30"
+
+// sdssWhere2 is query 2's distinct literal pattern, printed in Listing 1.
+const sdssWhere2 = "u between 1 and 29 and g between 10 and 30 and r between 9 and 30 and i between 3 and 28"
+
+// SDSSLogSQL returns the ten queries of the paper's Listing 1 as SQL text.
+func SDSSLogSQL() []string {
+	return []string{
+		"select top 10 objid from stars where " + sdssWhere,
+		"select top 100 objid from galaxies where " + sdssWhere2,
+		"select top 1000 objid from quasars where " + sdssWhere,
+		"select count(*) from stars where " + sdssWhere,
+		"select objid from galaxies where " + sdssWhere,
+		"select top 10 objid from quasars where " + sdssWhere,
+		"select top 100 objid from stars where " + sdssWhere,
+		"select top 1000 objid from galaxies where " + sdssWhere,
+		"select count(*) from quasars where " + sdssWhere,
+		"select objid from stars where " + sdssWhere,
+	}
+}
+
+// SDSSLog parses Listing 1 into ASTs.
+func SDSSLog() []*ast.Node {
+	srcs := SDSSLogSQL()
+	out := make([]*ast.Node, len(srcs))
+	for i, s := range srcs {
+		out[i] = sqlparser.MustParse(s)
+	}
+	return out
+}
+
+// SDSSSubset returns queries lo..hi (1-based, inclusive) of Listing 1;
+// Figure 6(c) uses queries 6–8.
+func SDSSSubset(lo, hi int) []*ast.Node {
+	all := SDSSLog()
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(all) {
+		hi = len(all)
+	}
+	if lo > hi {
+		return nil
+	}
+	return all[lo-1 : hi]
+}
+
+// PaperFigure1Log returns the three-query log of the paper's Figure 1.
+func PaperFigure1Log() []*ast.Node {
+	return mustParseAll(
+		"SELECT Sales FROM sales WHERE cty = USA",
+		"SELECT Costs FROM sales WHERE cty = EUR",
+		"SELECT Costs FROM sales",
+	)
+}
+
+func mustParseAll(srcs ...string) []*ast.Node {
+	out := make([]*ast.Node, len(srcs))
+	for i, s := range srcs {
+		out[i] = sqlparser.MustParse(s)
+	}
+	return out
+}
+
+// GenConfig parameterizes the synthetic log generator.
+type GenConfig struct {
+	Queries     int   // number of queries in the log
+	Tables      int   // distinct tables drawn from
+	Projections int   // distinct projection attributes
+	TopValues   int   // distinct TOP row counts (0 disables TOP)
+	Predicates  int   // BETWEEN conjuncts per query
+	PredColumns int   // distinct predicate columns
+	LiteralVars int   // distinct literal patterns per predicate column
+	OptWhere    bool  // some queries drop the WHERE clause entirely
+	Seed        int64 // determinism
+}
+
+// DefaultGenConfig mirrors the SDSS log's scale.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Queries:     10,
+		Tables:      3,
+		Projections: 2,
+		TopValues:   3,
+		Predicates:  4,
+		PredColumns: 4,
+		LiteralVars: 1,
+		OptWhere:    false,
+		Seed:        1,
+	}
+}
+
+// Generate produces a deterministic synthetic query log in the SDSS style:
+// SELECT [TOP n] attr FROM table WHERE col BETWEEN lo AND hi AND ...
+func Generate(cfg GenConfig) []*ast.Node {
+	if cfg.Queries <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tables := nameList("t", max(1, cfg.Tables))
+	projs := nameList("attr", max(1, cfg.Projections))
+	cols := nameList("c", max(1, cfg.PredColumns))
+
+	var out []*ast.Node
+	for i := 0; i < cfg.Queries; i++ {
+		var b strings.Builder
+		b.WriteString("select ")
+		if cfg.TopValues > 0 && rng.Intn(4) != 0 {
+			b.WriteString(fmt.Sprintf("top %d ", pow10(1+rng.Intn(cfg.TopValues))))
+		}
+		if rng.Intn(5) == 0 {
+			b.WriteString("count(*)")
+		} else {
+			b.WriteString(projs[rng.Intn(len(projs))])
+		}
+		b.WriteString(" from ")
+		b.WriteString(tables[rng.Intn(len(tables))])
+		if cfg.Predicates > 0 && (!cfg.OptWhere || rng.Intn(3) != 0) {
+			b.WriteString(" where ")
+			for p := 0; p < cfg.Predicates; p++ {
+				if p > 0 {
+					b.WriteString(" and ")
+				}
+				col := cols[(p+rng.Intn(max(1, cfg.PredColumns)))%len(cols)]
+				variant := rng.Intn(max(1, cfg.LiteralVars))
+				lo := variant
+				hi := 30 - variant
+				fmt.Fprintf(&b, "%s between %d and %d", col, lo, hi)
+			}
+		}
+		out = append(out, sqlparser.MustParse(b.String()))
+	}
+	return out
+}
+
+func nameList(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i+1)
+	}
+	return out
+}
+
+func pow10(n int) int {
+	v := 1
+	for i := 0; i < n; i++ {
+		v *= 10
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package mctsui
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/htmlpage"
+	"repro/internal/sqlparser"
+)
+
+// MarshalJSON serializes the interface (difftree + widget tree + input log)
+// so it can be stored and reloaded without re-running the search.
+func (f *Interface) MarshalJSON() ([]byte, error) {
+	queries := make([]string, len(f.res.Log))
+	for i, q := range f.res.Log {
+		queries[i] = sqlparser.Render(q)
+	}
+	return codec.Marshal(f.res.DiffTree, f.res.UI, queries)
+}
+
+// LoadInterface reconstructs an interface from MarshalJSON output. The cost
+// breakdown is re-evaluated against the given screen (cost is derived data).
+func LoadInterface(data []byte, screen Screen) (*Interface, error) {
+	diff, ui, queries, err := codec.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	if screen == (Screen{}) {
+		screen = WideScreen
+	}
+	log := make([]*ast.Node, 0, len(queries))
+	for i, q := range queries {
+		n, err := sqlparser.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("mctsui: stored query %d: %w", i+1, err)
+		}
+		log = append(log, n)
+	}
+	model := cost.Default(screen)
+	bd := model.NewEvaluator(diff, log).Evaluate(ui)
+	return &Interface{res: &core.Result{
+		DiffTree: diff,
+		UI:       ui,
+		Cost:     bd,
+		Log:      log,
+	}}, nil
+}
+
+// Page renders the interface as a self-contained interactive HTML page: the
+// widgets are live form controls and an embedded JavaScript port of the
+// query generator shows the current SQL on every interaction.
+func (f *Interface) Page(title string) (string, error) {
+	queries := make([]string, len(f.res.Log))
+	for i, q := range f.res.Log {
+		queries[i] = sqlparser.Render(q)
+	}
+	return htmlpage.Render(f.res.DiffTree, f.res.UI, queries, title)
+}
+
+// GenerateMulti splits a mixed query log into structurally coherent clusters
+// (one analysis task each) and generates one interface per cluster. Real
+// logs interleave unrelated tasks; a single interface over all of them
+// degenerates into one giant query picker, while per-cluster interfaces
+// recover the paper's setting. Clusters appear in first-query log order.
+func GenerateMulti(queries []string, cfg Config) ([]*Interface, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("mctsui: empty query log")
+	}
+	log := make([]*ast.Node, len(queries))
+	for i, q := range queries {
+		n, err := sqlparser.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("mctsui: query %d: %w", i+1, err)
+		}
+		log[i] = n
+	}
+	clusters := cluster.Split(log, cluster.Options{})
+	out := make([]*Interface, 0, len(clusters))
+	for _, c := range clusters {
+		iface, err := GenerateFromASTs(c.Queries, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, iface)
+	}
+	return out, nil
+}

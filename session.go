@@ -1,0 +1,296 @@
+package mctsui
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/engine"
+	"repro/internal/layout"
+	"repro/internal/sqlparser"
+	"repro/internal/viz"
+)
+
+// Session drives a generated interface interactively: each widget holds a
+// current value; changing a value changes the current query (the paper's
+// w(q, u) → q' semantics), which can then be executed against a database
+// and visualized.
+type Session struct {
+	iface   *Interface
+	widgets []*layout.Node // interaction widgets in pre-order
+	// Selections per choice node. Any: child index; Opt: 0/1; Multi: count.
+	sel map[*difftree.Node]int
+	// Per-instance overrides for choice nodes under a MULTI: key includes
+	// the instance path; absent keys fall back to sel.
+	instSel map[instKey]int
+}
+
+type instKey struct {
+	node *difftree.Node
+	inst string // "/" separated instance indexes of enclosing MULTIs
+}
+
+// NewSession creates a session with every widget at its first option
+// (toggles on, adders at one instance).
+func (f *Interface) NewSession() *Session {
+	s := &Session{
+		iface:   f,
+		sel:     make(map[*difftree.Node]int),
+		instSel: make(map[instKey]int),
+	}
+	if f.res.UI != nil {
+		s.widgets = f.res.UI.Widgets()
+	}
+	root := f.res.DiffTree
+	difftree.WalkPath(root, func(n *difftree.Node, _ difftree.Path) bool {
+		switch n.Kind {
+		case difftree.Any:
+			s.sel[n] = 0
+		case difftree.Opt:
+			s.sel[n] = 1
+		case difftree.Multi:
+			s.sel[n] = 1
+		}
+		return true
+	})
+	return s
+}
+
+// WidgetInfo describes one interactive widget for display.
+type WidgetInfo struct {
+	Index   int
+	Type    string
+	Title   string
+	Options []string
+	Value   string
+}
+
+// Widgets lists the session's widgets with their current values.
+func (s *Session) Widgets() []WidgetInfo {
+	out := make([]WidgetInfo, len(s.widgets))
+	for i, w := range s.widgets {
+		info := WidgetInfo{
+			Index:   i,
+			Type:    w.Type.String(),
+			Title:   w.Title,
+			Options: w.Domain.Options,
+		}
+		switch w.Choice.Kind {
+		case difftree.Any:
+			idx := s.sel[w.Choice]
+			if idx >= 0 && idx < len(w.Domain.Options) {
+				info.Value = w.Domain.Options[idx]
+			}
+		case difftree.Opt:
+			if s.sel[w.Choice] != 0 {
+				info.Value = "on"
+			} else {
+				info.Value = "off"
+			}
+		case difftree.Multi:
+			info.Value = fmt.Sprintf("%d instance(s)", s.sel[w.Choice])
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// Set changes widget i's value: the option index for choice widgets, 0/1
+// for toggles, and the instance count for adders.
+func (s *Session) Set(widget, value int) error {
+	if widget < 0 || widget >= len(s.widgets) {
+		return fmt.Errorf("mctsui: widget %d out of range [0,%d)", widget, len(s.widgets))
+	}
+	w := s.widgets[widget]
+	switch w.Choice.Kind {
+	case difftree.Any:
+		if value < 0 || value >= len(w.Choice.Children) {
+			return fmt.Errorf("mctsui: option %d out of range for %q", value, w.Title)
+		}
+	case difftree.Opt:
+		if value != 0 && value != 1 {
+			return fmt.Errorf("mctsui: toggle %q takes 0 or 1", w.Title)
+		}
+	case difftree.Multi:
+		if value < 0 || value > 16 {
+			return fmt.Errorf("mctsui: adder %q takes 0..16 instances", w.Title)
+		}
+	}
+	s.sel[w.Choice] = value
+	return nil
+}
+
+// SetInstance overrides a choice widget's value inside one adder instance
+// (instance indexes of the enclosing MULTIs, outermost first).
+func (s *Session) SetInstance(widget, value int, instance ...int) error {
+	if widget < 0 || widget >= len(s.widgets) {
+		return fmt.Errorf("mctsui: widget %d out of range", widget)
+	}
+	w := s.widgets[widget]
+	if w.Choice.Kind == difftree.Any && (value < 0 || value >= len(w.Choice.Children)) {
+		return fmt.Errorf("mctsui: option %d out of range for %q", value, w.Title)
+	}
+	s.instSel[instKey{node: w.Choice, inst: instString(instance)}] = value
+	return nil
+}
+
+func instString(inst []int) string {
+	var b strings.Builder
+	for _, i := range inst {
+		fmt.Fprintf(&b, "/%d", i)
+	}
+	return b.String()
+}
+
+// SQL returns the current query.
+func (s *Session) SQL() (string, error) {
+	q, err := s.Query()
+	if err != nil {
+		return "", err
+	}
+	return sqlparser.Render(q), nil
+}
+
+// Query materializes the current query AST from the widget values.
+func (s *Session) Query() (*ast.Node, error) {
+	g := &generator{s: s}
+	seq, err := g.gen(s.iface.res.DiffTree)
+	if err != nil {
+		return nil, err
+	}
+	if len(seq) != 1 {
+		return nil, fmt.Errorf("mctsui: widget values generate %d root nodes", len(seq))
+	}
+	return seq[0], nil
+}
+
+// Execute runs the current query against a database and recommends a
+// visualization for the result.
+func (s *Session) Execute(db *engine.DB) (*engine.Result, viz.Spec, error) {
+	q, err := s.Query()
+	if err != nil {
+		return nil, viz.Spec{}, err
+	}
+	res, err := engine.Exec(db, q)
+	if err != nil {
+		return nil, viz.Spec{}, err
+	}
+	return res, viz.Recommend(res), nil
+}
+
+// generator materializes an AST from the difftree under the session's
+// selections, tracking MULTI instance paths for per-instance overrides.
+type generator struct {
+	s    *Session
+	inst []int
+}
+
+func (g *generator) lookup(n *difftree.Node) int {
+	if len(g.inst) > 0 {
+		if v, ok := g.s.instSel[instKey{node: n, inst: instString(g.inst)}]; ok {
+			return v
+		}
+	}
+	return g.s.sel[n]
+}
+
+func (g *generator) gen(n *difftree.Node) ([]*ast.Node, error) {
+	switch n.Kind {
+	case difftree.All:
+		if n.IsEmpty() {
+			return nil, nil
+		}
+		var kids []*ast.Node
+		for _, c := range n.Children {
+			sub, err := g.gen(c)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, sub...)
+		}
+		if n.IsSeq() {
+			return kids, nil
+		}
+		return []*ast.Node{{Kind: n.Label, Value: n.Value, Children: kids}}, nil
+
+	case difftree.Any:
+		idx := g.lookup(n)
+		if idx < 0 || idx >= len(n.Children) {
+			return nil, fmt.Errorf("mctsui: selection %d out of range", idx)
+		}
+		return g.gen(n.Children[idx])
+
+	case difftree.Opt:
+		if g.lookup(n) == 0 {
+			return nil, nil
+		}
+		return g.gen(n.Children[0])
+
+	case difftree.Multi:
+		count := g.lookup(n)
+		var out []*ast.Node
+		for i := 0; i < count; i++ {
+			g.inst = append(g.inst, i)
+			sub, err := g.gen(n.Children[0])
+			g.inst = g.inst[:len(g.inst)-1]
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("mctsui: unknown difftree node kind")
+}
+
+// LoadQuery sets every widget so the session's current query equals q (the
+// paper's "clicking on the q2 button loads the corresponding query"). It
+// fails if the interface cannot express q. Per-instance overrides are reset.
+func (s *Session) LoadQuery(query string) error {
+	q, err := sqlparser.Parse(query)
+	if err != nil {
+		return err
+	}
+	asg, ok := difftree.Express(s.iface.res.DiffTree, q)
+	if !ok {
+		return fmt.Errorf("mctsui: interface cannot express %q", query)
+	}
+	s.instSel = make(map[instKey]int)
+	for node, choice := range asg {
+		switch node.Kind {
+		case difftree.Any:
+			parts := strings.Split(choice, "|")
+			idx := 0
+			fmt.Sscanf(parts[0], "%d", &idx)
+			s.sel[node] = idx
+			// Per-instance picks for choices under a MULTI.
+			if len(parts) > 1 {
+				for i, p := range parts {
+					v := 0
+					fmt.Sscanf(p, "%d", &v)
+					s.instSel[instKey{node: node, inst: instString([]int{i})}] = v
+				}
+			}
+		case difftree.Opt:
+			parts := strings.Split(choice, "|")
+			if parts[0] == "on" {
+				s.sel[node] = 1
+			} else {
+				s.sel[node] = 0
+			}
+			if len(parts) > 1 { // per-instance toggles under a MULTI
+				for i, p := range parts {
+					v := 0
+					if p == "on" {
+						v = 1
+					}
+					s.instSel[instKey{node: node, inst: instString([]int{i})}] = v
+				}
+			}
+		case difftree.Multi:
+			s.sel[node] = strings.Count(choice, "+")
+		}
+	}
+	return nil
+}

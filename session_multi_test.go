@@ -1,0 +1,142 @@
+package mctsui
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/difftree"
+	"repro/internal/sqlparser"
+)
+
+// multiInterface hand-builds an interface whose difftree contains a MULTI
+// node (the adder widget): WHERE is a repetition of BETWEEN predicates over
+// a choice of columns, as produced by the MultiMerge rule on the SDSS log.
+func multiInterface(t *testing.T) (*Interface, []string) {
+	t.Helper()
+	// All logs keep >= 2 conjuncts so the parser produces an And node (a
+	// single predicate parses as a bare BETWEEN without the wrapper).
+	logSQL := []string{
+		"select a from t where u between 0 and 30 and g between 0 and 30",
+		"select a from t where g between 0 and 30 and r between 0 and 30",
+		"select a from t where u between 0 and 30 and g between 0 and 30 and r between 0 and 30",
+	}
+	log := make([]*ast.Node, len(logSQL))
+	for i, s := range logSQL {
+		log[i] = sqlparser.MustParse(s)
+	}
+
+	between := func(col string) *difftree.Node {
+		return difftree.NewAll(ast.KindBetween, "",
+			difftree.NewAll(ast.KindColExpr, col),
+			difftree.NewAll(ast.KindNumExpr, "0"),
+			difftree.NewAll(ast.KindNumExpr, "30"))
+	}
+	d := difftree.NewAll(ast.KindSelect, "",
+		difftree.NewAll(ast.KindProject, "", difftree.NewAll(ast.KindColExpr, "a")),
+		difftree.NewAll(ast.KindFrom, "", difftree.NewAll(ast.KindTable, "t")),
+		difftree.NewAll(ast.KindWhere, "",
+			difftree.NewAll(ast.KindAnd, "",
+				difftree.NewMulti(difftree.NewAny(between("u"), between("g"), between("r"))))))
+	if err := difftree.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if !difftree.ExpressibleAll(d, log) {
+		t.Fatal("hand-built tree must express the log")
+	}
+	plan, err := assign.BuildPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Interface{res: &core.Result{DiffTree: d, UI: plan.First(), Log: log}}, logSQL
+}
+
+func TestSessionAdderLoadQuery(t *testing.T) {
+	iface, logSQL := multiInterface(t)
+	sess := iface.NewSession()
+	for _, src := range logSQL {
+		if err := sess.LoadQuery(src); err != nil {
+			t.Fatalf("LoadQuery(%q): %v", src, err)
+		}
+		got, err := sess.SQL()
+		if err != nil {
+			t.Fatalf("SQL after %q: %v", src, err)
+		}
+		want := sqlparser.Render(sqlparser.MustParse(src))
+		if got != want {
+			t.Errorf("adder round trip: got %q want %q", got, want)
+		}
+	}
+}
+
+func TestSessionAdderSetCountAndInstances(t *testing.T) {
+	iface, _ := multiInterface(t)
+	sess := iface.NewSession()
+
+	// Find the adder and the inner column choice.
+	ws := sess.Widgets()
+	adderIdx, choiceIdx := -1, -1
+	for _, w := range ws {
+		switch w.Type {
+		case "adder":
+			adderIdx = w.Index
+		case "radio", "buttons", "dropdown":
+			choiceIdx = w.Index
+		}
+	}
+	if adderIdx < 0 || choiceIdx < 0 {
+		t.Fatalf("widgets: %+v", ws)
+	}
+
+	// Two instances: u and r.
+	if err := sess.Set(adderIdx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetInstance(choiceIdx, 0, 0); err != nil { // instance 0 -> u
+		t.Fatal(err)
+	}
+	if err := sess.SetInstance(choiceIdx, 2, 1); err != nil { // instance 1 -> r
+		t.Fatal(err)
+	}
+	sql, err := sess.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "u BETWEEN") || !strings.Contains(sql, "r BETWEEN") {
+		t.Errorf("instances not honored: %q", sql)
+	}
+
+	// Count 0: empty conjunction (renders as bare WHERE; it is still a
+	// well-formed tree even if semantically odd — the engine will reject it,
+	// which is exactly what ValidateSemantics is for).
+	if err := sess.Set(adderIdx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(); err != nil {
+		t.Fatalf("zero instances: %v", err)
+	}
+
+	// Out-of-range counts rejected.
+	if err := sess.Set(adderIdx, 99); err == nil {
+		t.Error("count 99 should be rejected")
+	}
+	// SetInstance bounds checks.
+	if err := sess.SetInstance(choiceIdx, 99, 0); err == nil {
+		t.Error("option 99 should be rejected")
+	}
+	if err := sess.SetInstance(-1, 0, 0); err == nil {
+		t.Error("widget -1 should be rejected")
+	}
+}
+
+func TestSessionAdderWidgetValue(t *testing.T) {
+	iface, _ := multiInterface(t)
+	sess := iface.NewSession()
+	for _, w := range sess.Widgets() {
+		if w.Type == "adder" && !strings.Contains(w.Value, "instance") {
+			t.Errorf("adder value = %q", w.Value)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package mctsui
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/sqlparser"
+	"repro/internal/widgets"
+)
+
+// tabsInterface hand-builds an interface with a nested choice: the query
+// either filters by country (with an inner literal choice) or sorts by b —
+// structurally different clauses that the assign layer must host in tabs.
+func tabsInterface(t *testing.T) (*Interface, []string) {
+	t.Helper()
+	logSQL := []string{
+		"select a from t where cty = USA",
+		"select a from t where cty = EUR",
+		"select a from t order by b desc",
+	}
+	log := make([]*ast.Node, len(logSQL))
+	for i, s := range logSQL {
+		log[i] = sqlparser.MustParse(s)
+	}
+
+	whereAlt := difftree.NewAll(ast.KindWhere, "",
+		difftree.NewAll(ast.KindBiExpr, "=",
+			difftree.NewAll(ast.KindColExpr, "cty"),
+			difftree.NewAny(
+				difftree.NewAll(ast.KindStrExpr, "USA"),
+				difftree.NewAll(ast.KindStrExpr, "EUR"))))
+	orderAlt := difftree.NewAll(ast.KindOrderBy, "",
+		difftree.NewAll(ast.KindSortKey, "desc", difftree.NewAll(ast.KindColExpr, "b")))
+	d := difftree.NewAll(ast.KindSelect, "",
+		difftree.NewAll(ast.KindProject, "", difftree.NewAll(ast.KindColExpr, "a")),
+		difftree.NewAll(ast.KindFrom, "", difftree.NewAll(ast.KindTable, "t")),
+		difftree.NewAny(whereAlt, orderAlt))
+	if err := difftree.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if !difftree.ExpressibleAll(d, log) {
+		t.Fatal("hand-built tree must express the log")
+	}
+	plan, err := assign.BuildPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Interface{res: &core.Result{DiffTree: d, UI: plan.First(), Log: log}}, logSQL
+}
+
+func TestSessionTabsRoundTrip(t *testing.T) {
+	iface, logSQL := tabsInterface(t)
+
+	// The UI must contain a tabs widget hosting the nested choice.
+	sawTabs := false
+	iface.res.UI.Walk(func(n *layout.Node) bool {
+		if n.Type == widgets.Tabs {
+			sawTabs = true
+		}
+		return true
+	})
+	if !sawTabs {
+		t.Fatalf("expected tabs in:\n%s", layout.RenderASCII(iface.res.UI))
+	}
+
+	sess := iface.NewSession()
+	for _, src := range logSQL {
+		if err := sess.LoadQuery(src); err != nil {
+			t.Fatalf("LoadQuery(%q): %v", src, err)
+		}
+		got, err := sess.SQL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sqlparser.Render(sqlparser.MustParse(src))
+		if got != want {
+			t.Errorf("tabs round trip: got %q want %q", got, want)
+		}
+	}
+}
+
+func TestSessionTabsSwitching(t *testing.T) {
+	iface, _ := tabsInterface(t)
+	sess := iface.NewSession()
+	// Widget 0 is the tabs (pre-order); switching tabs flips the clause.
+	ws := sess.Widgets()
+	if len(ws) < 2 {
+		t.Fatalf("widgets: %+v", ws)
+	}
+	tabsIdx := -1
+	for _, w := range ws {
+		if w.Type == "tabs" {
+			tabsIdx = w.Index
+		}
+	}
+	if tabsIdx < 0 {
+		t.Fatal("no tabs widget in session")
+	}
+	if err := sess.Set(tabsIdx, 1); err != nil {
+		t.Fatal(err)
+	}
+	sql, err := sess.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "ORDER BY") {
+		t.Errorf("tab 1 should produce the ORDER BY variant: %q", sql)
+	}
+	if err := sess.Set(tabsIdx, 0); err != nil {
+		t.Fatal(err)
+	}
+	sql, err = sess.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "WHERE") {
+		t.Errorf("tab 0 should produce the WHERE variant: %q", sql)
+	}
+}
