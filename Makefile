@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: verify build vet fmt test bench
+
+# verify is the tier-1 gate: build, vet, formatting, and the full test suite.
+verify: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# bench runs the benchmark suite once (includes BenchmarkGenerateWorkers,
+# the root-parallelization scaling check).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

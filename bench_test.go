@@ -6,10 +6,12 @@ package mctsui
 // performance and the quality numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/ast"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -45,7 +47,7 @@ func BenchmarkFig6aAllQueriesWide(b *testing.B) {
 	log := workload.SDSSLog()
 	var last float64
 	for i := 0; i < b.N; i++ {
-		res, err := core.Generate(log, benchOpts(layout.Wide))
+		res, err := core.Generate(context.Background(), log, benchOpts(layout.Wide))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +62,7 @@ func BenchmarkFig6bAllQueriesNarrow(b *testing.B) {
 	log := workload.SDSSLog()
 	var last float64
 	for i := 0; i < b.N; i++ {
-		res, err := core.Generate(log, benchOpts(layout.Narrow))
+		res, err := core.Generate(context.Background(), log, benchOpts(layout.Narrow))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +77,7 @@ func BenchmarkFig6cSubset(b *testing.B) {
 	log := workload.SDSSSubset(6, 8)
 	var last float64
 	for i := 0; i < b.N; i++ {
-		res, err := core.Generate(log, benchOpts(layout.Wide))
+		res, err := core.Generate(context.Background(), log, benchOpts(layout.Wide))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +145,7 @@ func BenchmarkMCTSBudgetSweep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				o := benchOpts(layout.Wide)
 				o.Iterations = iters
-				res, err := core.Generate(log, o)
+				res, err := core.Generate(context.Background(), log, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -173,7 +175,7 @@ func BenchmarkBaselineVsMCTS(b *testing.B) {
 	b.Run("mcts", func(b *testing.B) {
 		var last float64
 		for i := 0; i < b.N; i++ {
-			res, err := core.Generate(log, benchOpts(layout.Wide))
+			res, err := core.Generate(context.Background(), log, benchOpts(layout.Wide))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -181,6 +183,11 @@ func BenchmarkBaselineVsMCTS(b *testing.B) {
 		}
 		reportCost(b, last)
 	})
+}
+
+// benchSpace is the shared comparator state space with the engine's prune.
+func benchSpace(init *difftree.Node, log []*ast.Node) search.Space {
+	return search.SpaceFor(init, log, rules.All())
 }
 
 // BenchmarkSearchStrategies compares MCTS against random, greedy, and beam
@@ -200,7 +207,7 @@ func BenchmarkSearchStrategies(b *testing.B) {
 	b.Run("random", func(b *testing.B) {
 		var last float64
 		for i := 0; i < b.N; i++ {
-			r := search.Random(init, log, rules.All(), obj(rand.New(rand.NewSource(1))), 4, 8, 1)
+			r := search.Random(context.Background(), init, benchSpace(init, log), obj(rand.New(rand.NewSource(1))), 4, 8, 1)
 			last = r.BestCost
 		}
 		reportCost(b, last)
@@ -208,7 +215,7 @@ func BenchmarkSearchStrategies(b *testing.B) {
 	b.Run("greedy", func(b *testing.B) {
 		var last float64
 		for i := 0; i < b.N; i++ {
-			r := search.Greedy(init, log, rules.All(), obj(rand.New(rand.NewSource(1))), 12)
+			r := search.Greedy(context.Background(), init, benchSpace(init, log), obj(rand.New(rand.NewSource(1))), 12)
 			last = r.BestCost
 		}
 		reportCost(b, last)
@@ -216,7 +223,7 @@ func BenchmarkSearchStrategies(b *testing.B) {
 	b.Run("beam3", func(b *testing.B) {
 		var last float64
 		for i := 0; i < b.N; i++ {
-			r := search.Beam(init, log, rules.All(), obj(rand.New(rand.NewSource(1))), 3, 8)
+			r := search.Beam(context.Background(), init, benchSpace(init, log), obj(rand.New(rand.NewSource(1))), 3, 8)
 			last = r.BestCost
 		}
 		reportCost(b, last)
@@ -224,7 +231,7 @@ func BenchmarkSearchStrategies(b *testing.B) {
 	b.Run("mcts", func(b *testing.B) {
 		var last float64
 		for i := 0; i < b.N; i++ {
-			res, err := core.Generate(log, benchOpts(layout.Wide))
+			res, err := core.Generate(context.Background(), log, benchOpts(layout.Wide))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -243,7 +250,7 @@ func BenchmarkExplorationConstant(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				o := benchOpts(layout.Wide)
 				o.ExplorationC = c
-				res, err := core.Generate(log, o)
+				res, err := core.Generate(context.Background(), log, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -263,7 +270,7 @@ func BenchmarkRolloutDepth(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				o := benchOpts(layout.Wide)
 				o.RolloutDepth = depth
-				res, err := core.Generate(log, o)
+				res, err := core.Generate(context.Background(), log, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -284,7 +291,7 @@ func BenchmarkRewardSamples(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				o := benchOpts(layout.Wide)
 				o.RewardSamples = k
-				res, err := core.Generate(log, o)
+				res, err := core.Generate(context.Background(), log, o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -304,7 +311,28 @@ func BenchmarkScalingLogSize(b *testing.B) {
 		b.Run(itoa(n)+"queries", func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Generate(log, benchOpts(layout.Wide))
+				res, err := core.Generate(context.Background(), log, benchOpts(layout.Wide))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Cost.Total()
+			}
+			reportCost(b, last)
+		})
+	}
+}
+
+// BenchmarkGenerateWorkers measures root-parallelization scaling: the same
+// search budget per worker, 1 to 8 workers (experiment P1). Wall-clock per
+// op should stay near-flat while total iterations scale with the worker
+// count — regressions here mean the workers serialized somewhere.
+func BenchmarkGenerateWorkers(b *testing.B) {
+	log := workload.SDSSLog()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(itoa(workers)+"workers", func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.GenerateParallel(context.Background(), log, benchOpts(layout.Wide), workers)
 				if err != nil {
 					b.Fatal(err)
 				}

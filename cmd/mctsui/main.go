@@ -4,15 +4,20 @@
 // Usage:
 //
 //	mctsui -log queries.sql [-width 1200 -height 800] [-iters 60 | -budget 60s]
-//	       [-seed 1] [-format ascii|html|both] [-show-queries N]
+//	       [-seed 1] [-strategy mcts|beam[:W]|greedy|random[:N]|exhaustive[:M]]
+//	       [-workers N] [-progress] [-format ascii|html|both] [-show-queries N]
 //
-// With no -log flag it runs on the paper's SDSS log (Listing 1).
+// With no -log flag it runs on the paper's SDSS log (Listing 1). The search
+// is anytime: interrupt with Ctrl-C and the best interface found so far is
+// printed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -24,9 +29,12 @@ func main() {
 	logPath := flag.String("log", "", "query log file (default: the paper's SDSS log)")
 	width := flag.Int("width", 1200, "screen width in layout units")
 	height := flag.Int("height", 800, "screen height in layout units")
-	iters := flag.Int("iters", 60, "MCTS iterations (ignored when -budget is set)")
+	iters := flag.Int("iters", mctsui.DefaultIterations, "search iterations (ignored when -budget is set)")
 	budget := flag.Duration("budget", 0, "wall-clock search budget, e.g. 60s (the paper's setting)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", mctsui.DefaultSeed, "random seed")
+	strategy := flag.String("strategy", "mcts", "search strategy: mcts, beam[:width], greedy, random[:walks], or exhaustive[:states]")
+	workers := flag.Int("workers", 1, "parallel root searches (keeps the best result)")
+	progress := flag.Bool("progress", false, "stream best-so-far snapshots to stderr while searching")
 	format := flag.String("format", "ascii", "output format: ascii, html, page (interactive HTML), json, or both")
 	showQueries := flag.Int("show-queries", 0, "also print up to N expressible queries")
 	stats := flag.Bool("stats", false, "print search statistics")
@@ -53,20 +61,42 @@ func main() {
 		}
 	}
 
-	cfg := mctsui.Config{
-		Screen:     mctsui.Screen{W: *width, H: *height},
-		Iterations: *iters,
-		Seed:       *seed,
-	}
-	if *budget > 0 {
-		cfg.TimeBudget = *budget
-		cfg.Iterations = 0
-	}
-
-	start := time.Now()
-	iface, err := mctsui.Generate(queries, cfg)
+	strat, err := mctsui.StrategyByName(*strategy)
 	if err != nil {
 		fatal(err)
+	}
+	opts := []mctsui.Option{
+		mctsui.WithScreen(mctsui.Screen{W: *width, H: *height}),
+		mctsui.WithSeed(*seed),
+		mctsui.WithStrategy(strat),
+		mctsui.WithWorkers(*workers),
+	}
+	if *budget > 0 {
+		opts = append(opts, mctsui.WithTimeBudget(*budget))
+	} else {
+		opts = append(opts, mctsui.WithIterations(*iters))
+	}
+	if *progress {
+		opts = append(opts, mctsui.WithProgress(func(p mctsui.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%s w%d iter=%d evals=%d best=%.2f elapsed=%v   ",
+				p.Strategy, p.Worker, p.Iterations, p.Evals, p.BestCost, p.Elapsed.Round(time.Millisecond))
+		}))
+	}
+
+	// Ctrl-C cancels the search; the best-so-far interface is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	iface, err := mctsui.New(opts...).Generate(ctx, queries)
+	if err != nil {
+		fatal(err)
+	}
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if iface.Stats().Interrupted {
+		fmt.Fprintln(os.Stderr, "mctsui: search interrupted; showing the best interface found so far")
 	}
 
 	switch *format {
@@ -100,9 +130,14 @@ func main() {
 		iface.Cost(), iface.NumWidgets(), w, h, *width, *height, time.Since(start).Round(time.Millisecond))
 
 	if *stats {
-		s := iface.SearchStats()
-		fmt.Printf("search: iterations=%d expanded=%d rollouts=%d evals=%d best-reward=%.3f initial-fanout=%d initial-cost=%.2f\n",
-			s.Iterations, s.Expanded, s.Rollouts, s.Evals, s.BestReward, s.InitialFan, iface.InitialCost())
+		s := iface.Stats()
+		fmt.Printf("search: strategy=%s workers=%d iterations=%d expanded=%d rollouts=%d evals=%d best-reward=%.3f initial-fanout=%d initial-cost=%.2f interrupted=%v\n",
+			s.Strategy, s.Workers, s.Iterations, s.Expanded, s.Rollouts, s.Evals, s.BestReward, s.InitialFan, iface.InitialCost(), s.Interrupted)
+		if n := len(s.Trajectory); n > 0 {
+			last := s.Trajectory[n-1]
+			fmt.Printf("trajectory: %d improvements, final best %.2f after %d evals (%v)\n",
+				n, last.Cost, last.Evals, last.Elapsed.Round(time.Millisecond))
+		}
 	}
 	if *showQueries > 0 {
 		fmt.Printf("\nexpressible queries (up to %d):\n", *showQueries)

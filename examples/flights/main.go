@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -62,7 +63,10 @@ func main() {
 		fmt.Printf("  %d  %s\n", i+1, q)
 	}
 
-	iface, err := mctsui.Generate(analysisLog, mctsui.Config{Iterations: *iters, Seed: 3})
+	iface, err := mctsui.New(
+		mctsui.WithIterations(*iters),
+		mctsui.WithSeed(3),
+	).Generate(context.Background(), analysisLog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,7 +106,7 @@ func main() {
 }
 
 func canonicalize(q string) (string, error) {
-	one, err := mctsui.Generate([]string{q}, mctsui.Config{Iterations: 1})
+	one, err := mctsui.New(mctsui.WithIterations(1)).Generate(context.Background(), []string{q})
 	if err != nil {
 		return "", err
 	}

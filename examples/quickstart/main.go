@@ -1,12 +1,14 @@
 // Command quickstart generates an interface for the paper's Figure 1
 // example — three queries over a sales table — and walks through the public
-// API: generation, rendering, expressible-query enumeration, and an
-// interactive session.
+// API: a context-aware Generator with progress snapshots, rendering,
+// expressible-query enumeration, and an interactive session.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mctsui "repro"
 )
@@ -23,10 +25,22 @@ func main() {
 		fmt.Printf("  q%d: %s\n", i+1, q)
 	}
 
-	iface, err := mctsui.Generate(queries, mctsui.Config{
-		Iterations: 40,
-		Seed:       1,
-	})
+	// The Generator is anytime: the context bounds the search (cancel it
+	// and the best interface found so far is returned), and the progress
+	// callback watches the best-so-far cost fall while it runs.
+	gen := mctsui.New(
+		mctsui.WithIterations(40),
+		mctsui.WithSeed(1),
+		mctsui.WithProgress(func(p mctsui.Progress) {
+			if p.Iterations%10 == 0 && p.Iterations > 0 {
+				fmt.Printf("  ... iteration %d: best cost %.2f (%d evals)\n",
+					p.Iterations, p.BestCost, p.Evals)
+			}
+		}),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	iface, err := gen.Generate(ctx, queries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,6 +50,9 @@ func main() {
 	fmt.Printf("\nCost C(W,Q) = %.2f (initial state cost was %.2f)\n",
 		iface.Cost(), iface.InitialCost())
 	fmt.Printf("difftree: %s\n", iface.DiffTree())
+	st := iface.Stats()
+	fmt.Printf("search: strategy=%s iterations=%d evals=%d improvements=%d interrupted=%v\n",
+		st.Strategy, st.Iterations, st.Evals, len(st.Trajectory), st.Interrupted)
 
 	fmt.Println("\nQueries this interface can express (beyond the log):")
 	for _, q := range iface.Queries(10) {

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,7 +53,14 @@ func main() {
 	}
 
 	fmt.Println("generating interface...")
-	iface, err := mctsui.Generate(queries, mctsui.Config{Iterations: *iters, Seed: 1})
+	iface, err := mctsui.New(
+		mctsui.WithIterations(*iters),
+		mctsui.WithSeed(1),
+		mctsui.WithProgress(func(p mctsui.Progress) {
+			fmt.Printf("\r  iter=%d best=%.2f ", p.Iterations, p.BestCost)
+		}),
+	).Generate(context.Background(), queries)
+	fmt.Println()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

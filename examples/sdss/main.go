@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,7 +21,9 @@ func main() {
 	iters := flag.Int("iters", 15, "MCTS iterations per screen")
 	rows := flag.Int("rows", 2000, "rows per synthetic SDSS table")
 	seed := flag.Int64("seed", 1, "search seed")
+	workers := flag.Int("workers", 1, "parallel root searches per screen")
 	flag.Parse()
+	ctx := context.Background()
 
 	queries := workload.SDSSLogSQL()
 	fmt.Println("SDSS query log (paper Listing 1):")
@@ -36,11 +39,12 @@ func main() {
 		{"narrow screen (Figure 6b)", mctsui.NarrowScreen},
 	} {
 		fmt.Printf("\n=== %s %v ===\n", sc.name, sc.screen)
-		iface, err := mctsui.Generate(queries, mctsui.Config{
-			Screen:     sc.screen,
-			Iterations: *iters,
-			Seed:       *seed,
-		})
+		iface, err := mctsui.New(
+			mctsui.WithScreen(sc.screen),
+			mctsui.WithIterations(*iters),
+			mctsui.WithSeed(*seed),
+			mctsui.WithWorkers(*workers),
+		).Generate(ctx, queries)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +56,10 @@ func main() {
 
 	// Live execution against the synthetic catalog.
 	fmt.Println("\n=== live session (wide screen interface) ===")
-	iface, err := mctsui.Generate(queries, mctsui.Config{Iterations: *iters, Seed: *seed})
+	iface, err := mctsui.New(
+		mctsui.WithIterations(*iters),
+		mctsui.WithSeed(*seed),
+	).Generate(ctx, queries)
 	if err != nil {
 		log.Fatal(err)
 	}

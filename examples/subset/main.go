@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,7 +32,11 @@ func main() {
 		fmt.Printf("  %s\n", srcs[i])
 	}
 
-	iface, err := mctsui.Generate(srcs, mctsui.Config{Iterations: *iters, Seed: 1})
+	ctx := context.Background()
+	iface, err := mctsui.New(
+		mctsui.WithIterations(*iters),
+		mctsui.WithSeed(1),
+	).Generate(ctx, srcs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +44,25 @@ func main() {
 	fmt.Print(iface.ASCII())
 	fmt.Printf("cost=%.2f widgets=%d\n", iface.Cost(), iface.NumWidgets())
 
-	fullIface, err := mctsui.Generate(workload.SDSSLogSQL(), mctsui.Config{Iterations: *iters, Seed: 1})
+	// The subset log is tiny, so a breadth-first sweep is affordable:
+	// WithStrategy swaps MCTS for capped exhaustive enumeration, a second
+	// opinion on how close the sampled search got (the space itself is
+	// unbounded, so the sweep reports complete=false honestly).
+	exact, err := mctsui.New(
+		mctsui.WithStrategy(mctsui.StrategyExhaustive(5000)),
+		mctsui.WithRewardSamples(1),
+		mctsui.WithSeed(1),
+	).Generate(ctx, srcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exhaustive search over %d states: cost=%.2f (complete=%v) vs mcts %.2f\n",
+		exact.Stats().Expanded, exact.Cost(), exact.Stats().SpaceExhausted, iface.Cost())
+
+	fullIface, err := mctsui.New(
+		mctsui.WithIterations(*iters),
+		mctsui.WithSeed(1),
+	).Generate(ctx, workload.SDSSLogSQL())
 	if err != nil {
 		log.Fatal(err)
 	}

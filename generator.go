@@ -1,0 +1,174 @@
+package mctsui
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/sqlparser"
+)
+
+// Default search parameters, re-exported from the engine's single source of
+// truth (internal/core) so documentation and behavior cannot drift.
+const (
+	DefaultIterations    = core.DefaultIterations
+	DefaultRolloutDepth  = core.DefaultRolloutDepth
+	DefaultRewardSamples = core.DefaultRewardSamples
+	DefaultSeed          = core.DefaultSeed
+	DefaultExplorationC  = core.DefaultExplorationC
+)
+
+// Strategy is a pluggable search procedure; obtain instances from
+// StrategyMCTS, StrategyBeam, StrategyGreedy, StrategyRandom,
+// StrategyExhaustive, or StrategyByName and install one with WithStrategy.
+type Strategy = core.Strategy
+
+// Progress is an anytime snapshot of a running search, delivered to the
+// WithProgress callback: within one worker, BestCost is monotone
+// non-increasing and the counters monotone non-decreasing.
+type Progress = core.Progress
+
+// Stats summarizes a finished search, including the best-so-far cost
+// trajectory; see Interface.Stats.
+type Stats = core.Stats
+
+// TrajectoryPoint is one best-so-far improvement in Stats.Trajectory.
+type TrajectoryPoint = core.TrajectoryPoint
+
+// StrategyMCTS returns the paper's Monte Carlo Tree Search (the default).
+func StrategyMCTS() Strategy { return core.StrategyMCTS() }
+
+// StrategyBeam returns beam search with the given frontier width (a default
+// width when <= 0); iterations bound the generations. Cheaper than MCTS on
+// large logs.
+func StrategyBeam(width int) Strategy { return core.StrategyBeam(width) }
+
+// StrategyGreedy returns greedy hill-climbing to a local optimum.
+func StrategyGreedy() Strategy { return core.StrategyGreedy() }
+
+// StrategyRandom returns independent uniform random walks (a default count
+// when walks <= 0); rollout depth bounds each walk.
+func StrategyRandom(walks int) Strategy { return core.StrategyRandom(walks) }
+
+// StrategyExhaustive returns breadth-first enumeration capped at maxStates
+// (a default cap when <= 0) — the exact optimum on tiny logs.
+func StrategyExhaustive(maxStates int) Strategy { return core.StrategyExhaustive(maxStates) }
+
+// StrategyByName resolves "mcts", "beam[:width]", "greedy",
+// "random[:walks]", or "exhaustive[:maxStates]" — the form accepted by
+// command-line flags.
+func StrategyByName(spec string) (Strategy, error) { return core.StrategyByName(spec) }
+
+// Generator generates interfaces from query logs. The zero-argument New()
+// is ready to use with the paper's defaults; functional options tune it.
+// A Generator is immutable after New and safe for concurrent use.
+type Generator struct {
+	opt     core.Options
+	workers int
+}
+
+// Option configures a Generator.
+type Option func(*Generator)
+
+// New returns a Generator configured by opts.
+func New(opts ...Option) *Generator {
+	g := &Generator{workers: 1}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// WithScreen sets the output screen constraint; interfaces that do not fit
+// are discarded as invalid. Default WideScreen.
+func WithScreen(s Screen) Option { return func(g *Generator) { g.opt.Screen = s } }
+
+// WithIterations bounds the search iteration budget (default
+// DefaultIterations; ignored when only WithTimeBudget is set).
+func WithIterations(n int) Option { return func(g *Generator) { g.opt.Iterations = n } }
+
+// WithTimeBudget bounds wall-clock search time (the paper runs ~1 minute
+// per interface). The search may also be ended early at any moment by the
+// context passed to Generate.
+func WithTimeBudget(d time.Duration) Option { return func(g *Generator) { g.opt.TimeBudget = d } }
+
+// WithSeed makes generation deterministic (default DefaultSeed).
+func WithSeed(seed int64) Option { return func(g *Generator) { g.opt.Seed = seed } }
+
+// WithRolloutDepth bounds random walks during search (default
+// DefaultRolloutDepth; the paper allows up to 200).
+func WithRolloutDepth(n int) Option { return func(g *Generator) { g.opt.RolloutDepth = n } }
+
+// WithRewardSamples sets k, the random widget assignments scored per state
+// (default DefaultRewardSamples).
+func WithRewardSamples(k int) Option { return func(g *Generator) { g.opt.RewardSamples = k } }
+
+// WithExplorationC sets the UCT exploration constant (default
+// DefaultExplorationC, the paper's √2).
+func WithExplorationC(c float64) Option { return func(g *Generator) { g.opt.ExplorationC = c } }
+
+// WithWorkers runs n independent searches in parallel with distinct seeds
+// and keeps the best interface (root parallelization, the paper's suggested
+// optimization for interactive run-times). Values below 1 mean 1.
+func WithWorkers(n int) Option {
+	return func(g *Generator) {
+		if n < 1 {
+			n = 1
+		}
+		g.workers = n
+	}
+}
+
+// WithStrategy selects the search strategy (default StrategyMCTS()).
+func WithStrategy(s Strategy) Option { return func(g *Generator) { g.opt.Strategy = s } }
+
+// WithProgress installs an anytime observability callback, invoked with
+// best-so-far snapshots while the search runs. With WithWorkers the
+// callback is serialized across workers and each snapshot carries its
+// worker index. The callback runs on the search goroutine and must be fast.
+func WithProgress(fn func(Progress)) Option { return func(g *Generator) { g.opt.Progress = fn } }
+
+// Generate parses the query log (one SQL string per entry) and runs the
+// full pipeline under ctx.
+//
+// Generate is anytime: cancelling ctx — or passing a deadline — stops the
+// search promptly and returns the best interface found so far rather than
+// an error (Stats().Interrupted reports the early stop). Errors are
+// reserved for empty logs and unparsable queries.
+func (g *Generator) Generate(ctx context.Context, queries []string) (*Interface, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("mctsui: empty query log")
+	}
+	log := make([]*ast.Node, len(queries))
+	for i, q := range queries {
+		n, err := sqlparser.Parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("mctsui: query %d: %w", i+1, err)
+		}
+		log[i] = n
+	}
+	return g.GenerateFromASTs(ctx, log)
+}
+
+// GenerateFromASTs runs the pipeline on pre-parsed queries (see the
+// internal/sqlparser and internal/workload packages) with the same anytime
+// semantics as Generate.
+func (g *Generator) GenerateFromASTs(ctx context.Context, log []*ast.Node) (*Interface, error) {
+	if len(log) == 0 {
+		return nil, errors.New("mctsui: empty query log")
+	}
+	var res *core.Result
+	var err error
+	if g.workers > 1 {
+		res, err = core.GenerateParallel(ctx, log, g.opt, g.workers)
+	} else {
+		res, err = core.Generate(ctx, log, g.opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Interface{res: res}, nil
+}

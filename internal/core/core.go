@@ -1,11 +1,19 @@
 // Package core orchestrates the paper's end-to-end pipeline: parse the query
 // log into ASTs, build the initial difftree, search the space of difftrees
-// with MCTS (transformation rules as moves, best-of-k random widget
-// assignments as the reward), and finally enumerate widget trees for the
-// best difftree to extract the lowest-cost interface.
+// (transformation rules as moves, best-of-k random widget assignments as
+// the reward), and finally enumerate widget trees for the best difftree to
+// extract the lowest-cost interface.
+//
+// The search is anytime and pluggable: Generate takes a context.Context
+// (cancellation and deadlines end the search promptly with the best
+// interface found so far), Options.Strategy selects the exploration policy
+// (MCTS by default; beam, greedy, random, and exhaustive via the Strategy
+// constructors), and Options.Progress streams best-so-far snapshots while
+// the search runs.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +27,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mcts"
 	"repro/internal/rules"
+	"repro/internal/search"
 )
 
 // Options tunes interface generation; the zero value is filled with the
@@ -49,37 +58,12 @@ type Options struct {
 	NavUnit float64
 	// Rules is the transformation rule set (default rules.All()).
 	Rules []rules.Rule
-}
-
-func (o Options) withDefaults() Options {
-	if o.Screen == (layout.Screen{}) {
-		o.Screen = layout.Wide
-	}
-	if o.Iterations <= 0 && o.TimeBudget <= 0 {
-		o.Iterations = 60
-	}
-	if o.RolloutDepth <= 0 {
-		o.RolloutDepth = 16
-	}
-	if o.RewardSamples <= 0 {
-		o.RewardSamples = 5
-	}
-	if o.ExplorationC == 0 {
-		o.ExplorationC = math.Sqrt2
-	}
-	if o.EnumLimit <= 0 {
-		o.EnumLimit = 20000
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.NavUnit == 0 {
-		o.NavUnit = 0.3
-	}
-	if o.Rules == nil {
-		o.Rules = rules.All()
-	}
-	return o
+	// Strategy selects the search procedure (default StrategyMCTS()).
+	Strategy Strategy
+	// Progress, when non-nil, receives anytime snapshots while the search
+	// runs. Under GenerateParallel the callback is serialized across
+	// workers; each snapshot carries its worker index.
+	Progress func(Progress)
 }
 
 // Result is a generated interface plus search diagnostics.
@@ -94,18 +78,38 @@ type Result struct {
 
 // Stats summarizes the search.
 type Stats struct {
-	Iterations   int
-	Expanded     int
-	Rollouts     int
-	Evals        int
-	BestReward   float64
-	InitialFan   int // fanout (legal moves) of the initial state
-	EnumComplete bool
-	Elapsed      time.Duration
+	Strategy       string // strategy that produced the result
+	Iterations     int    // MCTS iterations; objective evaluations otherwise
+	Expanded       int    // expanded nodes (states visited for non-MCTS)
+	Rollouts       int    // random walks (MCTS only)
+	Evals          int    // cost evaluations
+	BestReward     float64
+	InitialFan     int  // fanout (legal moves) of the initial state
+	EnumComplete   bool // final widget-tree enumeration was exhaustive
+	SpaceExhausted bool // StrategyExhaustive swept the entire space
+	Interrupted    bool // the context ended the search before its budget
+	Workers        int  // parallel workers that contributed
+	Elapsed        time.Duration
+	// Trajectory is the best-so-far cost curve: one point per improvement,
+	// costs monotone non-increasing. Under GenerateParallel it is the
+	// winning worker's curve.
+	Trajectory []TrajectoryPoint
 }
 
-// Generate runs the full pipeline on parsed query ASTs.
-func Generate(log []*ast.Node, opt Options) (*Result, error) {
+// Generate runs the full pipeline on parsed query ASTs. It is an anytime
+// call: when ctx is cancelled or its deadline passes mid-search, the best
+// interface found so far is extracted and returned (with Stats.Interrupted
+// set) rather than an error. A nil ctx is treated as context.Background().
+func Generate(ctx context.Context, log []*ast.Node, opt Options) (*Result, error) {
+	return generate(ctx, log, opt, 0)
+}
+
+// generate is Generate plus the worker index used by GenerateParallel's
+// progress snapshots.
+func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	if len(log) == 0 {
 		return nil, errors.New("core: empty query log")
@@ -116,25 +120,34 @@ func Generate(log []*ast.Node, opt Options) (*Result, error) {
 	}
 
 	model := cost.Model{NavUnit: opt.NavUnit, Screen: opt.Screen}
-	dom := newDomain(log, model, opt)
-	start := time.Now()
+	p := newProblem(log, init, model, opt, worker)
 
-	res := mcts.Search(dom, state{d: init, h: difftree.Hash(init)}, mcts.Config{
-		C:                opt.ExplorationC,
-		MaxRolloutDepth:  opt.RolloutDepth,
-		Iterations:       opt.Iterations,
-		TimeBudget:       opt.TimeBudget,
-		Seed:             opt.Seed,
-		EvaluateChildren: true,
-	})
-	best := res.Best.(state).d
+	res := opt.Strategy.search(ctx, p)
+	best := res.best
 
 	// Final extraction: enumerate all widget trees for the best difftree
-	// (sampling beyond the cap) and keep the argmin.
+	// (sampling beyond the cap) and keep the argmin. When the search ended
+	// on the initial state — e.g. a context cancelled before the first
+	// iteration — one extraction serves as both the result and the
+	// initial-state reference, halving the post-cancellation work.
 	ui, bd, complete := BestInterface(best, log, model, opt.EnumLimit, opt.Seed)
 
-	initUI, initBD, _ := BestInterface(init, log, model, opt.EnumLimit, opt.Seed)
-	_ = initUI
+	initBD := bd
+	if difftree.Hash(best) != difftree.Hash(init) {
+		_, initBD, _ = BestInterface(init, log, model, opt.EnumLimit, opt.Seed)
+	}
+
+	stats := res.stats
+	stats.InitialFan = len(rules.Moves(init, log, opt.Rules))
+	stats.EnumComplete = complete
+	stats.Workers = 1
+	stats.Elapsed = time.Since(p.start)
+	// Close the trajectory with the extraction result, which can undercut
+	// the search-time estimate (it enumerates far more assignments).
+	if c := bd.Total(); c < p.bestCost && !math.IsInf(c, 1) {
+		p.traj = append(p.traj, TrajectoryPoint{Evals: p.evals, Elapsed: stats.Elapsed, Cost: c})
+	}
+	stats.Trajectory = p.traj
 
 	out := &Result{
 		DiffTree: best,
@@ -142,16 +155,7 @@ func Generate(log []*ast.Node, opt Options) (*Result, error) {
 		Cost:     bd,
 		Initial:  initBD,
 		Log:      log,
-		Stats: Stats{
-			Iterations:   res.Iterations,
-			Expanded:     res.Expanded,
-			Rollouts:     res.Rollouts,
-			Evals:        res.Evals,
-			BestReward:   res.BestReward,
-			InitialFan:   len(rules.Moves(init, log, opt.Rules)),
-			EnumComplete: complete,
-			Elapsed:      time.Since(start),
-		},
+		Stats:    stats,
 	}
 	return out, nil
 }
@@ -239,6 +243,7 @@ type domain struct {
 	// listed by the paper as a needed optimization: expansion rules can
 	// otherwise balloon trees during long rollouts)
 	neighbors map[uint64][]mcts.State // full neighbor lists, keyed by state hash
+	onCost    func(float64)           // observes each newly computed state cost
 }
 
 // ruleKinds maps each rule to the difftree node kinds its pattern can match;
@@ -275,7 +280,7 @@ func newDomain(log []*ast.Node, model cost.Model, opt Options) *domain {
 		if !math.IsInf(c, 1) && c > 0 {
 			d.scale = c
 		}
-		d.sizeCap = 4 * init.Size()
+		d.sizeCap = search.SizeCap(init)
 	}
 	if d.scale <= 0 {
 		d.scale = 10
@@ -390,6 +395,9 @@ func (d *domain) Reward(s mcts.State) float64 {
 		return r
 	}
 	c := StateCost(st.d, d.log, d.model, d.k, d.rng)
+	if d.onCost != nil {
+		d.onCost(c)
+	}
 	r := 0.0
 	if !math.IsInf(c, 1) {
 		r = 1.0 / (1.0 + c/d.scale)

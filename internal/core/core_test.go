@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func fastOpts(screen layout.Screen) Options {
 
 func TestGenerateFigure1(t *testing.T) {
 	log := workload.PaperFigure1Log()
-	res, err := Generate(log, fastOpts(layout.Wide))
+	res, err := Generate(context.Background(), log, fastOpts(layout.Wide))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestGenerateImprovesOnInitialSDSS(t *testing.T) {
 	log := workload.SDSSLog()
 	opt := fastOpts(layout.Wide)
 	opt.Iterations = 15
-	res, err := Generate(log, opt)
+	res, err := Generate(context.Background(), log, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,14 +76,14 @@ func TestGenerateImprovesOnInitialSDSS(t *testing.T) {
 }
 
 func TestGenerateEmptyLog(t *testing.T) {
-	if _, err := Generate(nil, Options{}); err == nil {
+	if _, err := Generate(context.Background(), nil, Options{}); err == nil {
 		t.Fatal("empty log must error")
 	}
 }
 
 func TestGenerateSingleQuery(t *testing.T) {
 	log := workload.SDSSSubset(1, 1)
-	res, err := Generate(log, fastOpts(layout.Wide))
+	res, err := Generate(context.Background(), log, fastOpts(layout.Wide))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +112,11 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestDeterministicGeneration(t *testing.T) {
 	log := workload.PaperFigure1Log()
-	a, err := Generate(log, fastOpts(layout.Wide))
+	a, err := Generate(context.Background(), log, fastOpts(layout.Wide))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(log, fastOpts(layout.Wide))
+	b, err := Generate(context.Background(), log, fastOpts(layout.Wide))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestDeterministicGeneration(t *testing.T) {
 	}
 	opt := fastOpts(layout.Wide)
 	opt.Seed = 777
-	c, err := Generate(log, opt)
+	c, err := Generate(context.Background(), log, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +213,11 @@ func TestNarrowScreenChangesInterface(t *testing.T) {
 		t.Skip("search test")
 	}
 	log := workload.SDSSLog()
-	wide, err := Generate(log, fastOpts(layout.Wide))
+	wide, err := Generate(context.Background(), log, fastOpts(layout.Wide))
 	if err != nil {
 		t.Fatal(err)
 	}
-	narrow, err := Generate(log, fastOpts(layout.Narrow))
+	narrow, err := Generate(context.Background(), log, fastOpts(layout.Narrow))
 	if err != nil {
 		t.Fatal(err)
 	}

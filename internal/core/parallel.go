@@ -1,27 +1,40 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"repro/internal/ast"
 )
 
-// GenerateParallel runs `workers` independent MCTS searches with distinct
-// seeds and returns the best interface found — root parallelization, the
-// simplest of the parallel MCTS schemes and the paper's suggested
-// "parallelization" optimization for interactive run-times. workers <= 0
-// uses GOMAXPROCS. Results are deterministic for a fixed (seed, workers)
-// pair: the winner is the lowest cost with the lowest worker index breaking
-// ties.
-func GenerateParallel(log []*ast.Node, opt Options, workers int) (*Result, error) {
+// GenerateParallel runs `workers` independent searches with distinct seeds
+// and returns the best interface found — root parallelization, the simplest
+// of the parallel MCTS schemes and the paper's suggested "parallelization"
+// optimization for interactive run-times. workers <= 0 uses GOMAXPROCS.
+// Results are deterministic for a fixed (seed, workers) pair: the winner is
+// the lowest cost with the lowest worker index breaking ties.
+//
+// Cancelling ctx stops every worker promptly; the best interface found
+// across workers so far is still assembled and returned. Progress callbacks
+// are serialized across workers and tagged with the worker index.
+func GenerateParallel(ctx context.Context, log []*ast.Node, opt Options, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return Generate(log, opt)
+		return Generate(ctx, log, opt)
 	}
 	opt = opt.withDefaults()
+	if opt.Progress != nil {
+		var mu sync.Mutex
+		user := opt.Progress
+		opt.Progress = func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			user(p)
+		}
+	}
 
 	results := make([]*Result, workers)
 	errs := make([]error, workers)
@@ -32,7 +45,7 @@ func GenerateParallel(log []*ast.Node, opt Options, workers int) (*Result, error
 			defer wg.Done()
 			o := opt
 			o.Seed = opt.Seed + int64(w)*0x9e3779b9
-			results[w], errs[w] = Generate(log, o)
+			results[w], errs[w] = generate(ctx, log, o, w)
 		}(w)
 	}
 	wg.Wait()
@@ -47,14 +60,17 @@ func GenerateParallel(log []*ast.Node, opt Options, workers int) (*Result, error
 			best = r
 		}
 	}
-	// Aggregate search statistics across workers.
+	// Aggregate search statistics across workers; the winner keeps its own
+	// best-cost trajectory.
 	agg := best.Stats
 	agg.Iterations, agg.Expanded, agg.Rollouts, agg.Evals = 0, 0, 0, 0
+	agg.Workers = workers
 	for _, r := range results {
 		agg.Iterations += r.Stats.Iterations
 		agg.Expanded += r.Stats.Expanded
 		agg.Rollouts += r.Stats.Rollouts
 		agg.Evals += r.Stats.Evals
+		agg.Interrupted = agg.Interrupted || r.Stats.Interrupted
 	}
 	best.Stats = agg
 	return best, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/layout"
@@ -10,11 +11,11 @@ import (
 func TestGenerateParallelBeatsOrMatchesSingle(t *testing.T) {
 	log := workload.PaperFigure1Log()
 	opt := fastOpts(layout.Wide)
-	single, err := Generate(log, opt)
+	single, err := Generate(context.Background(), log, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := GenerateParallel(log, opt, 3)
+	par, err := GenerateParallel(context.Background(), log, opt, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +32,11 @@ func TestGenerateParallelBeatsOrMatchesSingle(t *testing.T) {
 func TestGenerateParallelDeterministic(t *testing.T) {
 	log := workload.PaperFigure1Log()
 	opt := fastOpts(layout.Wide)
-	a, err := GenerateParallel(log, opt, 2)
+	a, err := GenerateParallel(context.Background(), log, opt, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GenerateParallel(log, opt, 2)
+	b, err := GenerateParallel(context.Background(), log, opt, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +48,11 @@ func TestGenerateParallelDeterministic(t *testing.T) {
 func TestGenerateParallelSingleWorkerDelegates(t *testing.T) {
 	log := workload.PaperFigure1Log()
 	opt := fastOpts(layout.Wide)
-	a, err := GenerateParallel(log, opt, 1)
+	a, err := GenerateParallel(context.Background(), log, opt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(log, opt)
+	b, err := Generate(context.Background(), log, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,14 +62,14 @@ func TestGenerateParallelSingleWorkerDelegates(t *testing.T) {
 }
 
 func TestGenerateParallelErrors(t *testing.T) {
-	if _, err := GenerateParallel(nil, Options{}, 2); err == nil {
+	if _, err := GenerateParallel(context.Background(), nil, Options{}, 2); err == nil {
 		t.Error("empty log must error")
 	}
 	// workers <= 0 defaults to GOMAXPROCS and still works.
 	log := workload.PaperFigure1Log()
 	opt := fastOpts(layout.Wide)
 	opt.Iterations = 2
-	if _, err := GenerateParallel(log, opt, 0); err != nil {
+	if _, err := GenerateParallel(context.Background(), log, opt, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/layout"
@@ -13,7 +14,7 @@ import (
 func BenchmarkProf2(b *testing.B) {
 	log := workload.SDSSLog()
 	for i := 0; i < b.N; i++ {
-		if _, err := Generate(log, Options{Screen: layout.Wide, Iterations: 5, Seed: 1}); err != nil {
+		if _, err := Generate(context.Background(), log, Options{Screen: layout.Wide, Iterations: 5, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,7 +21,6 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mcts"
 	"repro/internal/rules"
-	"repro/internal/search"
 	"repro/internal/widgets"
 	"repro/internal/workload"
 )
@@ -45,24 +45,24 @@ func (c Config) opts(screen layout.Screen) core.Options {
 }
 
 // Fig6a generates the all-queries interface on the wide screen.
-func Fig6a(cfg Config) string {
-	return figure(cfg, "Figure 6(a): all SDSS queries, wide screen", workload.SDSSLog(), layout.Wide)
+func Fig6a(ctx context.Context, cfg Config) string {
+	return figure(ctx, cfg, "Figure 6(a): all SDSS queries, wide screen", workload.SDSSLog(), layout.Wide)
 }
 
 // Fig6b generates the all-queries interface on the narrow screen.
-func Fig6b(cfg Config) string {
-	return figure(cfg, "Figure 6(b): all SDSS queries, narrow screen", workload.SDSSLog(), layout.Narrow)
+func Fig6b(ctx context.Context, cfg Config) string {
+	return figure(ctx, cfg, "Figure 6(b): all SDSS queries, narrow screen", workload.SDSSLog(), layout.Narrow)
 }
 
 // Fig6c generates the interface for SDSS queries 6-8 only.
-func Fig6c(cfg Config) string {
-	return figure(cfg, "Figure 6(c): SDSS queries 6-8, wide screen", workload.SDSSSubset(6, 8), layout.Wide)
+func Fig6c(ctx context.Context, cfg Config) string {
+	return figure(ctx, cfg, "Figure 6(c): SDSS queries 6-8, wide screen", workload.SDSSSubset(6, 8), layout.Wide)
 }
 
-func figure(cfg Config, title string, log []*ast.Node, screen layout.Screen) string {
+func figure(ctx context.Context, cfg Config, title string, log []*ast.Node, screen layout.Screen) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", title)
-	res, err := core.Generate(log, cfg.opts(screen))
+	res, err := core.Generate(ctx, log, cfg.opts(screen))
 	if err != nil {
 		fmt.Fprintf(&b, "error: %v\n", err)
 		return b.String()
@@ -100,13 +100,13 @@ func widgetMix(ui *layout.Node) string {
 // Fig6d contrasts searched interfaces with unsearched random-walk states
 // (the paper's "low reward interface ... poor interface choices are easily
 // possible").
-func Fig6d(cfg Config) string {
+func Fig6d(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Figure 6(d): low-reward (unsearched) interfaces ==\n")
 	log := workload.SDSSLog()
 	model := cost.Default(layout.Wide)
 
-	res, err := core.Generate(log, cfg.opts(layout.Wide))
+	res, err := core.Generate(ctx, log, cfg.opts(layout.Wide))
 	if err != nil {
 		return err.Error()
 	}
@@ -139,7 +139,7 @@ func Fig6d(cfg Config) string {
 // Fig6e scores a hand-coded replica of the original SDSS search form (all
 // textboxes and radio buttons in a flat column, as in the paper's Figure
 // 6(e)) under the same cost model, for reference.
-func Fig6e(cfg Config) string {
+func Fig6e(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Figure 6(e): original SDSS form (hand-coded reference) ==\n")
 	log := workload.SDSSLog()
@@ -173,7 +173,7 @@ func Fig6e(cfg Config) string {
 	form := layout.NewBox(widgets.VBox, ws...)
 	bd := model.NewEvaluator(base.DiffTree, log).Evaluate(form)
 
-	res, err := core.Generate(log, cfg.opts(layout.Wide))
+	res, err := core.Generate(ctx, log, cfg.opts(layout.Wide))
 	if err != nil {
 		return err.Error()
 	}
@@ -186,7 +186,7 @@ func Fig6e(cfg Config) string {
 
 // SearchSpace measures the paper's search-space characterization: "The
 // fanout is as high as 50, and a search path can be as long as 100 steps."
-func SearchSpace(cfg Config) string {
+func SearchSpace(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Search space (paper: fanout up to ~50, paths up to ~100 steps) ==\n")
 	log := workload.SDSSLog()
@@ -204,6 +204,10 @@ func SearchSpace(cfg Config) string {
 	d := init
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for step := 0; step < 100; step++ {
+		if ctx.Err() != nil {
+			fmt.Fprintf(&b, "(cancelled after %d steps)\n", step)
+			break
+		}
 		moves := rules.Moves(d, log, rules.All())
 		if len(moves) > maxFan {
 			maxFan = len(moves)
@@ -228,7 +232,7 @@ func SearchSpace(cfg Config) string {
 // BudgetSweep traces interface cost against the search budget (the paper
 // runs MCTS "for around 1 minute"; we report cost vs iterations and the
 // wall-clock each took).
-func BudgetSweep(cfg Config) string {
+func BudgetSweep(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Cost vs search budget (MCTS) ==\n")
 	log := workload.SDSSLog()
@@ -237,7 +241,7 @@ func BudgetSweep(cfg Config) string {
 		o := cfg.opts(layout.Wide)
 		o.Iterations = iters
 		start := time.Now()
-		res, err := core.Generate(log, o)
+		res, err := core.Generate(ctx, log, o)
 		if err != nil {
 			fmt.Fprintf(&b, "%-12d error: %v\n", iters, err)
 			continue
@@ -250,7 +254,7 @@ func BudgetSweep(cfg Config) string {
 
 // BaselineCompare scores the 2017 bottom-up baseline against MCTS on the
 // paper's logs.
-func BaselineCompare(cfg Config) string {
+func BaselineCompare(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Prior work (Zhang et al. 2017 bottom-up) vs MCTS ==\n")
 	cases := []struct {
@@ -272,7 +276,7 @@ func BaselineCompare(cfg Config) string {
 		if err == nil {
 			baseCost, baseW = base.Cost.Total(), base.UI.CountWidgets()
 		}
-		res, err := core.Generate(c.log, cfg.opts(layout.Wide))
+		res, err := core.Generate(ctx, c.log, cfg.opts(layout.Wide))
 		mctsCost, mctsW := math.Inf(1), 0
 		if err == nil {
 			mctsCost, mctsW = res.Cost.Total(), res.Cost.Widgets
@@ -285,48 +289,48 @@ func BaselineCompare(cfg Config) string {
 }
 
 // Strategies compares MCTS against random walks, greedy hill climbing, beam
-// search, and (on a tiny input) exhaustive enumeration.
-func Strategies(cfg Config) string {
+// search, and (on a tiny input) exhaustive enumeration. Every strategy runs
+// through the same core.Strategy plumbing the public API exposes, so this
+// is also an end-to-end exercise of WithStrategy.
+func Strategies(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Search strategies (same cost model and rule set) ==\n")
 	log := workload.SDSSLog()
-	init, _ := difftree.Initial(log)
-	model := cost.Default(layout.Wide)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	obj := func(d *difftree.Node) float64 {
-		return core.StateCost(d, log, model, 3, rng)
-	}
 
-	res, err := core.Generate(log, cfg.opts(layout.Wide))
-	if err != nil {
-		return err.Error()
+	for _, s := range []core.Strategy{
+		core.StrategyMCTS(),
+		core.StrategyRandom(6),
+		core.StrategyGreedy(),
+		core.StrategyBeam(3),
+	} {
+		o := cfg.opts(layout.Wide)
+		o.Strategy = s
+		res, err := core.Generate(ctx, log, o)
+		if err != nil {
+			fmt.Fprintf(&b, "%-12s error: %v\n", s.Name(), err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s cost=%-8.2f evals=%d\n", s.Name(), res.Cost.Total(), res.Stats.Evals)
 	}
-	fmt.Fprintf(&b, "%-12s cost=%-8.2f evals=%d\n", "mcts", res.Cost.Total(), res.Stats.Evals)
-
-	r := search.Random(init, log, rules.All(), obj, 6, 10, cfg.Seed)
-	fmt.Fprintf(&b, "%-12s cost=%-8.2f evals=%d\n", "random", r.BestCost, r.Evals)
-	g := search.Greedy(init, log, rules.All(), obj, 20)
-	fmt.Fprintf(&b, "%-12s cost=%-8.2f evals=%d\n", "greedy", g.BestCost, g.Evals)
-	bm := search.Beam(init, log, rules.All(), obj, 3, 12)
-	fmt.Fprintf(&b, "%-12s cost=%-8.2f evals=%d\n", "beam(3)", bm.BestCost, bm.Evals)
 
 	// Exhaustive on a 2-query log (tiny space) to calibrate optimality.
 	tiny := workload.PaperFigure1Log()[:2]
-	tinyInit, _ := difftree.Initial(tiny)
-	tinyRng := rand.New(rand.NewSource(cfg.Seed))
-	tinyObj := func(d *difftree.Node) float64 {
-		return core.StateCost(d, tiny, model, 0, tinyRng)
+	exOpts := cfg.opts(layout.Wide)
+	exOpts.Strategy = core.StrategyExhaustive(4000)
+	exOpts.RewardSamples = 1
+	ex, err := core.Generate(ctx, tiny, exOpts)
+	if err != nil {
+		fmt.Fprintf(&b, "tiny log (2 queries): error: %v\n", err)
+		return b.String()
 	}
-	ex, complete := search.Exhaustive(tinyInit, tiny, rules.All(), tinyObj, 4000)
-	tinyOpts := cfg.opts(layout.Wide)
-	tinyRes, _ := core.Generate(tiny, tinyOpts)
+	tinyRes, _ := core.Generate(ctx, tiny, cfg.opts(layout.Wide))
 	fmt.Fprintf(&b, "tiny log (2 queries): exhaustive=%.2f (complete=%v, states=%d)  mcts=%.2f\n",
-		ex.BestCost, complete, ex.States, tinyRes.Cost.Total())
+		ex.Cost.Total(), ex.Stats.SpaceExhausted, ex.Stats.Expanded, tinyRes.Cost.Total())
 	return b.String()
 }
 
 // AblationC sweeps the UCT exploration constant.
-func AblationC(cfg Config) string {
+func AblationC(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Ablation: UCT exploration constant c ==\n")
 	log := workload.SDSSLog()
@@ -334,7 +338,7 @@ func AblationC(cfg Config) string {
 	for _, c := range []float64{0.2, 0.7, math.Sqrt2, 2.5, 5} {
 		o := cfg.opts(layout.Wide)
 		o.ExplorationC = c
-		res, err := core.Generate(log, o)
+		res, err := core.Generate(ctx, log, o)
 		if err != nil {
 			continue
 		}
@@ -344,7 +348,7 @@ func AblationC(cfg Config) string {
 }
 
 // AblationRollout sweeps rollout depth and the reward sample count k.
-func AblationRollout(cfg Config) string {
+func AblationRollout(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Ablation: rollout depth and reward samples k ==\n")
 	log := workload.SDSSLog()
@@ -353,7 +357,7 @@ func AblationRollout(cfg Config) string {
 		o := cfg.opts(layout.Wide)
 		o.RolloutDepth = depth
 		start := time.Now()
-		res, err := core.Generate(log, o)
+		res, err := core.Generate(ctx, log, o)
 		if err != nil {
 			continue
 		}
@@ -363,7 +367,7 @@ func AblationRollout(cfg Config) string {
 	for _, k := range []int{1, 3, 5, 10} {
 		o := cfg.opts(layout.Wide)
 		o.RewardSamples = k
-		res, err := core.Generate(log, o)
+		res, err := core.Generate(ctx, log, o)
 		if err != nil {
 			continue
 		}
@@ -373,7 +377,7 @@ func AblationRollout(cfg Config) string {
 }
 
 // Scaling sweeps the synthetic log size.
-func Scaling(cfg Config) string {
+func Scaling(ctx context.Context, cfg Config) string {
 	var b strings.Builder
 	b.WriteString("== Scaling with log size (synthetic generator) ==\n")
 	fmt.Fprintf(&b, "%-10s %-10s %-10s %-10s %-12s\n", "queries", "fanout", "cost", "widgets", "elapsed")
@@ -387,7 +391,7 @@ func Scaling(cfg Config) string {
 		}
 		fan := core.Fanout(init, log, rules.All())
 		start := time.Now()
-		res, err := core.Generate(log, cfg.opts(layout.Wide))
+		res, err := core.Generate(ctx, log, cfg.opts(layout.Wide))
 		if err != nil {
 			fmt.Fprintf(&b, "%-10d %-10d error: %v\n", n, fan, err)
 			continue
@@ -399,23 +403,23 @@ func Scaling(cfg Config) string {
 }
 
 // All runs every experiment in DESIGN.md order.
-func All(cfg Config) string {
-	sections := []func(Config) string{
+func All(ctx context.Context, cfg Config) string {
+	sections := []func(context.Context, Config) string{
 		Fig6a, Fig6b, Fig6c, Fig6d, Fig6e,
 		SearchSpace, BudgetSweep, BaselineCompare, Strategies,
 		AblationC, AblationRollout, Scaling,
 	}
 	var b strings.Builder
 	for _, f := range sections {
-		b.WriteString(f(cfg))
+		b.WriteString(f(ctx, cfg))
 		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
 // Named returns the experiment runner for a DESIGN.md experiment id.
-func Named(name string) (func(Config) string, bool) {
-	m := map[string]func(Config) string{
+func Named(name string) (func(context.Context, Config) string, bool) {
+	m := map[string]func(context.Context, Config) string{
 		"fig6a":            Fig6a,
 		"fig6b":            Fig6b,
 		"fig6c":            Fig6c,

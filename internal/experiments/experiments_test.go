@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -30,10 +31,10 @@ func TestFigureExperimentsProduceInterfaces(t *testing.T) {
 		t.Skip("experiment smoke test")
 	}
 	cfg := tiny()
-	for name, f := range map[string]func(Config) string{
+	for name, f := range map[string]func(context.Context, Config) string{
 		"fig6a": Fig6a, "fig6c": Fig6c,
 	} {
-		out := f(cfg)
+		out := f(context.Background(), cfg)
 		if !strings.Contains(out, "cost=") {
 			t.Errorf("%s: no cost line:\n%s", name, out)
 		}
@@ -47,7 +48,7 @@ func TestFigureExperimentsProduceInterfaces(t *testing.T) {
 }
 
 func TestSearchSpaceReport(t *testing.T) {
-	out := SearchSpace(tiny())
+	out := SearchSpace(context.Background(), tiny())
 	if !strings.Contains(out, "fanout=") || !strings.Contains(out, "random path") {
 		t.Errorf("report incomplete:\n%s", out)
 	}
@@ -57,7 +58,7 @@ func TestBaselineCompareReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")
 	}
-	out := BaselineCompare(tiny())
+	out := BaselineCompare(context.Background(), tiny())
 	if !strings.Contains(out, "figure-1") || !strings.Contains(out, "sdss") {
 		t.Errorf("rows missing:\n%s", out)
 	}
@@ -67,7 +68,7 @@ func TestFig6dReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")
 	}
-	out := Fig6d(tiny())
+	out := Fig6d(context.Background(), tiny())
 	if !strings.Contains(out, "random walk") || !strings.Contains(out, "searched") {
 		t.Errorf("report incomplete:\n%s", out)
 	}
@@ -77,7 +78,7 @@ func TestFig6eReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")
 	}
-	out := Fig6e(tiny())
+	out := Fig6e(context.Background(), tiny())
 	if !strings.Contains(out, "SDSS-form-style") || !strings.Contains(out, "generated (MCTS)") {
 		t.Errorf("report incomplete:\n%s", out)
 	}

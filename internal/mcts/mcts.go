@@ -7,9 +7,15 @@
 //
 // The package is generic over the state space: the interface-generation
 // domain (difftrees + transformation rules) plugs in via Domain.
+//
+// Search is an anytime algorithm: it accepts a context.Context and stops
+// promptly — returning the best state seen so far — when the context is
+// cancelled or its deadline passes, in addition to the iteration and
+// wall-clock budgets in Config.
 package mcts
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -53,6 +59,10 @@ type Config struct {
 	// EvaluateChildren also scores each expanded child directly, so good
 	// intermediate states are never missed; costs one Reward call per child.
 	EvaluateChildren bool
+	// Progress, when non-nil, is invoked after every iteration with the
+	// running result (anytime observability). It runs on the search
+	// goroutine and must be fast.
+	Progress func(Result)
 }
 
 // DefaultConfig mirrors the paper's setup with a deterministic iteration
@@ -69,12 +79,13 @@ func DefaultConfig() Config {
 
 // Result reports the search outcome.
 type Result struct {
-	Best       State   // highest-reward state seen anywhere in the search
-	BestReward float64 // its reward
-	Iterations int     // iterations actually executed
-	Expanded   int     // total expanded nodes
-	Rollouts   int     // total random walks
-	Evals      int     // total Reward calls
+	Best        State   // highest-reward state seen anywhere in the search
+	BestReward  float64 // its reward
+	Iterations  int     // iterations actually executed
+	Expanded    int     // total expanded nodes
+	Rollouts    int     // total random walks
+	Evals       int     // total Reward calls
+	Interrupted bool    // the context ended the search before its budget
 }
 
 type node struct {
@@ -102,8 +113,13 @@ func uct(n *node, c float64) float64 {
 	return exploit + c*math.Sqrt(math.Log(float64(N))/float64(n.visits))
 }
 
-// Search runs MCTS from root and returns the best state found.
-func Search(d Domain, root State, cfg Config) Result {
+// Search runs MCTS from root and returns the best state found. A nil ctx is
+// treated as context.Background(); when ctx ends mid-search the best
+// state found so far is returned with Interrupted set.
+func Search(ctx context.Context, d Domain, root State, cfg Config) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.C == 0 {
 		cfg.C = math.Sqrt2
 	}
@@ -119,12 +135,16 @@ func Search(d Domain, root State, cfg Config) Result {
 		deadline = time.Now().Add(cfg.TimeBudget)
 	}
 
-	s := &searcher{d: d, cfg: cfg, rng: rng}
+	s := &searcher{d: d, cfg: cfg, rng: rng, ctx: ctx}
 	rootNode := &node{state: root}
 	s.res.Best = root
 	s.res.BestReward = s.eval(root)
 
 	for {
+		if s.cancelled() {
+			s.res.Interrupted = true
+			break
+		}
 		if cfg.Iterations > 0 && s.res.Iterations >= cfg.Iterations {
 			break
 		}
@@ -133,6 +153,9 @@ func Search(d Domain, root State, cfg Config) Result {
 		}
 		s.res.Iterations++
 		s.iterate(rootNode)
+		if cfg.Progress != nil {
+			cfg.Progress(s.res)
+		}
 	}
 	return s.res
 }
@@ -141,7 +164,18 @@ type searcher struct {
 	d   Domain
 	cfg Config
 	rng *rand.Rand
+	ctx context.Context
 	res Result
+}
+
+// cancelled polls the search context without blocking.
+func (s *searcher) cancelled() bool {
+	select {
+	case <-s.ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 func (s *searcher) eval(st State) float64 {
@@ -190,10 +224,15 @@ func (s *searcher) iterate(root *node) {
 	}
 
 	// Simulation: one random walk from every new child (paper: "perform a
-	// random walk ... from all of its immediate neighbor states").
+	// random walk ... from all of its immediate neighbor states"). Large
+	// fanouts make this the long pole of an iteration, so cancellation is
+	// re-checked between children.
 	for _, c := range n.children {
 		if c.visits > 0 {
 			continue
+		}
+		if s.cancelled() {
+			return
 		}
 		if s.cfg.EvaluateChildren {
 			s.eval(c.state)

@@ -1,6 +1,7 @@
 package mcts
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -55,7 +56,7 @@ func (d trapDomain) Reward(s State) float64 {
 
 func TestSearchFindsPeak(t *testing.T) {
 	d := lineDomain{n: 40, target: 25}
-	res := Search(d, lineState(0), Config{Iterations: 600, MaxRolloutDepth: 60, Seed: 5, EvaluateChildren: true})
+	res := Search(context.Background(), d, lineState(0), Config{Iterations: 600, MaxRolloutDepth: 60, Seed: 5, EvaluateChildren: true})
 	got := int(res.Best.(lineState))
 	if got != d.target {
 		t.Errorf("best state = %d, want %d (reward %f)", got, d.target, res.BestReward)
@@ -73,7 +74,7 @@ func TestSearchFindsPeak(t *testing.T) {
 
 func TestSearchEscapesTrap(t *testing.T) {
 	d := trapDomain{lineDomain{n: 30, target: 22}}
-	res := Search(d, lineState(0), Config{Iterations: 800, MaxRolloutDepth: 40, Seed: 3, EvaluateChildren: true})
+	res := Search(context.Background(), d, lineState(0), Config{Iterations: 800, MaxRolloutDepth: 40, Seed: 3, EvaluateChildren: true})
 	if int(res.Best.(lineState)) != 22 {
 		t.Errorf("stuck at %d (reward %f)", int(res.Best.(lineState)), res.BestReward)
 	}
@@ -82,8 +83,8 @@ func TestSearchEscapesTrap(t *testing.T) {
 func TestDeterministicWithSeed(t *testing.T) {
 	d := lineDomain{n: 40, target: 31}
 	cfg := Config{Iterations: 100, MaxRolloutDepth: 30, Seed: 9}
-	a := Search(d, lineState(0), cfg)
-	b := Search(d, lineState(0), cfg)
+	a := Search(context.Background(), d, lineState(0), cfg)
+	b := Search(context.Background(), d, lineState(0), cfg)
 	if a.Best.(lineState) != b.Best.(lineState) || a.Evals != b.Evals || a.Rollouts != b.Rollouts {
 		t.Errorf("non-deterministic: %+v vs %+v", a, b)
 	}
@@ -91,8 +92,8 @@ func TestDeterministicWithSeed(t *testing.T) {
 
 func TestMoreIterationsNoWorse(t *testing.T) {
 	d := lineDomain{n: 100, target: 83}
-	short := Search(d, lineState(0), Config{Iterations: 10, MaxRolloutDepth: 20, Seed: 2})
-	long := Search(d, lineState(0), Config{Iterations: 500, MaxRolloutDepth: 20, Seed: 2})
+	short := Search(context.Background(), d, lineState(0), Config{Iterations: 10, MaxRolloutDepth: 20, Seed: 2})
+	long := Search(context.Background(), d, lineState(0), Config{Iterations: 500, MaxRolloutDepth: 20, Seed: 2})
 	if long.BestReward < short.BestReward {
 		t.Errorf("more iterations got worse: %f vs %f", long.BestReward, short.BestReward)
 	}
@@ -106,7 +107,7 @@ func (terminalDomain) Neighbors(State) []State { return nil }
 func (terminalDomain) Reward(State) float64    { return 0.25 }
 
 func TestTerminalRoot(t *testing.T) {
-	res := Search(terminalDomain{}, lineState(7), Config{Iterations: 5, Seed: 1})
+	res := Search(context.Background(), terminalDomain{}, lineState(7), Config{Iterations: 5, Seed: 1})
 	if res.Best.(lineState) != 7 {
 		t.Error("root should be best in a terminal domain")
 	}
@@ -132,7 +133,7 @@ func (d *samplerDomain) RandomNeighbor(s State, rng *rand.Rand) (State, bool) {
 
 func TestSamplerUsed(t *testing.T) {
 	d := &samplerDomain{lineDomain: lineDomain{n: 20, target: 15}}
-	Search(d, lineState(0), Config{Iterations: 20, MaxRolloutDepth: 10, Seed: 4})
+	Search(context.Background(), d, lineState(0), Config{Iterations: 20, MaxRolloutDepth: 10, Seed: 4})
 	if d.samplerCalls == 0 {
 		t.Error("sampler never called")
 	}
@@ -141,13 +142,69 @@ func TestSamplerUsed(t *testing.T) {
 func TestTimeBudget(t *testing.T) {
 	d := lineDomain{n: 1000, target: 999}
 	start := time.Now()
-	res := Search(d, lineState(0), Config{TimeBudget: 30 * time.Millisecond, MaxRolloutDepth: 10, Seed: 1})
+	res := Search(context.Background(), d, lineState(0), Config{TimeBudget: 30 * time.Millisecond, MaxRolloutDepth: 10, Seed: 1})
 	elapsed := time.Since(start)
 	if elapsed > 2*time.Second {
 		t.Errorf("time budget ignored: ran %v", elapsed)
 	}
 	if res.Iterations == 0 {
 		t.Error("no iterations within budget")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	d := lineDomain{n: 1000, target: 999}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the search must stop immediately
+	res := Search(ctx, d, lineState(0), Config{Iterations: 1 << 30, MaxRolloutDepth: 10, Seed: 1})
+	if !res.Interrupted {
+		t.Error("cancelled search must report Interrupted")
+	}
+	if res.Iterations != 0 {
+		t.Errorf("cancelled-before-start search ran %d iterations", res.Iterations)
+	}
+	if res.Best == nil {
+		t.Error("cancelled search must still return the best-so-far state (the root)")
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	d := lineDomain{n: 100000, target: 99999}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := Search(ctx, d, lineState(0), Config{Iterations: 1 << 30, MaxRolloutDepth: 50, Seed: 1})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline ignored: ran %v", elapsed)
+	}
+	if !res.Interrupted {
+		t.Error("deadline-terminated search must report Interrupted")
+	}
+	if res.Best == nil {
+		t.Error("no best-so-far state")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	d := lineDomain{n: 40, target: 25}
+	var snaps []Result
+	Search(context.Background(), d, lineState(0), Config{
+		Iterations: 25, MaxRolloutDepth: 10, Seed: 2,
+		Progress: func(r Result) { snaps = append(snaps, r) },
+	})
+	if len(snaps) != 25 {
+		t.Fatalf("progress called %d times, want 25", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Iterations != snaps[i-1].Iterations+1 {
+			t.Error("iteration counts must increase by one per snapshot")
+		}
+		if snaps[i].BestReward < snaps[i-1].BestReward {
+			t.Error("best reward must be monotone non-decreasing")
+		}
+		if snaps[i].Evals < snaps[i-1].Evals {
+			t.Error("eval counts must be monotone")
+		}
 	}
 }
 
@@ -177,7 +234,7 @@ func TestDefaultConfig(t *testing.T) {
 		t.Error("default C")
 	}
 	// Zero-value config still runs (defaults kick in).
-	res := Search(lineDomain{n: 5, target: 4}, lineState(0), Config{Seed: 1})
+	res := Search(context.Background(), lineDomain{n: 5, target: 4}, lineState(0), Config{Seed: 1})
 	if res.Iterations == 0 {
 		t.Error("zero config should default to a bounded run")
 	}

@@ -43,12 +43,15 @@ func (Lift) Apply(n *difftree.Node) (*difftree.Node, bool) {
 }
 
 // seqOf wraps a child sequence for splicing: zero children become ∅, one
-// child passes through, several children become a Seq node.
+// child passes through, several children become a Seq node. A lone child
+// that is itself a Seq or ∅ is re-wrapped in a fresh Seq rather than
+// reused: Unlift treats bare Seq/∅ alternatives as its own splice markers,
+// so reusing the node would make Unlift(Lift(x)) dissolve x's wrapper.
 func seqOf(cs []*difftree.Node) *difftree.Node {
-	switch len(cs) {
-	case 0:
+	switch {
+	case len(cs) == 0:
 		return difftree.Emptyn()
-	case 1:
+	case len(cs) == 1 && !cs[0].IsSeq() && !cs[0].IsEmpty():
 		return cs[0].Clone()
 	default:
 		return difftree.NewAll(ast.KindSeq, "", cloneAll(cs)...)

@@ -15,18 +15,23 @@ func (Optional) Apply(n *difftree.Node) (*difftree.Node, bool) {
 		return nil, false
 	}
 	var nonEmpty []*difftree.Node
-	hadEmpty := false
+	empties := 0
 	for _, c := range n.Children {
 		if c.IsEmpty() {
-			hadEmpty = true
+			empties++
 		} else {
 			nonEmpty = append(nonEmpty, c.Clone())
 		}
 	}
-	if !hadEmpty || len(nonEmpty) == 0 {
+	// Exactly one ∅ keeps the rule invertible (duplicate ∅ alternatives are
+	// DedupAny's job); Unoptional restores exactly one.
+	if empties != 1 || len(nonEmpty) == 0 {
 		return nil, false
 	}
-	if len(nonEmpty) == 1 {
+	// A lone alternative passes through — unless it is itself an ANY, which
+	// Unoptional would flatten into the rebuilt ANY; nest it instead so
+	// Unoptional(Optional(x)) == x.
+	if len(nonEmpty) == 1 && nonEmpty[0].Kind != difftree.Any {
 		return difftree.NewOpt(nonEmpty[0]), true
 	}
 	return difftree.NewOpt(difftree.NewAny(nonEmpty...)), true

@@ -3,9 +3,14 @@
 // beam search, and exhaustive breadth-first enumeration (feasible only for
 // tiny inputs). All operate on the same difftree state space and legality
 // gate as the MCTS search, differing only in exploration policy.
+//
+// Every searcher is anytime: it takes a context.Context and returns its
+// best-so-far result promptly when the context is cancelled or its deadline
+// passes (Result.Interrupted reports that the budget was cut short).
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -17,12 +22,58 @@ import (
 // Objective scores a difftree; lower is better (interface cost).
 type Objective func(d *difftree.Node) float64
 
+// Space is the shared search space: the query log and rule set that gate
+// legal moves, plus the same tree-size cap the MCTS search prunes with
+// (states larger than SizeCap are never visited; 0 means uncapped).
+// Sharing one Space across strategies is what makes their results
+// comparable — and keeps exhaustive enumeration finite.
+type Space struct {
+	Log     []*ast.Node
+	Rules   []rules.Rule
+	SizeCap int
+}
+
+// SpaceFor returns the canonical Space rooted at init: moves gated by the
+// given rule set with the size cap SizeCap(init). Tests and the engine both
+// build their spaces through here so the prune bound cannot drift.
+func SpaceFor(init *difftree.Node, log []*ast.Node, set []rules.Rule) Space {
+	return Space{Log: log, Rules: set, SizeCap: SizeCap(init)}
+}
+
+// SizeCap is the shared state-size prune bound (the paper lists pruning as
+// a needed optimization): states larger than 4x the initial tree are
+// skipped, with a floor for tiny inputs.
+func SizeCap(init *difftree.Node) int {
+	if cap := 4 * init.Size(); cap > 64 {
+		return cap
+	}
+	return 64
+}
+
+// moves enumerates the legal moves from d.
+func (sp Space) moves(d *difftree.Node) []rules.Move {
+	return rules.Moves(d, sp.Log, sp.Rules)
+}
+
+// apply performs a move, rejecting oversized results.
+func (sp Space) apply(d *difftree.Node, m rules.Move) (*difftree.Node, bool) {
+	next, err := rules.ApplyMove(d, m)
+	if err != nil {
+		return nil, false
+	}
+	if sp.SizeCap > 0 && next.Size() > sp.SizeCap {
+		return nil, false
+	}
+	return next, true
+}
+
 // Result reports a search outcome.
 type Result struct {
-	Best     *difftree.Node
-	BestCost float64
-	Evals    int // objective evaluations
-	States   int // states visited/generated
+	Best        *difftree.Node
+	BestCost    float64
+	Evals       int  // objective evaluations
+	States      int  // states visited/generated
+	Interrupted bool // the context ended the search early
 }
 
 // track updates the incumbent.
@@ -32,20 +83,34 @@ func (r *Result) track(d *difftree.Node, c float64) {
 	}
 }
 
+// cancelled polls ctx without blocking and records the interruption.
+func (r *Result) cancelled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		r.Interrupted = true
+		return true
+	default:
+		return false
+	}
+}
+
 // Random performs `walks` independent uniform random walks of length ≤ depth
 // from init, evaluating every visited state.
-func Random(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, walks, depth int, seed int64) Result {
+func Random(ctx context.Context, init *difftree.Node, sp Space, obj Objective, walks, depth int, seed int64) Result {
 	rng := rand.New(rand.NewSource(seed))
 	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
 	for w := 0; w < walks; w++ {
 		cur := init
 		for s := 0; s < depth; s++ {
-			ms := rules.Moves(cur, log, set)
+			if res.cancelled(ctx) {
+				return res
+			}
+			ms := sp.moves(cur)
 			if len(ms) == 0 {
 				break
 			}
-			next, err := rules.ApplyMove(cur, ms[rng.Intn(len(ms))])
-			if err != nil {
+			next, ok := sp.apply(cur, ms[rng.Intn(len(ms))])
+			if !ok {
 				break
 			}
 			cur = next
@@ -61,16 +126,19 @@ func Random(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objectiv
 // Greedy hill-climbs: at each step it applies the single move whose
 // resulting state has the lowest objective, stopping at a local optimum or
 // after maxSteps.
-func Greedy(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, maxSteps int) Result {
+func Greedy(ctx context.Context, init *difftree.Node, sp Space, obj Objective, maxSteps int) Result {
 	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
 	cur, curCost := init, res.BestCost
 	for s := 0; s < maxSteps; s++ {
-		ms := rules.Moves(cur, log, set)
+		ms := sp.moves(cur)
 		var best *difftree.Node
 		bestCost := curCost
 		for _, m := range ms {
-			next, err := rules.ApplyMove(cur, m)
-			if err != nil {
+			if res.cancelled(ctx) {
+				return res
+			}
+			next, ok := sp.apply(cur, m)
+			if !ok {
 				continue
 			}
 			res.States++
@@ -91,7 +159,7 @@ func Greedy(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objectiv
 
 // Beam keeps the `width` best states per generation for maxSteps
 // generations, deduplicating by structural hash.
-func Beam(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, width, maxSteps int) Result {
+func Beam(ctx context.Context, init *difftree.Node, sp Space, obj Objective, width, maxSteps int) Result {
 	type scored struct {
 		d *difftree.Node
 		c float64
@@ -103,9 +171,12 @@ func Beam(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective,
 	for s := 0; s < maxSteps && len(frontier) > 0; s++ {
 		var next []scored
 		for _, st := range frontier {
-			for _, m := range rules.Moves(st.d, log, set) {
-				nd, err := rules.ApplyMove(st.d, m)
-				if err != nil {
+			for _, m := range sp.moves(st.d) {
+				if res.cancelled(ctx) {
+					return res
+				}
+				nd, ok := sp.apply(st.d, m)
+				if !ok {
 					continue
 				}
 				h := difftree.Hash(nd)
@@ -138,8 +209,9 @@ func Beam(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective,
 
 // Exhaustive runs breadth-first enumeration with a visited set until the
 // space is exhausted or maxStates states have been generated; it returns
-// the optimum over everything visited (and reports completeness).
-func Exhaustive(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Objective, maxStates int) (Result, bool) {
+// the optimum over everything visited (and reports completeness — false
+// when the cap was hit or the context ended the sweep).
+func Exhaustive(ctx context.Context, init *difftree.Node, sp Space, obj Objective, maxStates int) (Result, bool) {
 	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
 	queue := []*difftree.Node{init}
 	seen := map[uint64]bool{difftree.Hash(init): true}
@@ -147,9 +219,12 @@ func Exhaustive(init *difftree.Node, log []*ast.Node, set []rules.Rule, obj Obje
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, m := range rules.Moves(cur, log, set) {
-			next, err := rules.ApplyMove(cur, m)
-			if err != nil {
+		for _, m := range sp.moves(cur) {
+			if res.cancelled(ctx) {
+				return res, false
+			}
+			next, ok := sp.apply(cur, m)
+			if !ok {
 				continue
 			}
 			h := difftree.Hash(next)

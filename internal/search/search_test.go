@@ -1,17 +1,26 @@
-package search
+package search_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/difftree"
 	"repro/internal/layout"
 	"repro/internal/rules"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
+
+// spaceFor builds the shared strategy state space used across these tests,
+// through the same constructor the engine uses.
+func spaceFor(init *difftree.Node, log []*ast.Node) search.Space {
+	return search.SpaceFor(init, log, rules.All())
+}
 
 func TestGreedyImproves(t *testing.T) {
 	log := workload.PaperFigure1Log()
@@ -24,7 +33,7 @@ func TestGreedyImproves(t *testing.T) {
 	obj := func(d *difftree.Node) float64 {
 		return core.StateCost(d, log, model, 3, rng)
 	}
-	res := Greedy(init, log, rules.All(), obj, 30)
+	res := search.Greedy(context.Background(), init, spaceFor(init, log), obj, 30)
 	if res.BestCost > obj(init) {
 		t.Errorf("greedy regressed: %f", res.BestCost)
 	}
@@ -44,7 +53,7 @@ func TestRandomFindsSomething(t *testing.T) {
 	obj := func(d *difftree.Node) float64 {
 		return core.StateCost(d, log, model, 2, rng)
 	}
-	res := Random(init, log, rules.All(), obj, 4, 6, 7)
+	res := search.Random(context.Background(), init, spaceFor(init, log), obj, 4, 6, 7)
 	if math.IsInf(res.BestCost, 1) {
 		t.Error("random found nothing finite")
 	}
@@ -63,8 +72,8 @@ func TestBeamAtLeastGreedy(t *testing.T) {
 	obj := func(d *difftree.Node) float64 {
 		return core.StateCost(d, log, model, 0, rng)
 	}
-	g := Greedy(init, log, rules.All(), obj, 10)
-	b := Beam(init, log, rules.All(), obj, 3, 10)
+	g := search.Greedy(context.Background(), init, spaceFor(init, log), obj, 10)
+	b := search.Beam(context.Background(), init, spaceFor(init, log), obj, 3, 10)
 	if b.BestCost > g.BestCost+1e-9 {
 		t.Errorf("beam(3) worse than greedy: %f vs %f", b.BestCost, g.BestCost)
 	}
@@ -79,12 +88,12 @@ func TestExhaustiveTinySpace(t *testing.T) {
 	obj := func(d *difftree.Node) float64 {
 		return core.StateCost(d, log, model, 0, rng)
 	}
-	res, complete := Exhaustive(init, log, rules.All(), obj, 3000)
+	res, complete := search.Exhaustive(context.Background(), init, spaceFor(init, log), obj, 3000)
 	if !complete {
 		t.Logf("space larger than cap (states=%d)", res.States)
 	}
 	// Exhaustive (even capped) must beat or match greedy.
-	g := Greedy(init, log, rules.All(), obj, 10)
+	g := search.Greedy(context.Background(), init, spaceFor(init, log), obj, 10)
 	if complete && res.BestCost > g.BestCost+1e-9 {
 		t.Errorf("exhaustive worse than greedy: %f vs %f", res.BestCost, g.BestCost)
 	}
@@ -97,7 +106,7 @@ func TestExhaustiveCap(t *testing.T) {
 	log := workload.PaperFigure1Log()
 	init, _ := difftree.Initial(log)
 	obj := func(d *difftree.Node) float64 { return float64(d.Size()) }
-	res, complete := Exhaustive(init, log, rules.All(), obj, 5)
+	res, complete := search.Exhaustive(context.Background(), init, spaceFor(init, log), obj, 5)
 	if complete {
 		t.Error("cap of 5 must not complete")
 	}
@@ -106,12 +115,44 @@ func TestExhaustiveCap(t *testing.T) {
 	}
 }
 
+func TestCancelledContextReturnsBestSoFar(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	init, _ := difftree.Initial(log)
+	obj := func(d *difftree.Node) float64 { return float64(d.Size()) }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func() search.Result{
+		"random": func() search.Result { return search.Random(ctx, init, spaceFor(init, log), obj, 100, 100, 1) },
+		"greedy": func() search.Result { return search.Greedy(ctx, init, spaceFor(init, log), obj, 100) },
+		"beam":   func() search.Result { return search.Beam(ctx, init, spaceFor(init, log), obj, 5, 100) },
+		"exhaustive": func() search.Result {
+			r, complete := search.Exhaustive(ctx, init, spaceFor(init, log), obj, 1<<20)
+			if complete {
+				t.Errorf("exhaustive: cancelled sweep must not report completeness")
+			}
+			return r
+		},
+	} {
+		res := run()
+		if !res.Interrupted {
+			t.Errorf("%s: cancelled search must report Interrupted", name)
+		}
+		if res.Best == nil {
+			t.Errorf("%s: cancelled search must return best-so-far (at least init)", name)
+		}
+		// Only the pre-cancellation init evaluation may have happened.
+		if res.Evals > 1 {
+			t.Errorf("%s: cancelled search kept evaluating (%d evals)", name, res.Evals)
+		}
+	}
+}
+
 func TestRandomDeterministicSeed(t *testing.T) {
 	log := workload.PaperFigure1Log()
 	init, _ := difftree.Initial(log)
 	obj := func(d *difftree.Node) float64 { return float64(d.Size()) }
-	a := Random(init, log, rules.All(), obj, 3, 5, 11)
-	b := Random(init, log, rules.All(), obj, 3, 5, 11)
+	a := search.Random(context.Background(), init, spaceFor(init, log), obj, 3, 5, 11)
+	b := search.Random(context.Background(), init, spaceFor(init, log), obj, 3, 5, 11)
 	if a.BestCost != b.BestCost || a.States != b.States {
 		t.Error("random search must be deterministic per seed")
 	}

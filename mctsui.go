@@ -11,22 +11,37 @@
 // sliders, toggles, ...) that can express every query in the log — and
 // usually a generalization of them.
 //
-// Quick start:
+// The entry point is the Generator, an anytime, context-aware engine:
 //
-//	iface, err := mctsui.Generate([]string{
+//	gen := mctsui.New(
+//	    mctsui.WithScreen(mctsui.WideScreen),
+//	    mctsui.WithTimeBudget(time.Minute),            // the paper's budget
+//	    mctsui.WithProgress(func(p mctsui.Progress) {  // best-so-far snapshots
+//	        fmt.Printf("iter %d: cost %.2f\n", p.Iterations, p.BestCost)
+//	    }),
+//	)
+//	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+//	defer cancel()
+//	iface, err := gen.Generate(ctx, []string{
 //	    "SELECT Sales FROM sales WHERE cty = USA",
 //	    "SELECT Costs FROM sales WHERE cty = EUR",
 //	    "SELECT Costs FROM sales",
-//	}, mctsui.Config{})
+//	})
 //	if err != nil { ... }
 //	fmt.Println(iface.ASCII())      // render the widget tree
 //	sess := iface.NewSession()      // drive it interactively
 //	fmt.Println(sess.SQL())         // the current query
+//
+// Cancelling the context (or hitting its deadline) stops the search
+// promptly and yields the best interface found so far — generation never
+// fails just because time ran out. WithStrategy swaps the paper's MCTS for
+// beam, greedy, random, or exhaustive search, and WithWorkers runs
+// root-parallel searches. The package-level Generate and GenerateFromASTs
+// functions are deprecated one-shot shims over the same engine.
 package mctsui
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"time"
 
 	"repro/internal/ast"
@@ -45,9 +60,14 @@ var (
 	NarrowScreen = layout.Narrow
 )
 
-// Config tunes interface generation. The zero value uses wide screen, UCT
-// with c = √2, rollouts up to 16 steps, 5 random widget assignments per
-// reward, and 60 search iterations.
+// Config tunes the deprecated one-shot Generate/GenerateFromASTs shims.
+// The zero value uses wide screen, UCT with c = √2, rollouts up to
+// DefaultRolloutDepth steps, DefaultRewardSamples random widget assignments
+// per reward, and DefaultIterations search iterations (all defined once in
+// the engine and re-exported by this package).
+//
+// Deprecated: configure a Generator with functional options instead —
+// mctsui.New(mctsui.WithScreen(...), ...).
 type Config struct {
 	// Screen is the output constraint; interfaces that do not fit are
 	// discarded as invalid. Default WideScreen.
@@ -80,46 +100,39 @@ type Interface struct {
 	cooccur map[pairKey]bool // lazily built log co-occurrence index
 }
 
+// options converts the legacy Config into Generator options.
+func (c Config) options() []Option {
+	return []Option{
+		WithScreen(c.Screen),
+		WithIterations(c.Iterations),
+		WithTimeBudget(c.TimeBudget),
+		WithSeed(c.Seed),
+		WithRolloutDepth(c.RolloutDepth),
+		WithRewardSamples(c.RewardSamples),
+		WithExplorationC(c.ExplorationC),
+		WithWorkers(c.Workers),
+	}
+}
+
 // Generate parses the query log (one SQL string per entry) and runs the
 // full pipeline.
+//
+// Deprecated: Generate is the v0 blocking one-shot call. Use the
+// context-aware Generator — New(opts...).Generate(ctx, queries) — which
+// adds cancellation, deadlines, progress snapshots, and pluggable search
+// strategies. This shim is equivalent to
+// New(cfg options...).Generate(context.Background(), queries).
 func Generate(queries []string, cfg Config) (*Interface, error) {
-	if len(queries) == 0 {
-		return nil, errors.New("mctsui: empty query log")
-	}
-	log := make([]*ast.Node, len(queries))
-	for i, q := range queries {
-		n, err := sqlparser.Parse(q)
-		if err != nil {
-			return nil, fmt.Errorf("mctsui: query %d: %w", i+1, err)
-		}
-		log[i] = n
-	}
-	return GenerateFromASTs(log, cfg)
+	return New(cfg.options()...).Generate(context.Background(), queries)
 }
 
 // GenerateFromASTs runs the pipeline on pre-parsed queries (see the
 // internal/sqlparser and internal/workload packages).
+//
+// Deprecated: use New(opts...).GenerateFromASTs(ctx, log) for the same
+// reasons as Generate.
 func GenerateFromASTs(log []*ast.Node, cfg Config) (*Interface, error) {
-	opts := core.Options{
-		Screen:        cfg.Screen,
-		Iterations:    cfg.Iterations,
-		TimeBudget:    cfg.TimeBudget,
-		Seed:          cfg.Seed,
-		RolloutDepth:  cfg.RolloutDepth,
-		RewardSamples: cfg.RewardSamples,
-		ExplorationC:  cfg.ExplorationC,
-	}
-	var res *core.Result
-	var err error
-	if cfg.Workers > 1 {
-		res, err = core.GenerateParallel(log, opts, cfg.Workers)
-	} else {
-		res, err = core.Generate(log, opts)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &Interface{res: res}, nil
+	return New(cfg.options()...).GenerateFromASTs(context.Background(), log)
 }
 
 // Cost returns the interface's total cost C(W,Q); +Inf if no valid
@@ -164,8 +177,16 @@ func (f *Interface) DiffTree() string { return f.res.DiffTree.String() }
 // Describe summarizes the interface and its search statistics in one line.
 func (f *Interface) Describe() string { return f.res.Describe() }
 
+// Stats exposes the final search diagnostics: strategy, iteration and
+// evaluation counters, whether the search was interrupted by its context,
+// and the best-so-far cost trajectory (Stats.Trajectory, monotone
+// non-increasing in cost).
+func (f *Interface) Stats() Stats { return f.res.Stats }
+
 // SearchStats exposes the search diagnostics.
-func (f *Interface) SearchStats() core.Stats { return f.res.Stats }
+//
+// Deprecated: use Stats.
+func (f *Interface) SearchStats() Stats { return f.res.Stats }
 
 // InitialCost returns the best cost achievable at the unsearched initial
 // state (the paper's Figure 2(a)-style interface); the gap to Cost()
