@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test bench
+.PHONY: verify build vet fmt test bench bench-json golden
 
 # verify is the tier-1 gate: build, vet, formatting, and the full test suite.
 verify: build vet fmt test
@@ -24,3 +24,16 @@ test:
 # the root-parallelization scaling check).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-json regenerates BENCH_search.json: iterations/sec with the
+# transposition cache cold, warm, and disabled on the SDSS workload, plus
+# the cache hit rate and best cost. Fails if the warm-cache speedup drops
+# below 3x or if caching changes a result.
+bench-json:
+	$(GO) run ./cmd/searchbench -out BENCH_search.json
+
+# golden regenerates the end-to-end fixtures under testdata/golden/ (run it
+# after an intentional change to search or cost semantics, then review the
+# diff like any other code change).
+golden:
+	$(GO) test -run TestGoldenFixtures . -args -update-golden

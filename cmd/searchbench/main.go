@@ -1,0 +1,189 @@
+// Command searchbench measures the memoized evaluation engine against the
+// memoization-off baseline on one workload and emits a machine-readable
+// BENCH_search.json for the performance trajectory.
+//
+// Three modes are timed, all with the same seed and budget:
+//
+//   - uncached:    memoization disabled (every state re-scored per visit)
+//   - cached_cold: a fresh shared cache, first search
+//   - cached_warm: the same shared cache, subsequent searches (steady
+//     state — the serving scenario WithCache exists for)
+//
+// State evaluation is deterministic per state, so all three modes must
+// return the identical best cost; searchbench fails if they do not. The
+// -min-speedup gate (default 3) applies to the warm/uncached ratio and
+// makes `make bench-json` fail loudly if the cache stops paying for itself.
+//
+//	go run ./cmd/searchbench -out BENCH_search.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+type modeResult struct {
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	ItersPerSec  float64 `json:"iters_per_sec"`
+	Iterations   int     `json:"iterations"`
+	Evals        int     `json:"evals"`
+	BestCost     float64 `json:"best_cost"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+type report struct {
+	Workload      string     `json:"workload"`
+	Strategy      string     `json:"strategy"`
+	Iterations    int        `json:"iterations"`
+	RolloutDepth  int        `json:"rollout_depth"`
+	Seed          int64      `json:"seed"`
+	Repeats       int        `json:"repeats"`
+	Uncached      modeResult `json:"uncached"`
+	CachedCold    modeResult `json:"cached_cold"`
+	CachedWarm    modeResult `json:"cached_warm"`
+	SpeedupCold   float64    `json:"speedup_cold"`
+	SpeedupWarm   float64    `json:"speedup_warm"`
+	EqualBestCost bool       `json:"equal_best_cost"`
+	GeneratedAt   string     `json:"generated_at"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_search.json", "output file ('-' for stdout)")
+	workloadName := flag.String("workload", "sdss", "query log: sdss | sdss-subset | figure1")
+	strategySpec := flag.String("strategy", "mcts", "search strategy (see -h of cmd/mctsui)")
+	iterations := flag.Int("iterations", 15, "search iteration budget per run")
+	rollout := flag.Int("rollout", 8, "rollout depth")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	repeats := flag.Int("repeats", 3, "timed repetitions per mode (fastest wins)")
+	minSpeedup := flag.Float64("min-speedup", 3, "fail unless warm-cache/uncached iters-per-sec reaches this (0 disables)")
+	flag.Parse()
+
+	var log []*ast.Node
+	switch *workloadName {
+	case "sdss":
+		log = workload.SDSSLog()
+	case "sdss-subset":
+		log = workload.SDSSSubset(6, 8)
+	case "figure1":
+		log = workload.PaperFigure1Log()
+	default:
+		fatalf("unknown workload %q", *workloadName)
+	}
+	strategy, err := core.StrategyByName(*strategySpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	base := core.Options{
+		Iterations:   *iterations,
+		RolloutDepth: *rollout,
+		Seed:         *seed,
+		Strategy:     strategy,
+	}
+
+	once := func(opt core.Options) modeResult {
+		// Shared-cache counters are cumulative for the cache's lifetime;
+		// report this run's delta, not the running total.
+		var before eval.Stats
+		if opt.Cache != nil {
+			before = opt.Cache.Stats()
+		}
+		start := time.Now()
+		res, err := core.Generate(context.Background(), log, opt)
+		if err != nil {
+			fatalf("generate: %v", err)
+		}
+		elapsed := time.Since(start)
+		m := modeResult{
+			ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+			ItersPerSec: float64(res.Stats.Iterations) / elapsed.Seconds(),
+			Iterations:  res.Stats.Iterations,
+			Evals:       res.Stats.Evals,
+			BestCost:    res.Cost.Total(),
+		}
+		if opt.Cache != nil {
+			after := opt.Cache.Stats()
+			m.CacheHits = after.Hits - before.Hits
+			m.CacheMisses = after.Misses - before.Misses
+			if total := m.CacheHits + m.CacheMisses; total > 0 {
+				m.CacheHitRate = float64(m.CacheHits) / float64(total)
+			}
+		}
+		return m
+	}
+	fastest := func(opt core.Options, n int) modeResult {
+		best := modeResult{ElapsedMS: -1}
+		for r := 0; r < n; r++ {
+			if m := once(opt); best.ElapsedMS < 0 || m.ElapsedMS < best.ElapsedMS {
+				best = m
+			}
+		}
+		return best
+	}
+
+	uncachedOpt := base
+	uncachedOpt.DisableMemo = true
+	uncached := fastest(uncachedOpt, *repeats)
+
+	sharedOpt := base
+	sharedOpt.Cache = eval.NewCache(0)
+	cold := once(sharedOpt)
+	warm := fastest(sharedOpt, *repeats)
+
+	rep := report{
+		Workload:      *workloadName,
+		Strategy:      *strategySpec,
+		Iterations:    *iterations,
+		RolloutDepth:  *rollout,
+		Seed:          *seed,
+		Repeats:       *repeats,
+		Uncached:      uncached,
+		CachedCold:    cold,
+		CachedWarm:    warm,
+		SpeedupCold:   cold.ItersPerSec / uncached.ItersPerSec,
+		SpeedupWarm:   warm.ItersPerSec / uncached.ItersPerSec,
+		EqualBestCost: cold.BestCost == uncached.BestCost && warm.BestCost == uncached.BestCost,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	fmt.Printf("%s/%s: %.1f iters/sec warm-cached vs %.1f uncached (%.1fx warm, %.1fx cold, hit rate %.1f%%), best cost %.2f\n",
+		rep.Workload, rep.Strategy, warm.ItersPerSec, uncached.ItersPerSec,
+		rep.SpeedupWarm, rep.SpeedupCold, warm.CacheHitRate*100, warm.BestCost)
+
+	if !rep.EqualBestCost {
+		fatalf("best costs diverged (uncached %v, cold %v, warm %v) — the cache changed a result",
+			uncached.BestCost, cold.BestCost, warm.BestCost)
+	}
+	if *minSpeedup > 0 && rep.SpeedupWarm < *minSpeedup {
+		fatalf("warm speedup %.2fx below the %.1fx gate", rep.SpeedupWarm, *minSpeedup)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "searchbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/sqlparser"
 )
 
@@ -61,6 +62,39 @@ func StrategyExhaustive(maxStates int) Strategy { return core.StrategyExhaustive
 // "random[:walks]", or "exhaustive[:maxStates]" — the form accepted by
 // command-line flags.
 func StrategyByName(spec string) (Strategy, error) { return core.StrategyByName(spec) }
+
+// Cache is a concurrency-safe transposition cache over search states: it
+// memoizes state costs, legality verdicts, and legal move sets keyed by the
+// difftree's structural hash. Every Generator uses one internally (shared
+// across its workers); construct one with NewCache and install it with
+// WithCache to additionally share evaluations across Generate calls — or
+// across Generators — that search the same log under the same settings.
+// Because state evaluation is deterministic per state, caching never changes
+// a result: for a fixed seed, cached and uncached runs return the same best
+// interface.
+type Cache struct {
+	c *eval.Cache
+}
+
+// CacheStats reports cumulative cache effectiveness; see Cache.Stats.
+type CacheStats = eval.Stats
+
+// NewCache returns a cache bounded at maxEntries memoized states (a default
+// of about a million when <= 0). A full cache stops memoizing new states
+// but keeps serving existing ones; it never evicts on its own, so
+// long-lived services that rotate across many distinct logs should Reset
+// (or replace) the cache at rotation points.
+func NewCache(maxEntries int) *Cache {
+	return &Cache{c: eval.NewCache(maxEntries)}
+}
+
+// Stats snapshots the cache's hit/miss/occupancy counters.
+func (c *Cache) Stats() CacheStats { return c.c.Stats() }
+
+// Reset drops every memoized state and zeroes the counters. Safe during
+// concurrent searches: evaluation is deterministic per state, so in-flight
+// lookups just recompute the identical values.
+func (c *Cache) Reset() { c.c.Reset() }
 
 // Generator generates interfaces from query logs. The zero-argument New()
 // is ready to use with the paper's defaults; functional options tune it.
@@ -124,6 +158,33 @@ func WithWorkers(n int) Option {
 
 // WithStrategy selects the search strategy (default StrategyMCTS()).
 func WithStrategy(s Strategy) Option { return func(g *Generator) { g.opt.Strategy = s } }
+
+// WithCache installs a shared transposition cache (see NewCache), reusing
+// memoized state evaluations across every Generate call — and every
+// Generator — it is passed to. Without this option each Generate call uses
+// a fresh private cache (still shared across that call's workers). A nil
+// cache is ignored. Like every option, the last of WithCache/WithoutCache
+// wins.
+func WithCache(c *Cache) Option {
+	return func(g *Generator) {
+		if c != nil {
+			g.opt.Cache = c.c
+			g.opt.DisableMemo = false
+		}
+	}
+}
+
+// WithoutCache disables the evaluation engine's memoization entirely: every
+// state is re-scored, re-validated, and re-enumerated on each visit. For a
+// fixed seed the result is identical to the cached run — this exists as the
+// reference baseline for the bench harness (`make bench-json`) and for
+// memory-constrained environments. The last of WithCache/WithoutCache wins.
+func WithoutCache() Option {
+	return func(g *Generator) {
+		g.opt.DisableMemo = true
+		g.opt.Cache = nil
+	}
+}
 
 // WithProgress installs an anytime observability callback, invoked with
 // best-so-far snapshots while the search runs. With WithWorkers the

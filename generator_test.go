@@ -332,3 +332,50 @@ func TestWithWorkers(t *testing.T) {
 		t.Errorf("progress snapshots from %d distinct workers, want 3", len(workersSeen))
 	}
 }
+
+// TestWithCacheSharesAcrossCalls: a caller-provided cache carries memoized
+// state evaluations across Generate calls — the second call hits what the
+// first computed, with an identical result; WithoutCache records nothing.
+func TestWithCacheSharesAcrossCalls(t *testing.T) {
+	cache := NewCache(0)
+	gen := fastGen(WithCache(cache))
+
+	first, err := gen.Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := cache.Stats()
+	if afterFirst.Entries == 0 {
+		t.Fatal("shared cache stayed empty")
+	}
+
+	second, err := gen.Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cost() != second.Cost() {
+		t.Errorf("shared cache changed the result: %v vs %v", first.Cost(), second.Cost())
+	}
+	afterSecond := cache.Stats()
+	if afterSecond.Entries != afterFirst.Entries {
+		t.Errorf("identical rerun grew the cache: %d -> %d entries", afterFirst.Entries, afterSecond.Entries)
+	}
+	if afterSecond.Hits <= afterFirst.Hits {
+		t.Error("second run recorded no additional cache hits")
+	}
+	if second.Stats().CacheHitRate <= first.Stats().CacheHitRate {
+		t.Errorf("cumulative hit rate did not rise: %.3f -> %.3f",
+			first.Stats().CacheHitRate, second.Stats().CacheHitRate)
+	}
+
+	plain, err := fastGen(WithoutCache()).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cost() != first.Cost() {
+		t.Errorf("WithoutCache changed the result: %v vs %v", plain.Cost(), first.Cost())
+	}
+	if s := plain.Stats(); s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Errorf("WithoutCache recorded cache traffic: %+v", s)
+	}
+}

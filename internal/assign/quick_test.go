@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/difftree"
 	"repro/internal/layout"
+	"repro/internal/testutil"
 	"repro/internal/widgets"
 	"repro/internal/workload"
 )
@@ -56,7 +57,7 @@ func TestQuickPlanProperties(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(108, 50)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -83,7 +84,7 @@ func TestQuickEnumerationCountsMatchSpaceSize(t *testing.T) {
 		plan.Enumerate(1000, func(*layout.Node) bool { count++; return true })
 		return count == size
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(109, 40)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/cost"
 	"repro/internal/difftree"
+	"repro/internal/eval"
 	"repro/internal/layout"
 	"repro/internal/mcts"
 	"repro/internal/rules"
@@ -54,6 +55,23 @@ type Options struct {
 	EnumLimit int
 	// Seed makes generation deterministic (default 1).
 	Seed int64
+	// EvalSeed seeds per-state reward sampling in the evaluation engine
+	// (default: Seed). State costs are pure functions of (state, EvalSeed),
+	// so GenerateParallel keeps EvalSeed at the base seed across workers —
+	// letting them share one transposition cache — while perturbing Seed to
+	// diversify their search policies.
+	EvalSeed int64
+	// Cache is the shared transposition cache backing the memoized
+	// evaluation engine. Nil means a private cache per Generate call
+	// (GenerateParallel shares one across its workers). Pass the same cache
+	// to successive calls to reuse state evaluations across searches with
+	// the same log, screen, and seeds.
+	Cache *eval.Cache
+	// DisableMemo turns the evaluation engine's memoization off entirely:
+	// every state is re-scored, re-validated, and re-enumerated on every
+	// visit. Results are identical for a fixed seed — only slower; the
+	// bench harness uses this as its reference baseline.
+	DisableMemo bool
 	// NavUnit is the Steiner-edge navigation cost (default 0.3).
 	NavUnit float64
 	// Rules is the transformation rule set (default rules.All()).
@@ -90,6 +108,15 @@ type Stats struct {
 	Interrupted    bool // the context ended the search before its budget
 	Workers        int  // parallel workers that contributed
 	Elapsed        time.Duration
+	// CacheHits/CacheMisses/CacheEntries snapshot the evaluation engine's
+	// transposition cache at the end of the search (all zero with
+	// DisableMemo). With a caller-provided shared cache the counters are
+	// cumulative across every search the cache served.
+	CacheHits    int64
+	CacheMisses  int64
+	CacheEntries int64
+	// CacheHitRate is CacheHits/(CacheHits+CacheMisses), 0 when unused.
+	CacheHitRate float64
 	// Trajectory is the best-so-far cost curve: one point per improvement,
 	// costs monotone non-increasing. Under GenerateParallel it is the
 	// winning worker's curve.
@@ -120,7 +147,8 @@ func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*R
 	}
 
 	model := cost.Model{NavUnit: opt.NavUnit, Screen: opt.Screen}
-	p := newProblem(log, init, model, opt, worker)
+	eng := newEngine(log, init, model, opt)
+	p := newProblem(log, init, model, opt, eng, worker)
 
 	res := opt.Strategy.search(ctx, p)
 	best := res.best
@@ -138,10 +166,16 @@ func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*R
 	}
 
 	stats := res.stats
-	stats.InitialFan = len(rules.Moves(init, log, opt.Rules))
+	// The engine already enumerated (and memoized) the initial state's legal
+	// move set during the search; this also keeps InitialFan consistent with
+	// the size-capped moves every strategy actually sees.
+	stats.InitialFan = len(eng.Moves(init))
 	stats.EnumComplete = complete
 	stats.Workers = 1
 	stats.Elapsed = time.Since(p.start)
+	cs := eng.CacheStats()
+	stats.CacheHits, stats.CacheMisses, stats.CacheEntries = cs.Hits, cs.Misses, cs.Entries
+	stats.CacheHitRate = cs.HitRate()
 	// Close the trajectory with the extraction result, which can undercut
 	// the search-time estimate (it enumerates far more assignments).
 	if c := bd.Total(); c < p.bestCost && !math.IsInf(c, 1) {
@@ -203,21 +237,31 @@ func BestInterface(d *difftree.Node, log []*ast.Node, model cost.Model, enumLimi
 // StateCost is the paper's reward primitive: the best cost among k random
 // widget assignments (plus the cost-greedy first assignment) for a difftree.
 func StateCost(d *difftree.Node, log []*ast.Node, model cost.Model, k int, rng *rand.Rand) float64 {
-	plan, err := assign.BuildPlan(d)
-	if err != nil {
-		return math.Inf(1)
+	return eval.SampledCost(d, log, model, k, rng)
+}
+
+// newEngine builds the evaluation engine for one generate call: the
+// memoized (or, with DisableMemo, recomputing) source of state costs,
+// legality verdicts, and move sets that every strategy shares. Costs are
+// seeded per state from EvalSeed, so two engines with equal configs agree
+// on every value — the basis for sharing Options.Cache across workers and
+// successive calls.
+func newEngine(log []*ast.Node, init *difftree.Node, model cost.Model, opt Options) *eval.Engine {
+	cache := opt.Cache
+	if cache == nil && !opt.DisableMemo {
+		cache = eval.NewCache(0)
 	}
-	ev := model.NewEvaluator(d, log)
-	if !d.HasChoice() {
-		return ev.Evaluate(nil).Total()
+	if opt.DisableMemo {
+		cache = nil
 	}
-	best := ev.Evaluate(plan.First()).Total()
-	for i := 0; i < k; i++ {
-		if c := ev.Evaluate(plan.Random(rng)).Total(); c < best {
-			best = c
-		}
-	}
-	return best
+	return eval.New(eval.Config{
+		Log:     log,
+		Model:   model,
+		Samples: opt.RewardSamples,
+		Rules:   opt.Rules,
+		SizeCap: search.SizeCap(init),
+		Seed:    opt.EvalSeed,
+	}, cache)
 }
 
 // state adapts a difftree to mcts.State.
@@ -229,155 +273,108 @@ type state struct {
 // Hash implements mcts.State.
 func (s state) Hash() uint64 { return s.h }
 
-// domain adapts the difftree space to mcts.Domain + mcts.Sampler.
+// domain adapts the difftree space to mcts.Domain + mcts.Sampler, backed by
+// the shared evaluation engine. Beyond the engine's transposition cache it
+// keeps one run-local layer: materialized neighbor *states* per hash (the
+// engine caches move sets, which are shareable across workers; the trees
+// they produce are cheap to rebuild but cheaper to keep).
 type domain struct {
-	log     []*ast.Node
-	model   cost.Model
-	k       int
+	eng     *eval.Engine
 	ruleSet []rules.Rule
-	rng     *rand.Rand // reward sampling; separate stream from the search's
-	scale   float64    // reward normalization: the initial state's cost
-	cache   map[uint64]float64
-	legal   map[uint64]bool // candidate-state legality, keyed by tree hash
-	sizeCap int             // prune states larger than this (search pruning,
-	// listed by the paper as a needed optimization: expansion rules can
-	// otherwise balloon trees during long rollouts)
-	neighbors map[uint64][]mcts.State // full neighbor lists, keyed by state hash
-	onCost    func(float64)           // observes each newly computed state cost
+	scale   float64                 // reward normalization: the initial state's cost
+	rewards map[uint64]float64      // run-local reward memo (nil when memoization is off)
+	seen    map[uint64][]mcts.State // run-local neighbor-state memo (nil when memoization is off)
+	onCost  func(float64)           // observes each newly computed state cost
 }
 
-// ruleKinds maps each rule to the difftree node kinds its pattern can match;
-// the rollout sampler only draws (rule, node) pairs from this table, which
-// raises its hit rate enough to avoid falling back to full enumeration.
-var ruleKinds = map[string]map[difftree.Kind]bool{
-	"Any2All":    {difftree.Any: true},
-	"All2Any":    {difftree.All: true},
-	"Lift":       {difftree.Any: true},
-	"Unlift":     {difftree.All: true},
-	"MultiMerge": {difftree.Any: true, difftree.All: true},
-	"Optional":   {difftree.Any: true},
-	"Unoptional": {difftree.Opt: true},
-	"Unwrap":     {difftree.Any: true},
-	"Flatten":    {difftree.Any: true},
-	"DedupAny":   {difftree.Any: true},
-	"Wrap":       {difftree.All: true},
-}
-
-func newDomain(log []*ast.Node, model cost.Model, opt Options) *domain {
-	d := &domain{
-		log:       log,
-		model:     model,
-		k:         opt.RewardSamples,
-		ruleSet:   opt.Rules,
-		rng:       rand.New(rand.NewSource(opt.Seed + 0x9e37)),
-		cache:     make(map[uint64]float64),
-		legal:     make(map[uint64]bool),
-		neighbors: make(map[uint64][]mcts.State),
+func newDomain(log []*ast.Node, opt Options, eng *eval.Engine) *domain {
+	d := &domain{eng: eng, ruleSet: opt.Rules}
+	if eng.Enabled() {
+		d.rewards = make(map[uint64]float64)
+		d.seen = make(map[uint64][]mcts.State)
 	}
 	init, err := difftree.Initial(log)
 	if err == nil {
-		c := StateCost(init, log, model, opt.RewardSamples, d.rng)
+		c := eng.StateCost(init)
 		if !math.IsInf(c, 1) && c > 0 {
 			d.scale = c
 		}
-		d.sizeCap = search.SizeCap(init)
 	}
 	if d.scale <= 0 {
 		d.scale = 10
 	}
-	if d.sizeCap < 64 {
-		d.sizeCap = 64
-	}
 	return d
 }
 
-// isLegal checks (with caching) whether a candidate rewrite preserves the
-// invariant that every input query stays expressible. States recur heavily
-// across rollouts, so the cache pays for itself quickly.
-func (d *domain) isLegal(next *difftree.Node, h uint64) bool {
-	if v, ok := d.legal[h]; ok {
-		return v
-	}
-	v := next.Size() <= d.sizeCap && rules.LegalState(next, d.log)
-	d.legal[h] = v
-	return v
-}
-
-// Neighbors implements mcts.Domain. Results are cached per state hash:
-// rollouts and expansion revisit popular states constantly.
+// Neighbors implements mcts.Domain: the engine's (memoized) legal move set,
+// applied. Materialized successor states are kept per run — rollouts and
+// expansion revisit popular states constantly.
 func (d *domain) Neighbors(s mcts.State) []mcts.State {
 	st := s.(state)
-	if ns, ok := d.neighbors[st.h]; ok {
-		return ns
-	}
-	cur := st.d
-	var out []mcts.State
-	difftree.WalkPath(cur, func(n *difftree.Node, p difftree.Path) bool {
-		for _, r := range d.ruleSet {
-			if kinds, ok := ruleKinds[r.Name()]; ok && !kinds[n.Kind] {
-				continue
-			}
-			next, ok := rules.Candidate(cur, p, r)
-			if !ok {
-				continue
-			}
-			h := difftree.Hash(next)
-			if !d.isLegal(next, h) {
-				continue
-			}
-			out = append(out, state{d: next, h: h})
+	if d.seen != nil {
+		if ns, ok := d.seen[st.h]; ok {
+			return ns
 		}
-		return true
-	})
-	if len(d.neighbors) < 1<<14 {
-		d.neighbors[st.h] = out
+	}
+	ts := d.eng.Neighbors(st.d)
+	out := make([]mcts.State, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, state{d: t, h: difftree.Hash(t)})
+	}
+	if d.seen != nil && len(d.seen) < 1<<14 {
+		d.seen[st.h] = out
 	}
 	return out
 }
 
 // RandomNeighbor implements mcts.Sampler: it draws random (rule, node)
 // candidates — restricted to node kinds the rule can match — and returns the
-// first legal rewrite, falling back to the (cached) full move set when
-// unlucky. This keeps rollouts cheap relative to full neighbor enumeration.
+// first legal rewrite, falling back to the full move set when unlucky. This
+// keeps rollouts cheap relative to full neighbor enumeration. Candidate
+// pools are assembled in fixed Kind order, and the draw sequence never
+// consults the memoization state, so the sampled walk is a pure function of
+// (state, rng stream): cached and uncached runs take identical
+// trajectories, the cache only answers the legality probes faster.
 func (d *domain) RandomNeighbor(s mcts.State, rng *rand.Rand) (mcts.State, bool) {
 	st := s.(state)
-	if ns, ok := d.neighbors[st.h]; ok {
-		// Already enumerated: sample the exact legal move set.
-		if len(ns) == 0 {
-			return nil, false
-		}
-		return ns[rng.Intn(len(ns))], true
-	}
 	cur := st.d
-	byKind := make(map[difftree.Kind][]difftree.Path)
-	difftree.WalkPath(cur, func(n *difftree.Node, p difftree.Path) bool {
-		byKind[n.Kind] = append(byKind[n.Kind], p.Clone())
-		return true
-	})
+	byKind := d.eng.PathPools(cur)
 	const tries = 48
 	for i := 0; i < tries; i++ {
 		r := d.ruleSet[rng.Intn(len(d.ruleSet))]
-		kinds := ruleKinds[r.Name()]
-		// Collect the paths this rule could match.
-		var pool []difftree.Path
-		for k, ps := range byKind {
+		kinds := rules.MatchKinds[r.Name()]
+		// The candidate pool is the concatenation, in fixed Kind order, of
+		// the per-kind path pools this rule can match; index into the
+		// segments instead of materializing it.
+		total := 0
+		for k := difftree.All; k <= difftree.Multi; k++ {
 			if kinds == nil || kinds[k] {
-				pool = append(pool, ps...)
+				total += len(byKind[k])
 			}
 		}
-		if len(pool) == 0 {
+		if total == 0 {
 			continue
 		}
-		p := pool[rng.Intn(len(pool))]
+		idx := rng.Intn(total)
+		var p difftree.Path
+		for k := difftree.All; k <= difftree.Multi; k++ {
+			if kinds != nil && !kinds[k] {
+				continue
+			}
+			if idx < len(byKind[k]) {
+				p = byKind[k][idx]
+				break
+			}
+			idx -= len(byKind[k])
+		}
 		next, ok := rules.Candidate(cur, p, r)
 		if !ok {
 			continue
 		}
-		h := difftree.Hash(next)
-		if !d.isLegal(next, h) {
+		if !d.eng.LegalState(next) {
 			continue
 		}
-		return state{d: next, h: h}, true
+		return state{d: next, h: difftree.Hash(next)}, true
 	}
 	ns := d.Neighbors(s)
 	if len(ns) == 0 {
@@ -387,14 +384,17 @@ func (d *domain) RandomNeighbor(s mcts.State, rng *rand.Rand) (mcts.State, bool)
 }
 
 // Reward implements mcts.Domain: 1/(1 + cost/scale), so the initial state
-// scores 0.5 and better interfaces approach 1. Rewards are cached per state
-// hash (cost sampling is stochastic; caching also keeps it stable).
+// scores 0.5 and better interfaces approach 1. Costs come from the engine
+// (deterministic per state); the run-local memo only dedupes the onCost
+// bookkeeping and skips the cache round trip for hot states.
 func (d *domain) Reward(s mcts.State) float64 {
 	st := s.(state)
-	if r, ok := d.cache[st.h]; ok {
-		return r
+	if d.rewards != nil {
+		if r, ok := d.rewards[st.h]; ok {
+			return r
+		}
 	}
-	c := StateCost(st.d, d.log, d.model, d.k, d.rng)
+	c := d.eng.StateCost(st.d)
 	if d.onCost != nil {
 		d.onCost(c)
 	}
@@ -402,7 +402,9 @@ func (d *domain) Reward(s mcts.State) float64 {
 	if !math.IsInf(c, 1) {
 		r = 1.0 / (1.0 + c/d.scale)
 	}
-	d.cache[st.h] = r
+	if d.rewards != nil {
+		d.rewards[st.h] = r
+	}
 	return r
 }
 
@@ -420,13 +422,16 @@ func RandomWalk(log []*ast.Node, steps int, seed int64) (*difftree.Node, error) 
 	if err != nil {
 		return nil, err
 	}
+	eng := eval.New(eval.Config{
+		Log:     log,
+		Rules:   rules.All(),
+		SizeCap: 4*init.Size() + 64,
+	}, eval.NewCache(0))
 	d := &domain{
-		log:       log,
-		ruleSet:   rules.All(),
-		cache:     map[uint64]float64{},
-		legal:     map[uint64]bool{},
-		neighbors: map[uint64][]mcts.State{},
-		sizeCap:   4*init.Size() + 64,
+		eng:     eng,
+		ruleSet: rules.All(),
+		rewards: map[uint64]float64{},
+		seen:    map[uint64][]mcts.State{},
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cur := state{d: init, h: difftree.Hash(init)}

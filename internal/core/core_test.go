@@ -241,8 +241,9 @@ func TestNarrowScreenChangesInterface(t *testing.T) {
 func TestRewardMonotoneInCost(t *testing.T) {
 	log := workload.PaperFigure1Log()
 	model := cost.Default(layout.Wide)
-	d := newDomain(log, model, Options{}.withDefaults())
+	opt := Options{}.withDefaults()
 	init, _ := difftree.Initial(log)
+	d := newDomain(log, opt, newEngine(log, init, model, opt))
 	s := state{d: init, h: difftree.Hash(init)}
 	r1 := d.Reward(s)
 	if r1 <= 0 || r1 > 1 {

@@ -61,6 +61,9 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = DefaultSeed
 	}
+	if o.EvalSeed == 0 {
+		o.EvalSeed = o.Seed
+	}
 	if o.NavUnit == 0 {
 		o.NavUnit = DefaultNavUnit
 	}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/difftree"
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+// equivalenceStrategies is every strategy the engine ships; the memoized
+// evaluation engine must be invisible to all of them.
+func equivalenceStrategies() map[string]Strategy {
+	return map[string]Strategy{
+		"mcts":       StrategyMCTS(),
+		"beam":       StrategyBeam(3),
+		"greedy":     StrategyGreedy(),
+		"random":     StrategyRandom(6),
+		"exhaustive": StrategyExhaustive(400),
+	}
+}
+
+// TestCachedUncachedEquivalence is the acceptance gate for the transposition
+// cache: for a fixed seed, every strategy must return the identical best
+// cost — and the identical best difftree — with memoization on (private
+// cache), with memoization off, and with a pre-warmed shared cache.
+func TestCachedUncachedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	log := workload.PaperFigure1Log()
+	for name, strat := range equivalenceStrategies() {
+		t.Run(name, func(t *testing.T) {
+			base := Options{
+				Iterations:   8,
+				RolloutDepth: 6,
+				Seed:         7,
+				Strategy:     strat,
+			}
+
+			cached, err := Generate(context.Background(), log, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			uncachedOpt := base
+			uncachedOpt.DisableMemo = true
+			uncached, err := Generate(context.Background(), log, uncachedOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			shared := eval.NewCache(0)
+			sharedOpt := base
+			sharedOpt.Cache = shared
+			warm, err := Generate(context.Background(), log, sharedOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Second run against the now-hot cache: everything is a hit.
+			hot, err := Generate(context.Background(), log, sharedOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want := cached.Cost.Total()
+			if math.IsInf(want, 1) {
+				t.Fatalf("no valid interface found: %+v", cached.Cost)
+			}
+			for label, r := range map[string]*Result{
+				"uncached": uncached, "shared-cold": warm, "shared-hot": hot,
+			} {
+				if got := r.Cost.Total(); got != want {
+					t.Errorf("%s best cost %v, want %v", label, got, want)
+				}
+				if difftree.Hash(r.DiffTree) != difftree.Hash(cached.DiffTree) {
+					t.Errorf("%s best difftree diverged:\n got %s\nwant %s",
+						label, r.DiffTree, cached.DiffTree)
+				}
+			}
+
+			if cached.Stats.CacheMisses == 0 {
+				t.Error("cached run recorded no cache traffic")
+			}
+			if uncached.Stats.CacheHits != 0 || uncached.Stats.CacheMisses != 0 {
+				t.Errorf("uncached run recorded cache traffic: %+v", uncached.Stats)
+			}
+			if hot.Stats.CacheHitRate <= warm.Stats.CacheHitRate {
+				t.Errorf("hot run hit rate %.3f not above cold %.3f",
+					hot.Stats.CacheHitRate, warm.Stats.CacheHitRate)
+			}
+		})
+	}
+}
+
+// TestParallelSharedCacheDeterministic: 8 root-parallel workers hammer one
+// shared transposition cache; the result must be deterministic across runs
+// and identical to the memoization-off run. Under `go test -race` (CI) this
+// is the concurrency exercise for the engine/cache stack on the real search
+// path.
+func TestParallelSharedCacheDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	log := workload.PaperFigure1Log()
+	base := Options{Iterations: 6, RolloutDepth: 6, Seed: 3}
+
+	run := func(opt Options) *Result {
+		t.Helper()
+		res, err := GenerateParallel(context.Background(), log, opt, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	a := run(base)
+	b := run(base)
+	if a.Cost.Total() != b.Cost.Total() {
+		t.Errorf("parallel search not deterministic: %v vs %v", a.Cost.Total(), b.Cost.Total())
+	}
+	if difftree.Hash(a.DiffTree) != difftree.Hash(b.DiffTree) {
+		t.Error("parallel best difftree not deterministic")
+	}
+	if a.Stats.Workers != 8 {
+		t.Errorf("workers = %d, want 8", a.Stats.Workers)
+	}
+	if a.Stats.CacheHits == 0 {
+		t.Error("8 workers sharing one cache recorded no hits")
+	}
+
+	off := base
+	off.DisableMemo = true
+	c := run(off)
+	if c.Cost.Total() != a.Cost.Total() {
+		t.Errorf("memoization changed the parallel result: %v vs %v", c.Cost.Total(), a.Cost.Total())
+	}
+}

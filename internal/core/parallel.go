@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/ast"
+	"repro/internal/eval"
 )
 
 // GenerateParallel runs `workers` independent searches with distinct seeds
@@ -26,6 +27,14 @@ func GenerateParallel(ctx context.Context, log []*ast.Node, opt Options, workers
 		return Generate(ctx, log, opt)
 	}
 	opt = opt.withDefaults()
+	// One transposition cache serves every worker: state costs are pure
+	// functions of (state, EvalSeed) — withDefaults pinned EvalSeed to the
+	// base seed above, and only the policy seed is perturbed per worker —
+	// so a state scored by one worker is a guaranteed-identical cache hit
+	// for all the others.
+	if opt.Cache == nil && !opt.DisableMemo {
+		opt.Cache = eval.NewCache(0)
+	}
 	if opt.Progress != nil {
 		var mu sync.Mutex
 		user := opt.Progress
@@ -71,6 +80,13 @@ func GenerateParallel(ctx context.Context, log []*ast.Node, opt Options, workers
 		agg.Rollouts += r.Stats.Rollouts
 		agg.Evals += r.Stats.Evals
 		agg.Interrupted = agg.Interrupted || r.Stats.Interrupted
+	}
+	if opt.Cache != nil {
+		// Final snapshot of the shared cache (per-worker snapshots raced
+		// with still-running workers).
+		cs := opt.Cache.Stats()
+		agg.CacheHits, agg.CacheMisses, agg.CacheEntries = cs.Hits, cs.Misses, cs.Entries
+		agg.CacheHitRate = cs.HitRate()
 	}
 	best.Stats = agg
 	return best, nil

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"strconv"
 	"strings"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/cost"
 	"repro/internal/difftree"
+	"repro/internal/eval"
 	"repro/internal/mcts"
 	"repro/internal/search"
 )
@@ -70,6 +70,7 @@ type problem struct {
 	init   *difftree.Node
 	model  cost.Model
 	opt    Options
+	eng    *eval.Engine
 	worker int
 	start  time.Time
 
@@ -80,9 +81,9 @@ type problem struct {
 	traj       []TrajectoryPoint
 }
 
-func newProblem(log []*ast.Node, init *difftree.Node, model cost.Model, opt Options, worker int) *problem {
+func newProblem(log []*ast.Node, init *difftree.Node, model cost.Model, opt Options, eng *eval.Engine, worker int) *problem {
 	return &problem{
-		log: log, init: init, model: model, opt: opt, worker: worker,
+		log: log, init: init, model: model, opt: opt, eng: eng, worker: worker,
 		start:    time.Now(),
 		bestCost: math.Inf(1),
 	}
@@ -115,18 +116,27 @@ func (p *problem) emit() {
 	})
 }
 
-// objective adapts StateCost into a cached, counted search.Objective wired
-// into the progress plumbing; shared by every non-MCTS strategy.
+// objective adapts the evaluation engine into a counted search.Objective
+// wired into the progress plumbing; shared by every non-MCTS strategy. The
+// run-local memo dedupes the counter bookkeeping (and, with memoization
+// off, disappears so every visit re-scores — the reference baseline).
 func (p *problem) objective() search.Objective {
-	rng := rand.New(rand.NewSource(p.opt.Seed + 0x9e37))
-	cache := make(map[uint64]float64)
+	var memo map[uint64]float64
+	if p.eng.Enabled() {
+		memo = make(map[uint64]float64)
+	}
 	return func(d *difftree.Node) float64 {
-		h := difftree.Hash(d)
-		if c, ok := cache[h]; ok {
-			return c
+		var h uint64
+		if memo != nil {
+			h = difftree.Hash(d)
+			if c, ok := memo[h]; ok {
+				return c
+			}
 		}
-		c := StateCost(d, p.log, p.model, p.opt.RewardSamples, rng)
-		cache[h] = c
+		c := p.eng.StateCost(d)
+		if memo != nil {
+			memo[h] = c
+		}
 		p.states++
 		p.iterations = p.evals + 1 // noteCost emits; keep Iterations == Evals
 		p.noteCost(c)
@@ -138,9 +148,11 @@ func (p *problem) objective() search.Objective {
 }
 
 // space is the shared comparator-searcher state space, with the same size
-// cap the MCTS domain prunes with.
+// cap the MCTS domain prunes with and the same memoized move sets.
 func (p *problem) space() search.Space {
-	return search.SpaceFor(p.init, p.log, p.opt.Rules)
+	sp := search.SpaceFor(p.init, p.log, p.opt.Rules)
+	sp.Eng = p.eng
+	return sp
 }
 
 // steps resolves the per-strategy step budget: Options.Iterations, or
@@ -195,7 +207,7 @@ func StrategyMCTS() Strategy { return mctsStrategy{} }
 func (mctsStrategy) Name() string { return "mcts" }
 
 func (mctsStrategy) search(ctx context.Context, p *problem) searchOutcome {
-	dom := newDomain(p.log, p.model, p.opt)
+	dom := newDomain(p.log, p.opt, p.eng)
 	dom.onCost = p.noteCost
 	res := mcts.Search(ctx, dom, state{d: p.init, h: difftree.Hash(p.init)}, mcts.Config{
 		C:                p.opt.ExplorationC,

@@ -11,7 +11,9 @@
 package cost
 
 import (
+	"encoding/binary"
 	"math"
+	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/difftree"
@@ -63,18 +65,51 @@ func (m Model) Evaluate(root *difftree.Node, ui *layout.Node, log []*ast.Node) B
 // per-query choice assignments — the expensive part — are computed once and
 // shared across every candidate widget tree, which is exactly the access
 // pattern of the search's best-of-k reward and the final enumeration.
+//
+// Beyond the shared assignments, the evaluator memoizes the per-widget cost
+// terms across candidate widget trees: widget appropriateness M(w) and
+// interaction cost are keyed by (choice node, widget type) — for a fixed
+// difftree, that pair determines the widget's domain — and consecutive log
+// queries whose transitions touch the same changed choice-node set collapse
+// into one transition class whose U term is computed once per widget tree
+// and multiplied by its multiplicity. On logs with recurring deltas (e.g.
+// SDSS, where most steps flip the same TOP/table widgets) this rescores only
+// the distinct changed paths instead of the whole log.
 type Evaluator struct {
 	model     Model
 	root      *difftree.Node
 	log       []*ast.Node
 	asg       []difftree.Assignment
-	changed   [][]*difftree.Node // changed choice nodes per consecutive pair
+	classes   []transClass // deduplicated consecutive-pair changed sets
 	expressOK bool
+
+	mMemo map[widgetKey]float64 // Appropriateness per (choice node, widget type)
+	uMemo map[widgetKey]float64 // InteractionCost per (choice node, widget type)
+}
+
+// widgetKey identifies a widget template placement: for one difftree, the
+// (choice node, widget type) pair determines the widget domain and hence
+// both its appropriateness and its interaction cost.
+type widgetKey struct {
+	node *difftree.Node
+	t    widgets.Type
+}
+
+// transClass is one equivalence class of consecutive-query transitions: all
+// pairs whose changed choice-node sets are identical. count is the class
+// multiplicity in the log.
+type transClass struct {
+	changed []*difftree.Node // sorted by pre-order position in the difftree
+	count   int
 }
 
 // NewEvaluator expresses every log query against the difftree up front.
 func (m Model) NewEvaluator(root *difftree.Node, log []*ast.Node) *Evaluator {
-	e := &Evaluator{model: m, root: root, log: log, expressOK: true}
+	e := &Evaluator{
+		model: m, root: root, log: log, expressOK: true,
+		mMemo: make(map[widgetKey]float64),
+		uMemo: make(map[widgetKey]float64),
+	}
 	e.asg = make([]difftree.Assignment, len(log))
 	for i, q := range log {
 		a, ok := difftree.Express(root, q)
@@ -84,11 +119,59 @@ func (m Model) NewEvaluator(root *difftree.Node, log []*ast.Node) *Evaluator {
 		}
 		e.asg[i] = a
 	}
-	e.changed = make([][]*difftree.Node, 0, len(log))
+
+	// Canonical pre-order positions give changed sets a deterministic order
+	// (Assignment is a map; its iteration order must not leak into float
+	// summation order) and a stable class key.
+	pos := make(map[*difftree.Node]int)
+	difftree.WalkPath(root, func(n *difftree.Node, _ difftree.Path) bool {
+		pos[n] = len(pos)
+		return true
+	})
+
+	classIdx := make(map[string]int)
+	var keyBuf []byte
 	for i := 0; i+1 < len(log); i++ {
-		e.changed = append(e.changed, e.asg[i].Changed(e.asg[i+1]))
+		changed := e.asg[i].Changed(e.asg[i+1])
+		if len(changed) == 0 {
+			continue
+		}
+		sort.Slice(changed, func(a, b int) bool { return pos[changed[a]] < pos[changed[b]] })
+		keyBuf = keyBuf[:0]
+		for _, cn := range changed {
+			keyBuf = binary.AppendUvarint(keyBuf, uint64(pos[cn]))
+		}
+		key := string(keyBuf)
+		if j, ok := classIdx[key]; ok {
+			e.classes[j].count++
+		} else {
+			classIdx[key] = len(e.classes)
+			e.classes = append(e.classes, transClass{changed: changed, count: 1})
+		}
 	}
 	return e
+}
+
+// appropriateness memoizes widgets.Appropriateness per placement.
+func (e *Evaluator) appropriateness(w *layout.Node) float64 {
+	k := widgetKey{node: w.Choice, t: w.Type}
+	if c, ok := e.mMemo[k]; ok {
+		return c
+	}
+	c := widgets.Appropriateness(w.Type, w.Domain)
+	e.mMemo[k] = c
+	return c
+}
+
+// interaction memoizes widgets.InteractionCost per placement.
+func (e *Evaluator) interaction(w *layout.Node) float64 {
+	k := widgetKey{node: w.Choice, t: w.Type}
+	if c, ok := e.uMemo[k]; ok {
+		return c
+	}
+	c := widgets.InteractionCost(w.Type, w.Domain)
+	e.uMemo[k] = c
+	return c
 }
 
 // Evaluate scores one widget tree.
@@ -115,27 +198,27 @@ func (e *Evaluator) Evaluate(ui *layout.Node) Breakdown {
 	ws := ui.Widgets()
 	b.Widgets = len(ws)
 	for _, w := range ws {
-		c := widgets.Appropriateness(w.Type, w.Domain)
+		c := e.appropriateness(w)
 		if widgets.IsInf(c) {
 			return Breakdown{Bounds: b.Bounds, Valid: false, Reason: "inapplicable widget " + w.Type.String()}
 		}
 		b.M += c
 	}
 
-	for _, changed := range e.changed {
-		if len(changed) == 0 {
-			continue
-		}
-		var mark []*layout.Node
-		for _, cn := range changed {
+	mark := make([]*layout.Node, 0, 8)
+	for _, cl := range e.classes {
+		mark = mark[:0]
+		u := 0.0
+		for _, cn := range cl.changed {
 			w, ok := byChoice[cn]
 			if !ok {
 				return Breakdown{Bounds: b.Bounds, Valid: false, Reason: "changed choice without widget"}
 			}
 			mark = append(mark, w)
-			b.U += widgets.InteractionCost(w.Type, w.Domain)
+			u += e.interaction(w)
 		}
-		b.U += float64(steinerEdges(ui, mark)) * e.model.NavUnit
+		u += float64(steinerEdges(ui, mark)) * e.model.NavUnit
+		b.U += u * float64(cl.count)
 	}
 	return b
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/difftree"
 	"repro/internal/layout"
+	"repro/internal/testutil"
 	"repro/internal/workload"
 )
 
@@ -56,7 +57,7 @@ func TestQuickCostProperties(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(114, 40)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -98,7 +99,7 @@ func TestQuickRepeatedQueryFreeU(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(115, 40)); err != nil {
 		t.Fatal(err)
 	}
 }

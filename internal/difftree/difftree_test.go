@@ -300,7 +300,12 @@ func TestCloneEqualHash(t *testing.T) {
 	if Equal(d, c) {
 		t.Fatal("deep clone violated")
 	}
-	if Hash(d) == Hash(c) {
+	// Hashes are memoized at first computation, so a structurally different
+	// tree must be built fresh (mutating an already-hashed node is outside
+	// the immutable-difftree contract).
+	other := figure4Tree()
+	other.Children[0].Children[0].Children[0].Value = "Other"
+	if Hash(d) == Hash(other) {
 		t.Error("different trees should hash differently")
 	}
 	if !Equal(nil, nil) || Equal(d, nil) {

@@ -1,0 +1,162 @@
+package difftree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/testutil"
+)
+
+// rebuild constructs a brand-new structurally identical tree, field by
+// field, with no cached hashes carried over — the reference for "the hash is
+// a pure function of structure".
+func rebuild(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Label: n.Label, Value: n.Value}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, rebuild(ch))
+	}
+	return c
+}
+
+// genDiff grows a random difftree with all four node kinds.
+func genDiff(rng *rand.Rand, depth int) *Node {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		kinds := []ast.Kind{ast.KindColExpr, ast.KindNumExpr, ast.KindStrExpr, ast.KindTable}
+		return NewAll(kinds[rng.Intn(len(kinds))], string(rune('a'+rng.Intn(6))))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		kids := make([]*Node, 1+rng.Intn(3))
+		for i := range kids {
+			kids[i] = genDiff(rng, depth-1)
+		}
+		return NewAny(kids...)
+	case 1:
+		return NewOpt(genDiff(rng, depth-1))
+	case 2:
+		return NewMulti(NewAll(ast.KindColExpr, "m", genDiff(rng, depth-1)))
+	default:
+		kids := make([]*Node, rng.Intn(3))
+		for i := range kids {
+			kids[i] = genDiff(rng, depth-1)
+		}
+		return NewAll(ast.KindAnd, "", kids...)
+	}
+}
+
+// TestQuickHashPureFunctionOfStructure: structurally equal trees hash
+// equally no matter how they were produced — built fresh, cloned, or
+// assembled through copy-on-write ReplaceAt with hashes computed at
+// arbitrary intermediate moments.
+func TestQuickHashPureFunctionOfStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genDiff(rng, 4)
+
+		// Fresh rebuild: same structure, no shared nodes, no cached hashes.
+		b := rebuild(a)
+		if !Equal(a, b) {
+			t.Log("rebuild not Equal")
+			return false
+		}
+		ha := Hash(a) // caches hashes throughout a
+		if Hash(b) != ha {
+			t.Log("fresh rebuild hashes differently")
+			return false
+		}
+
+		// Clones carry the cached hashes and must agree.
+		if Hash(a.Clone()) != ha {
+			t.Log("clone hashes differently")
+			return false
+		}
+
+		// Copy-on-write: replace a random subtree; the rewritten tree shares
+		// every untouched node (with their already-cached hashes) and must
+		// hash identically to a from-scratch rebuild of the same structure.
+		var paths []Path
+		WalkPath(a, func(_ *Node, p Path) bool {
+			paths = append(paths, p.Clone())
+			return true
+		})
+		p := paths[rng.Intn(len(paths))]
+		repl := genDiff(rng, 2)
+		cow := ReplaceAt(a, p, repl)
+		if cow == nil {
+			return len(p) > 0 // only invalid paths may fail, and root never is
+		}
+		if got, want := Hash(cow), Hash(rebuild(cow)); got != want {
+			t.Logf("COW hash %x != fresh hash %x at %s", got, want, p)
+			return false
+		}
+		// The original is untouched and keeps its hash.
+		if Hash(a) != ha {
+			t.Log("ReplaceAt disturbed the source tree's hash")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, testutil.QuickConfig(61, 200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashNoDelimiterCollision pins the fix for a real ambiguity in the
+// previous delimiter-based hash: Value bytes could emulate the child
+// delimiter plus a sibling's header, making these two structurally
+// different trees hash equally:
+//
+//	A = And[ ColExpr:"a"  ColExpr:"z" ]
+//	B = And[ ColExpr:"a\x1f\x1e<kind><label>z" ]
+//
+// (under the old scheme B's single child's value spelled out exactly the
+// bytes A's two children emit). Length-prefixing Value and composing from
+// child hashes removes the ambiguity.
+func TestHashNoDelimiterCollision(t *testing.T) {
+	sibling := NewAll(ast.KindColExpr, "z")
+	a := NewAll(ast.KindAnd, "",
+		NewAll(ast.KindColExpr, "a"),
+		sibling,
+	)
+	crafted := "a" + "\x1f\x1e" + string([]byte{byte(All), byte(ast.KindColExpr)}) + "z"
+	b := NewAll(ast.KindAnd, "", NewAll(ast.KindColExpr, crafted))
+
+	if Equal(a, b) {
+		t.Fatal("trees must be structurally different")
+	}
+	if Hash(a) == Hash(b) {
+		t.Errorf("delimiter-emulating Value collides: %x", Hash(a))
+	}
+}
+
+// TestHashDistinguishesKindsAndArity: basic hash discrimination across the
+// axes the cache keys on.
+func TestHashDistinguishesKindsAndArity(t *testing.T) {
+	leaf := func() *Node { return NewAll(ast.KindColExpr, "x") }
+	cases := []*Node{
+		leaf(),
+		NewAny(leaf()),
+		NewOpt(leaf()),
+		NewMulti(leaf()),
+		NewAny(leaf(), leaf()),
+		NewAll(ast.KindAnd, "", leaf()),
+		NewAll(ast.KindAnd, "y", leaf()),
+		nil,
+	}
+	seen := map[uint64]int{}
+	for i, c := range cases {
+		h := Hash(c)
+		if j, dup := seen[h]; dup {
+			t.Errorf("cases %d and %d collide (%x)", i, j, h)
+		}
+		seen[h] = i
+	}
+	if Hash(nil) != Hash(nil) {
+		t.Error("nil hash unstable")
+	}
+}

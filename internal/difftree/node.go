@@ -18,9 +18,11 @@
 package difftree
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ast"
 )
@@ -55,12 +57,22 @@ func (k Kind) String() string {
 // IsChoice reports whether the kind is one of the paper's choice node types.
 func (k Kind) IsChoice() bool { return k == Any || k == Opt || k == Multi }
 
-// Node is one difftree node.
+// Node is one difftree node. Difftrees are immutable values: once a node is
+// reachable from a search state it is never modified, which is what makes
+// copy-on-write rule application (ReplaceAt, structural sharing in
+// internal/rules) and the cached structural hash below safe. Within one tree
+// every node pointer occurs at exactly one position — widget assignment and
+// cost attribution key maps by node identity.
 type Node struct {
 	Kind     Kind
 	Label    ast.Kind // grammar rule, meaningful when Kind == All
 	Value    string   // literal/operator value, meaningful when Kind == All
 	Children []*Node
+
+	// h memoizes Hash for the subtree; 0 means "not computed yet" (Hash
+	// never returns 0). Atomic because immutable subtrees are shared across
+	// search states and may be hashed from concurrent workers.
+	h atomic.Uint64
 }
 
 // NewAll constructs an All node mirroring a grammar rule.
@@ -137,7 +149,8 @@ func toASTSeq(n *Node) ([]*ast.Node, bool) {
 	return []*ast.Node{{Kind: n.Label, Value: n.Value, Children: kids}}, true
 }
 
-// Clone deep-copies the subtree.
+// Clone deep-copies the subtree. The cached structural hash carries over:
+// a clone is structurally identical by construction.
 func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
@@ -148,6 +161,9 @@ func (n *Node) Clone() *Node {
 		for i, ch := range n.Children {
 			c.Children[i] = ch.Clone()
 		}
+	}
+	if h := n.h.Load(); h != 0 {
+		c.h.Store(h)
 	}
 	return c
 }
@@ -212,28 +228,46 @@ func Equal(a, b *Node) bool {
 	return true
 }
 
+// nilHash is the hash of a nil subtree, and the substitute for the (2^-64
+// unlikely) case where a real subtree hashes to 0 — 0 is reserved as the
+// "not computed" sentinel of the per-node cache.
+const nilHash uint64 = 0x9ae16a3b2f90404f
+
 // Hash returns a structural hash of the subtree; used to deduplicate search
-// states.
+// states and as the key of the evaluation engine's transposition cache.
+//
+// The hash is memoized on each node and composes from the children's cached
+// hashes, so with copy-on-write move application only the spine from the
+// root to the edited path is ever rehashed: unchanged subtrees reuse their
+// cached values. Value strings and child lists are length-prefixed, so no
+// crafted Value can emulate node boundaries (see TestHashNoDelimiterCollision
+// for the ambiguity the previous delimiter-based scheme allowed).
 func Hash(n *Node) uint64 {
-	h := fnv.New64a()
-	hashInto(n, h)
-	return h.Sum64()
-}
-
-type hashWriter interface{ Write([]byte) (int, error) }
-
-func hashInto(n *Node, h hashWriter) {
 	if n == nil {
-		h.Write([]byte{0xfe})
-		return
+		return nilHash
 	}
-	h.Write([]byte{byte(n.Kind), byte(n.Label)})
-	h.Write([]byte(n.Value))
-	h.Write([]byte{0x1f})
+	if h := n.h.Load(); h != 0 {
+		return h
+	}
+	hw := fnv.New64a()
+	var hdr [10]byte
+	hdr[0] = byte(n.Kind)
+	hdr[1] = byte(n.Label)
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(n.Value)))
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(n.Children)))
+	hw.Write(hdr[:])
+	hw.Write([]byte(n.Value))
+	var child [8]byte
 	for _, c := range n.Children {
-		hashInto(c, h)
+		binary.LittleEndian.PutUint64(child[:], Hash(c))
+		hw.Write(child[:])
 	}
-	h.Write([]byte{0x1e})
+	h := hw.Sum64()
+	if h == 0 {
+		h = nilHash
+	}
+	n.h.Store(h)
+	return h
 }
 
 // Nullable reports whether the subtree can generate the empty sequence.

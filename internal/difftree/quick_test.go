@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/ast"
+	"repro/internal/testutil"
 )
 
 // genAST builds a random small grammar AST (not necessarily a full query —
@@ -46,7 +47,7 @@ func TestQuickFromToASTRoundTrip(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(101, 80)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -89,7 +90,7 @@ func TestQuickInitialExpressesLog(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(102, 80)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -112,7 +113,7 @@ func TestQuickEnumerateSubsetOfExpressible(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(103, 60)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -141,7 +142,7 @@ func TestQuickHashEqualConsistent(t *testing.T) {
 		leaves[rng.Intn(len(leaves))].Value += "x"
 		return !Equal(a, c)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(104, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -173,7 +174,7 @@ func TestQuickReplaceAtPreservesOthers(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(105, 100)); err != nil {
 		t.Fatal(err)
 	}
 }

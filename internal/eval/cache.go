@@ -1,0 +1,249 @@
+// Package eval implements the memoized evaluation engine behind every
+// search strategy: a concurrency-safe transposition cache keyed by the
+// difftree's structural hash, and an Engine that computes — and memoizes —
+// the three expensive per-state quantities of the search:
+//
+//   - StateCost, the paper's reward primitive C(W,Q) sampled over k widget
+//     assignments,
+//   - LegalState, the system invariant (size prune + every query stays
+//     expressible), and
+//   - Moves, the legal move set.
+//
+// Scoring a state is deterministic per state: the reward-sampling RNG is
+// seeded from the state's hash mixed with the engine's base seed, so a
+// cached value is bit-identical to what any worker would recompute. That is
+// what lets one cache be shared by all root-parallel MCTS workers and the
+// beam/greedy/random/exhaustive searchers without changing any result: with
+// or without the cache, for a fixed seed, every strategy returns the same
+// best cost.
+package eval
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/difftree"
+	"repro/internal/rules"
+)
+
+// shardCount spreads cache keys over independently locked shards; a power
+// of two so shard selection is a mask.
+const shardCount = 64
+
+// DefaultMaxEntries bounds the cache at roughly a million states, a few
+// hundred MB worst case on the paper's logs — far beyond what a search
+// budget visits, so eviction is the exception, not the rule.
+const DefaultMaxEntries = 1 << 20
+
+// Cache is a concurrency-safe transposition table over difftree states.
+// Entries accumulate the memoized aspects of a state (cost, legality, move
+// set) as they are first computed. A Cache is scoped to one evaluation
+// configuration fingerprint (see Engine): engines mix their fingerprint
+// into every key, so one Cache instance can safely back generators with
+// different logs, screens, or seeds without cross-talk.
+type Cache struct {
+	maxPerShard int
+	shards      [shardCount]shard
+	hits        atomic.Int64
+	misses      atomic.Int64
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[uint64]entry
+}
+
+// entry is the memoized record of one (configuration, state) pair. Entries
+// are stored by value — the search retains hundreds of thousands of
+// one-shot states, and inline map storage keeps them off the GC scan list.
+// Fields are guarded by the owning shard's mutex.
+type entry struct {
+	cost     float64
+	hasCost  bool
+	legal    uint8 // 0 unknown, 1 legal, 2 illegal
+	moves    []rules.Move
+	hasMoves bool
+	pools    [4][]difftree.Path // node paths by difftree.Kind
+	hasPools bool
+}
+
+// NewCache returns a cache holding at least maxEntries states
+// (DefaultMaxEntries when <= 0). The bound is enforced per shard — rounded
+// up to shard granularity, so total capacity is in [maxEntries,
+// maxEntries+shardCount) — which means a hot shard can stop accepting new
+// states while others still have room; keys are scattered by a mixed hash,
+// so shards fill evenly in practice. When a shard is full, new states are
+// simply not inserted — existing entries keep serving hits; correctness
+// never depends on an insert landing. There is no automatic eviction: a
+// cache shared across many distinct workloads eventually fills with states
+// that will never be revisited and stops memoizing new ones. Long-lived
+// callers that rotate workloads should Reset (or replace) the cache at
+// rotation points.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	perShard := (maxEntries + shardCount - 1) / shardCount
+	c := &Cache{maxPerShard: perShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]entry)
+	}
+	return c
+}
+
+func (c *Cache) shard(key uint64) *shard { return &c.shards[key&(shardCount-1)] }
+
+// update applies fn to key's entry under the shard lock, creating the entry
+// if the shard has room; a full shard drops creations (existing entries keep
+// serving — correctness never depends on an insert landing).
+func (c *Cache) update(key uint64, fn func(*entry)) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if ok || len(s.m) < c.maxPerShard {
+		fn(&e)
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+}
+
+// Cost returns the memoized state cost.
+func (c *Cache) Cost(key uint64) (float64, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, found := s.m[key]
+	s.mu.Unlock()
+	ok := found && e.hasCost
+	c.count(ok)
+	if !ok {
+		return 0, false
+	}
+	return e.cost, true
+}
+
+// SetCost records a state cost.
+func (c *Cache) SetCost(key uint64, v float64) {
+	c.update(key, func(e *entry) { e.cost, e.hasCost = v, true })
+}
+
+// Legal returns the memoized legality verdict.
+func (c *Cache) Legal(key uint64) (legal, ok bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, found := s.m[key]
+	s.mu.Unlock()
+	ok = found && e.legal != 0
+	legal = ok && e.legal == 1
+	c.count(ok)
+	return legal, ok
+}
+
+// SetLegal records a legality verdict.
+func (c *Cache) SetLegal(key uint64, legal bool) {
+	c.update(key, func(e *entry) {
+		if legal {
+			e.legal = 1
+		} else {
+			e.legal = 2
+		}
+	})
+}
+
+// Moves returns the memoized legal move set. The returned slice is shared:
+// callers must not modify it.
+func (c *Cache) Moves(key uint64) ([]rules.Move, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, found := s.m[key]
+	s.mu.Unlock()
+	ok := found && e.hasMoves
+	c.count(ok)
+	if !ok {
+		return nil, false
+	}
+	return e.moves, true
+}
+
+// SetMoves records a legal move set. The cache takes ownership of ms.
+func (c *Cache) SetMoves(key uint64, ms []rules.Move) {
+	c.update(key, func(e *entry) {
+		if !e.hasMoves {
+			e.moves, e.hasMoves = ms, true
+		}
+	})
+}
+
+// Pools returns the memoized per-kind node path pools. The returned slices
+// are shared: callers must not modify them.
+func (c *Cache) Pools(key uint64) ([4][]difftree.Path, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, found := s.m[key]
+	s.mu.Unlock()
+	ok := found && e.hasPools
+	c.count(ok)
+	if !ok {
+		return [4][]difftree.Path{}, false
+	}
+	return e.pools, true
+}
+
+// SetPools records per-kind node path pools. The cache takes ownership.
+func (c *Cache) SetPools(key uint64, pools [4][]difftree.Path) {
+	c.update(key, func(e *entry) {
+		if !e.hasPools {
+			e.pools, e.hasPools = pools, true
+		}
+	})
+}
+
+// Reset drops every memoized state (all fingerprints) and zeroes the
+// counters, returning the cache to its freshly constructed state. Safe to
+// call concurrently with readers: in-flight lookups simply miss and
+// recompute — by construction a recompute equals the dropped value.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[uint64]entry)
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+func (c *Cache) count(hit bool) {
+	if hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+}
+
+// Stats reports cumulative cache effectiveness.
+type Stats struct {
+	Hits    int64 // lookups answered from the cache
+	Misses  int64 // lookups that had to compute
+	Entries int64 // states currently resident
+}
+
+// HitRate is Hits/(Hits+Misses), 0 when the cache saw no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.m))
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,231 @@
+package eval
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/cost"
+	"repro/internal/difftree"
+	"repro/internal/rules"
+)
+
+// Config fixes one evaluation problem: everything a state's cost, legality,
+// and move set depend on. Two engines with equal configs compute identical
+// values for every state, which is what makes their cache entries
+// interchangeable.
+type Config struct {
+	Log     []*ast.Node  // the (ordered) query log
+	Model   cost.Model   // cost parameters incl. screen constraint
+	Samples int          // k random widget assignments per state cost
+	Rules   []rules.Rule // transformation rule set gating moves
+	SizeCap int          // state-size prune bound (0 = uncapped)
+	Seed    int64        // base seed for per-state reward sampling
+}
+
+// Engine evaluates difftree states for one Config, memoizing through an
+// optional shared Cache. A nil cache disables memoization entirely — every
+// call recomputes — which is the reference baseline the bench harness
+// compares against. The Engine itself is stateless beyond the cache and
+// safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	cache *Cache
+	fp    uint64 // configuration fingerprint, mixed into every cache key
+}
+
+// New builds an engine over cfg, memoizing into cache (nil = uncached).
+func New(cfg Config, cache *Cache) *Engine {
+	return &Engine{cfg: cfg, cache: cache, fp: fingerprint(cfg)}
+}
+
+// fingerprint digests every config field a state's evaluation depends on,
+// so one Cache can back engines with different configurations without
+// cross-talk.
+func fingerprint(cfg Config) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	w(uint64(len(cfg.Log)))
+	for _, q := range cfg.Log {
+		w(ast.Hash(q))
+	}
+	w(math.Float64bits(cfg.Model.NavUnit))
+	w(uint64(cfg.Model.Screen.W))
+	w(uint64(cfg.Model.Screen.H))
+	w(uint64(cfg.Samples))
+	w(uint64(cfg.SizeCap))
+	w(uint64(cfg.Seed))
+	for _, r := range cfg.Rules {
+		h.Write([]byte(r.Name()))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer; it scatters the structural hash so
+// shard selection and per-state RNG seeds are well distributed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (e *Engine) key(h uint64) uint64 { return mix64(h ^ e.fp) }
+
+// Enabled reports whether memoization is on.
+func (e *Engine) Enabled() bool { return e.cache != nil }
+
+// CacheStats snapshots the backing cache's counters (zero when uncached).
+func (e *Engine) CacheStats() Stats {
+	if e.cache == nil {
+		return Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// Samples returns the configured per-state assignment sample count k.
+func (e *Engine) Samples() int { return e.cfg.Samples }
+
+// SizeCap returns the configured state-size prune bound.
+func (e *Engine) SizeCap() int { return e.cfg.SizeCap }
+
+// StateCost is the paper's reward primitive: the best cost among the
+// cost-greedy first widget assignment plus k random ones. It is a pure
+// function of (config, state): the sampling RNG is seeded from the state's
+// structural hash mixed with the base seed, never from a shared stream — so
+// every worker, cached or not, computes bit-identical values, and a cache
+// hit is indistinguishable from a recompute.
+func (e *Engine) StateCost(d *difftree.Node) float64 {
+	h := difftree.Hash(d)
+	if e.cache != nil {
+		if c, ok := e.cache.Cost(e.key(h)); ok {
+			return c
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(mix64(h ^ uint64(e.cfg.Seed)))))
+	c := SampledCost(d, e.cfg.Log, e.cfg.Model, e.cfg.Samples, rng)
+	if e.cache != nil {
+		e.cache.SetCost(e.key(h), c)
+	}
+	return c
+}
+
+// SampledCost scores a difftree with the cost-greedy first assignment plus
+// k random widget assignments drawn from rng; +Inf when no widget tree
+// expresses the log on the screen.
+func SampledCost(d *difftree.Node, log []*ast.Node, model cost.Model, k int, rng *rand.Rand) float64 {
+	plan, err := assign.BuildPlan(d)
+	if err != nil {
+		return math.Inf(1)
+	}
+	ev := model.NewEvaluator(d, log)
+	if !d.HasChoice() {
+		return ev.Evaluate(nil).Total()
+	}
+	best := ev.Evaluate(plan.First()).Total()
+	for i := 0; i < k; i++ {
+		if c := ev.Evaluate(plan.Random(rng)).Total(); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// LegalState reports whether d is a valid search state: within the size
+// cap, structurally valid, and still expressing every log query. The full
+// verdict — size gate included — is memoized, so a hit costs one hash walk
+// (itself amortized by per-node hash caching) and one shard lookup.
+func (e *Engine) LegalState(d *difftree.Node) bool {
+	h := difftree.Hash(d)
+	if e.cache != nil {
+		if v, ok := e.cache.Legal(e.key(h)); ok {
+			return v
+		}
+	}
+	v := (e.cfg.SizeCap <= 0 || d.Size() <= e.cfg.SizeCap) && rules.LegalState(d, e.cfg.Log)
+	if e.cache != nil {
+		e.cache.SetLegal(e.key(h), v)
+	}
+	return v
+}
+
+// Moves enumerates d's legal moves — rule pattern matches, the rewrite is
+// within the size cap, and every query stays expressible — in deterministic
+// order (pre-order paths, rule order), memoized per state. The returned
+// slice is shared with the cache; callers must not modify it.
+func (e *Engine) Moves(d *difftree.Node) []rules.Move {
+	h := difftree.Hash(d)
+	if e.cache != nil {
+		if ms, ok := e.cache.Moves(e.key(h)); ok {
+			return ms
+		}
+	}
+	var out []rules.Move
+	difftree.WalkPath(d, func(n *difftree.Node, p difftree.Path) bool {
+		for _, r := range e.cfg.Rules {
+			if kinds, ok := rules.MatchKinds[r.Name()]; ok && !kinds[n.Kind] {
+				continue
+			}
+			next, ok := rules.Candidate(d, p, r)
+			if !ok {
+				continue
+			}
+			if !e.LegalState(next) {
+				continue
+			}
+			out = append(out, rules.Move{Rule: r.Name(), Path: p.Clone()})
+		}
+		return true
+	})
+	if e.cache != nil {
+		e.cache.SetMoves(e.key(h), out)
+	}
+	return out
+}
+
+// PathPools returns d's node paths grouped by node kind, memoized per
+// state. Rollout samplers draw (rule, node) candidates from these pools on
+// every walk step; without memoization each step re-walks the tree and
+// re-allocates every path.
+func (e *Engine) PathPools(d *difftree.Node) [4][]difftree.Path {
+	h := difftree.Hash(d)
+	if e.cache != nil {
+		if pools, ok := e.cache.Pools(e.key(h)); ok {
+			return pools
+		}
+	}
+	var pools [4][]difftree.Path
+	difftree.WalkPath(d, func(n *difftree.Node, p difftree.Path) bool {
+		pools[n.Kind] = append(pools[n.Kind], p.Clone())
+		return true
+	})
+	if e.cache != nil {
+		e.cache.SetPools(e.key(h), pools)
+	}
+	return pools
+}
+
+// Neighbors applies every legal move of d, returning the successor states
+// in the same deterministic order as Moves.
+func (e *Engine) Neighbors(d *difftree.Node) []*difftree.Node {
+	ms := e.Moves(d)
+	out := make([]*difftree.Node, 0, len(ms))
+	for _, m := range ms {
+		next, err := rules.ApplyMove(d, m)
+		if err != nil {
+			continue
+		}
+		out = append(out, next)
+	}
+	return out
+}

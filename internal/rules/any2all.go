@@ -100,7 +100,7 @@ func (Any2All) Apply(n *difftree.Node) (*difftree.Node, bool) {
 			if found == nil {
 				missing = true
 			} else {
-				variants = append(variants, found.Clone())
+				variants = append(variants, found) // shared: one (branch, slot) each
 			}
 		}
 		variants = dedupNodes(variants)
@@ -179,8 +179,11 @@ func (All2Any) Apply(n *difftree.Node) (*difftree.Node, bool) {
 				if alt.IsEmpty() {
 					continue // ∅ alternative: clause absent in this branch
 				}
-				kids = append(kids, alt.Clone())
+				kids = append(kids, alt) // shared: alternative i goes to branch i only
 			} else {
+				// Deep-cloned on purpose: the same source child is emitted
+				// into every branch, and node pointers must stay unique
+				// within one tree.
 				kids = append(kids, c.Clone())
 			}
 		}

@@ -37,7 +37,7 @@ func (Lift) Apply(n *difftree.Node) (*difftree.Node, bool) {
 	}
 	if inner.IsSeq() {
 		// Single branch whose children can be inlined directly.
-		return difftree.NewAll(label, value, cloneAll(inner.Children)...), true
+		return difftree.NewAll(label, value, share(inner.Children)...), true
 	}
 	return difftree.NewAll(label, value, inner), true
 }
@@ -52,17 +52,22 @@ func seqOf(cs []*difftree.Node) *difftree.Node {
 	case len(cs) == 0:
 		return difftree.Emptyn()
 	case len(cs) == 1 && !cs[0].IsSeq() && !cs[0].IsEmpty():
-		return cs[0].Clone()
+		return cs[0]
 	default:
-		return difftree.NewAll(ast.KindSeq, "", cloneAll(cs)...)
+		return difftree.NewAll(ast.KindSeq, "", share(cs)...)
 	}
 }
 
-func cloneAll(cs []*difftree.Node) []*difftree.Node {
+// share copies the slice but not the subtrees: difftrees are immutable, so a
+// rewrite may reference unchanged source subtrees directly (copy-on-write).
+// The one constraint is that a source node must land at most ONCE in the
+// output tree — widget assignment and cost attribution key maps by node
+// pointer, so duplicating a pointer within one tree would conflate two
+// positions. Every caller here satisfies that; All2Any, which emits a child
+// into several branches, is the one rule that still deep-clones.
+func share(cs []*difftree.Node) []*difftree.Node {
 	out := make([]*difftree.Node, len(cs))
-	for i, c := range cs {
-		out[i] = c.Clone()
-	}
+	copy(out, cs)
 	return out
 }
 
@@ -87,11 +92,11 @@ func (Unlift) Apply(n *difftree.Node) (*difftree.Node, bool) {
 		var kids []*difftree.Node
 		switch {
 		case alt.IsSeq():
-			kids = cloneAll(alt.Children)
+			kids = share(alt.Children)
 		case alt.IsEmpty():
 			kids = nil
 		default:
-			kids = []*difftree.Node{alt.Clone()}
+			kids = []*difftree.Node{alt}
 		}
 		branches = append(branches, difftree.NewAll(n.Label, n.Value, kids...))
 	}

@@ -52,7 +52,7 @@ func alternativesOf(c *difftree.Node) []*difftree.Node {
 		}
 		return out
 	}
-	return []*difftree.Node{c.Clone()}
+	return []*difftree.Node{c}
 }
 
 // Apply implements Rule. It merges the first maximal run of length >= 2
@@ -97,9 +97,9 @@ func (MultiMerge) Apply(n *difftree.Node) (*difftree.Node, bool) {
 			continue // would break the MULTI invariant
 		}
 		out := &difftree.Node{Kind: n.Kind, Label: n.Label, Value: n.Value}
-		out.Children = append(out.Children, cloneAll(kids[:start])...)
+		out.Children = append(out.Children, kids[:start]...)
 		out.Children = append(out.Children, difftree.NewMulti(child))
-		out.Children = append(out.Children, cloneAll(kids[end:])...)
+		out.Children = append(out.Children, kids[end:]...)
 		return out, true
 	}
 	return nil, false

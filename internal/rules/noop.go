@@ -20,7 +20,7 @@ func (Optional) Apply(n *difftree.Node) (*difftree.Node, bool) {
 		if c.IsEmpty() {
 			empties++
 		} else {
-			nonEmpty = append(nonEmpty, c.Clone())
+			nonEmpty = append(nonEmpty, c) // shared: used once (see share)
 		}
 	}
 	// Exactly one ∅ keeps the rule invertible (duplicate ∅ alternatives are
@@ -51,9 +51,9 @@ func (Unoptional) Apply(n *difftree.Node) (*difftree.Node, bool) {
 	child := n.Children[0]
 	kids := []*difftree.Node{difftree.Emptyn()}
 	if child.Kind == difftree.Any {
-		kids = append(kids, cloneAll(child.Children)...)
+		kids = append(kids, share(child.Children)...)
 	} else {
-		kids = append(kids, child.Clone())
+		kids = append(kids, child)
 	}
 	return difftree.NewAny(kids...), true
 }
@@ -69,7 +69,7 @@ func (Unwrap) Apply(n *difftree.Node) (*difftree.Node, bool) {
 	if n.Kind != difftree.Any || len(n.Children) != 1 {
 		return nil, false
 	}
-	return n.Children[0].Clone(), true
+	return n.Children[0], true
 }
 
 // Wrap adds a trivial ANY wrapper: x → ANY[x] (paper's Noop, backward). It
@@ -91,7 +91,7 @@ func (Wrap) Apply(n *difftree.Node) (*difftree.Node, bool) {
 	if n.Kind != difftree.All || n.IsEmpty() || n.IsSeq() {
 		return nil, false
 	}
-	return difftree.NewAny(n.Clone()), true
+	return difftree.NewAny(n), true
 }
 
 // Flatten splices nested ANY alternatives into their parent:
@@ -119,9 +119,9 @@ func (Flatten) Apply(n *difftree.Node) (*difftree.Node, bool) {
 	var kids []*difftree.Node
 	for _, c := range n.Children {
 		if c.Kind == difftree.Any {
-			kids = append(kids, cloneAll(c.Children)...)
+			kids = append(kids, share(c.Children)...)
 		} else {
-			kids = append(kids, c.Clone())
+			kids = append(kids, c)
 		}
 	}
 	return difftree.NewAny(dedupNodes(kids)...), true
@@ -142,5 +142,5 @@ func (DedupAny) Apply(n *difftree.Node) (*difftree.Node, bool) {
 	if len(kids) == len(n.Children) {
 		return nil, false
 	}
-	return difftree.NewAny(cloneAll(kids)...), true
+	return difftree.NewAny(share(kids)...), true
 }

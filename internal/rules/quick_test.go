@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/difftree"
+	"repro/internal/testutil"
 	"repro/internal/workload"
 )
 
@@ -42,7 +43,7 @@ func TestQuickWalkInvariantRandomLogs(t *testing.T) {
 		}
 		return true
 	}
-	cfg := &quick.Config{MaxCount: 25}
+	cfg := testutil.QuickConfig(106, 25)
 	if testing.Short() {
 		cfg.MaxCount = 8
 	}
@@ -99,7 +100,7 @@ func TestQuickBidirectionalPairsInvert(t *testing.T) {
 		})
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(107, 20)); err != nil {
 		t.Fatal(err)
 	}
 }

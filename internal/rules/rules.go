@@ -56,6 +56,24 @@ func Forward() []Rule {
 	return []Rule{Any2All{}, Lift{}, MultiMerge{}, Optional{}, Unwrap{}, Flatten{}, DedupAny{}}
 }
 
+// MatchKinds maps each built-in rule to the difftree node kinds its pattern
+// can match. Move enumerators and rollout samplers use it to skip (rule,
+// node) pairs that cannot possibly apply; rules absent from the table are
+// tried on every node.
+var MatchKinds = map[string]map[difftree.Kind]bool{
+	"Any2All":    {difftree.Any: true},
+	"All2Any":    {difftree.All: true},
+	"Lift":       {difftree.Any: true},
+	"Unlift":     {difftree.All: true},
+	"MultiMerge": {difftree.Any: true, difftree.All: true},
+	"Optional":   {difftree.Any: true},
+	"Unoptional": {difftree.Opt: true},
+	"Unwrap":     {difftree.Any: true},
+	"Flatten":    {difftree.Any: true},
+	"DedupAny":   {difftree.Any: true},
+	"Wrap":       {difftree.All: true},
+}
+
 var ruleByName = func() map[string]Rule {
 	m := make(map[string]Rule)
 	for _, r := range All() {

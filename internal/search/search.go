@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/difftree"
+	"repro/internal/eval"
 	"repro/internal/rules"
 )
 
@@ -31,6 +32,11 @@ type Space struct {
 	Log     []*ast.Node
 	Rules   []rules.Rule
 	SizeCap int
+	// Eng, when non-nil, supplies memoized legality verdicts and legal move
+	// sets from the shared evaluation engine (the same transposition cache
+	// the MCTS workers use). Move enumeration order — and therefore every
+	// search trajectory — is identical with and without it.
+	Eng *eval.Engine
 }
 
 // SpaceFor returns the canonical Space rooted at init: moves gated by the
@@ -50,9 +56,25 @@ func SizeCap(init *difftree.Node) int {
 	return 64
 }
 
-// moves enumerates the legal moves from d.
+// moves enumerates the legal moves from d. Both paths apply the same gates
+// — rule pattern, expressibility, and the size cap — so the move list (and
+// therefore every rng draw over it) is identical with and without the
+// engine; the engine only memoizes the answer.
 func (sp Space) moves(d *difftree.Node) []rules.Move {
-	return rules.Moves(d, sp.Log, sp.Rules)
+	if sp.Eng != nil {
+		return sp.Eng.Moves(d)
+	}
+	ms := rules.Moves(d, sp.Log, sp.Rules)
+	if sp.SizeCap <= 0 {
+		return ms
+	}
+	out := ms[:0]
+	for _, m := range ms {
+		if next, err := rules.ApplyMove(d, m); err == nil && next.Size() <= sp.SizeCap {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // apply performs a move, rejecting oversized results.

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/ast"
+	"repro/internal/testutil"
 )
 
 // The random-query generator lives in internal/workload, which depends on
@@ -86,7 +87,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(110, 60)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -104,7 +105,7 @@ func TestQuickLexerNeverPanics(t *testing.T) {
 		_, _ = Parse(src)
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(111, 300)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/difftree"
 	"repro/internal/sqlparser"
+	"repro/internal/testutil"
 )
 
 // TestQuickRandomQueryParses: every query the generator emits parses, and
@@ -31,7 +32,7 @@ func TestQuickRandomQueryParses(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(112, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,7 +49,7 @@ func TestQuickRandomLogExpressible(t *testing.T) {
 		}
 		return difftree.ExpressibleAll(d, log)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(113, 60)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -179,8 +179,10 @@ func (f *Interface) Describe() string { return f.res.Describe() }
 
 // Stats exposes the final search diagnostics: strategy, iteration and
 // evaluation counters, whether the search was interrupted by its context,
-// and the best-so-far cost trajectory (Stats.Trajectory, monotone
-// non-increasing in cost).
+// the best-so-far cost trajectory (Stats.Trajectory, monotone
+// non-increasing in cost), and the evaluation engine's transposition-cache
+// metrics (Stats.CacheHits / CacheMisses / CacheHitRate — zero when the
+// cache was disabled with WithoutCache).
 func (f *Interface) Stats() Stats { return f.res.Stats }
 
 // SearchStats exposes the search diagnostics.
