@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test bench bench-json golden
+.PHONY: verify build vet fmt test test-fast bench bench-json golden fuzz-smoke serve
 
 # verify is the tier-1 gate: build, vet, formatting, and the full test suite.
 verify: build vet fmt test
@@ -17,8 +17,15 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# test is tier-1 parity with `go test ./...`, including the ~30s serving
+# soak; use test-fast while iterating.
 test:
 	$(GO) test ./...
+
+# test-fast skips the 30s eviction-determinism soak (CI runs it in its own
+# dedicated step).
+test-fast:
+	$(GO) test -skip TestSoakEvictionDeterminism ./...
 
 # bench runs the benchmark suite once (includes BenchmarkGenerateWorkers,
 # the root-parallelization scaling check).
@@ -37,3 +44,13 @@ bench-json:
 # diff like any other code change).
 golden:
 	$(GO) test -run TestGoldenFixtures . -args -update-golden
+
+# fuzz-smoke runs each fuzz target briefly (CI runs the same); longer local
+# campaigns: go test ./internal/sqlparser -fuzz FuzzParseRenderRoundTrip
+fuzz-smoke:
+	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParseRenderRoundTrip -fuzztime 10s
+	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
+
+# serve runs the long-lived daemon locally (see README "Serving").
+serve:
+	$(GO) run ./cmd/mctsuid

@@ -1,0 +1,98 @@
+// Command mctsuid is the long-lived serving daemon: it keeps the evicting
+// transposition cache and user sessions resident so repeat and incremental
+// generation requests run against warm state instead of from scratch.
+//
+// Usage:
+//
+//	mctsuid [-addr :8080] [-cache-entries 1048576] [-max-concurrent N]
+//	        [-queue-depth N] [-queue-wait 10s] [-max-budget 1m]
+//	        [-default-budget 0] [-max-sessions 1024] [-max-queries 500]
+//	        [-shutdown-grace 10s]
+//
+// Endpoints (all JSON; see internal/server):
+//
+//	POST /v1/generate               anytime generation (SSE with "stream":true)
+//	POST /v1/sessions/{id}/queries  append queries, warm-started regeneration
+//	POST /v1/sessions/{id}/interact drive the session's widgets
+//	POST /v1/sessions/{id}/import   load a persisted interface as a session
+//	GET  /v1/sessions/{id}/export   persisted JSON or interactive HTML
+//	GET  /v1/stats, GET /healthz    observability
+//
+// SIGINT/SIGTERM drain gracefully: in-flight searches are cancelled and
+// return their best-so-far interfaces (the daemon analogue of cmd/mctsui's
+// Ctrl-C), then the listener shuts down within -shutdown-grace.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache-entries", 0, "transposition cache bound in states (0 = ~1M default); the cache CLOCK-evicts once full")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max simultaneous searches (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a search slot (0 = 4x max-concurrent); overflow gets 429")
+	queueWait := flag.Duration("queue-wait", 10*time.Second, "max time a request waits for a slot before 503")
+	maxBudget := flag.Duration("max-budget", time.Minute, "cap on per-request wall-clock search budgets")
+	defaultBudget := flag.Duration("default-budget", 0, "budget when a request sets neither budget_ms nor iterations (0 = engine iteration default)")
+	maxSessions := flag.Int("max-sessions", 0, "max resident sessions before LRU eviction (0 = 1024)")
+	maxQueries := flag.Int("max-queries", 0, "max queries per session/request log (0 = 500)")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheEntries:  *cacheEntries,
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		QueueWait:     *queueWait,
+		MaxBudget:     *maxBudget,
+		DefaultBudget: *defaultBudget,
+		MaxSessions:   *maxSessions,
+		MaxQueries:    *maxQueries,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "mctsuid: draining; in-flight searches return best-so-far")
+		// Drain first so every admitted search is cancelled and finishes
+		// writing its anytime response within the grace window; the HTTP
+		// shutdown then waits for all remaining handlers (exports,
+		// interactions) to complete.
+		srv.Drain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		_ = httpSrv.Shutdown(shutCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "mctsuid: serving on %s\n", *addr)
+	err := httpSrv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "mctsuid:", err)
+		os.Exit(1)
+	}
+	// ListenAndServe returns as soon as the listener closes; wait for the
+	// shutdown goroutine so handlers still writing are not killed mid-
+	// response. stop() unblocks it when the listener failed on its own.
+	stop()
+	<-shutdownDone
+}

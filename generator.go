@@ -80,10 +80,14 @@ type Cache struct {
 type CacheStats = eval.Stats
 
 // NewCache returns a cache bounded at maxEntries memoized states (a default
-// of about a million when <= 0). A full cache stops memoizing new states
-// but keeps serving existing ones; it never evicts on its own, so
-// long-lived services that rotate across many distinct logs should Reset
-// (or replace) the cache at rotation points.
+// of about a million when <= 0). A full cache admits new states by evicting
+// cold ones — per-shard CLOCK (second-chance) with hit tracking, so a
+// scan-heavy workload evicts its own one-shot states before the hot set —
+// which makes one bounded cache safe to share for the whole lifetime of a
+// long-running service under an unbounded stream of workloads. Eviction
+// never changes a result: state evaluation is deterministic per state, so a
+// dropped entry is recomputed bit-identically on its next visit. Reset
+// remains available as a hard rotation point.
 func NewCache(maxEntries int) *Cache {
 	return &Cache{c: eval.NewCache(maxEntries)}
 }
@@ -184,6 +188,32 @@ func WithoutCache() Option {
 		g.opt.DisableMemo = true
 		g.opt.Cache = nil
 	}
+}
+
+// WithWarmStart seeds the search from a previously generated interface
+// instead of the query log's initial state — the incremental hook for
+// long-lived sessions: after appending queries to a log, pass the previous
+// interface and the search resumes from it rather than rediscovering the
+// same structure from scratch. The warm state is used only when it is still
+// legal for the new log (it expresses every query, including appended ones,
+// and fits the size cap); otherwise the search silently runs cold —
+// Stats().WarmStarted reports which happened. A nil interface is ignored.
+func WithWarmStart(f *Interface) Option {
+	return func(g *Generator) {
+		if f != nil {
+			g.opt.WarmStart = f.res.DiffTree
+		}
+	}
+}
+
+// WithoutInitialCost skips computing the initial-state quality reference:
+// Interface.InitialCost() then reports zero and Stats().InitialFan stays
+// unset. The reference exists only for reporting (the gap to Cost()
+// measures what the search bought); serving hot paths that never read it —
+// especially warm-started regenerations, whose searches skip the initial
+// state entirely — save a full extraction pass per request by dropping it.
+func WithoutInitialCost() Option {
+	return func(g *Generator) { g.opt.SkipInitialRef = true }
 }
 
 // WithProgress installs an anytime observability callback, invoked with

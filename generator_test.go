@@ -379,3 +379,48 @@ func TestWithCacheSharesAcrossCalls(t *testing.T) {
 		t.Errorf("WithoutCache recorded cache traffic: %+v", s)
 	}
 }
+
+func TestWithWarmStart(t *testing.T) {
+	prefix := paperLog[:len(paperLog)-1]
+	prev, err := fastGen().Generate(context.Background(), prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCache(0)
+	warm, err := fastGen(WithCache(cache), WithWarmStart(prev)).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range paperLog {
+		ok, err := warm.CanExpress(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("incremental interface cannot express %q", q)
+		}
+	}
+	// The same warm-started regeneration is deterministic.
+	again, err := fastGen(WithCache(cache), WithWarmStart(prev)).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cost() != again.Cost() {
+		t.Errorf("warm-started regeneration not deterministic: %v vs %v", warm.Cost(), again.Cost())
+	}
+	if warm.Stats().WarmStarted != again.Stats().WarmStarted {
+		t.Error("WarmStarted flapped across identical runs")
+	}
+	// A nil warm start is ignored and a self warm start is always legal.
+	self, err := fastGen(WithWarmStart(nil), WithWarmStart(warm)).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !self.Stats().WarmStarted {
+		t.Error("self warm start was rejected")
+	}
+	if self.Cost() > warm.Cost() {
+		t.Errorf("self warm start regressed: %v > %v", self.Cost(), warm.Cost())
+	}
+}

@@ -1,0 +1,73 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/difftree"
+)
+
+// FuzzUnmarshal is the daemon's deserialization wall: /v1/sessions/{id}/import
+// feeds attacker-controlled bytes straight into Unmarshal, so malformed
+// persisted interfaces must produce an error — never a panic, out-of-range
+// index, or structurally invalid tree. Accepted inputs must also re-marshal
+// (the export of an imported session cannot fail).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: a real persisted interface (difftree + widget tree +
+	// query log), a difftree-only bundle, and near-miss malformed variants
+	// of each failure class the decoder guards.
+	tree := figure4Tree()
+	plan, err := assign.BuildPlan(tree)
+	if err != nil {
+		f.Fatal(err)
+	}
+	full, err := Marshal(tree, plan.First(), []string{
+		"SELECT Sales FROM sales WHERE cty = USA",
+		"SELECT Costs FROM sales",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	bare, err := Marshal(tree, nil, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{
+		full,
+		bare,
+		[]byte(`{}`),
+		[]byte(`{"version":99,"difftree":{"kind":"ALL","label":"Select"}}`),
+		[]byte(`{"version":1,"difftree":{"kind":"WAT"}}`),
+		[]byte(`{"version":1,"difftree":{"kind":"ALL","label":"NotALabel"}}`),
+		[]byte(`{"version":1,"difftree":{"kind":"OPT"}}`),
+		[]byte(`{"version":1,"difftree":{"kind":"ALL","label":"Select"},"ui":{"type":"vbox","children":[{"type":"dropdown","choice":42}]}}`),
+		[]byte(`{"version":1,"difftree":{"kind":"ALL","label":"Select"},"ui":{"type":"hologram"}}`),
+		[]byte(`not json at all`),
+	} {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		diff, ui, queries, err := Unmarshal(data)
+		if err != nil {
+			return // rejecting malformed bytes is the contract
+		}
+		// Accepted trees must satisfy the structural invariants the rest of
+		// the system assumes.
+		if err := difftree.Validate(diff); err != nil {
+			t.Fatalf("Unmarshal accepted an invalid difftree: %v\ninput: %s", err, data)
+		}
+		// And the bundle must survive a re-marshal round trip.
+		again, err := Marshal(diff, ui, queries)
+		if err != nil {
+			t.Fatalf("accepted bundle does not re-marshal: %v\ninput: %s", err, data)
+		}
+		diff2, _, _, err := Unmarshal(again)
+		if err != nil {
+			t.Fatalf("re-marshaled bundle does not decode: %v", err)
+		}
+		if !difftree.Equal(diff, diff2) {
+			t.Fatalf("difftree changed across marshal round trip:\n in: %s\nout: %s", diff, diff2)
+		}
+	})
+}

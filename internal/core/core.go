@@ -67,6 +67,24 @@ type Options struct {
 	// to successive calls to reuse state evaluations across searches with
 	// the same log, screen, and seeds.
 	Cache *eval.Cache
+	// WarmStart, when non-nil, seeds the search at this difftree instead of
+	// the log's initial state — the incremental-serving hook: a session that
+	// appends queries to its log restarts the search from its previous best
+	// interface rather than from scratch. The warm tree is used only if it
+	// is a legal state for the *current* log (it still expresses every
+	// query, including the appended ones, and fits the size cap derived from
+	// the fresh initial state); otherwise it is ignored and the search runs
+	// cold. Stats.WarmStarted reports which happened. The initial state
+	// keeps its other roles either way (size cap, Stats.InitialFan, the
+	// Initial cost reference).
+	WarmStart *difftree.Node
+	// SkipInitialRef leaves Result.Initial zero and Stats.InitialFan
+	// unset, skipping the extraction pass and move enumeration that exist
+	// only to report the unsearched initial state's quality. Serving hot
+	// paths set this: with a warm start the search never visits the
+	// initial state, so the reference would be recomputed from scratch on
+	// every request just to be discarded.
+	SkipInitialRef bool
 	// DisableMemo turns the evaluation engine's memoization off entirely:
 	// every state is re-scored, re-validated, and re-enumerated on every
 	// visit. Results are identical for a fixed seed — only slower; the
@@ -106,6 +124,7 @@ type Stats struct {
 	EnumComplete   bool // final widget-tree enumeration was exhaustive
 	SpaceExhausted bool // StrategyExhaustive swept the entire space
 	Interrupted    bool // the context ended the search before its budget
+	WarmStarted    bool // the search was seeded from Options.WarmStart
 	Workers        int  // parallel workers that contributed
 	Elapsed        time.Duration
 	// CacheHits/CacheMisses/CacheEntries snapshot the evaluation engine's
@@ -149,6 +168,11 @@ func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*R
 	model := cost.Model{NavUnit: opt.NavUnit, Screen: opt.Screen}
 	eng := newEngine(log, init, model, opt)
 	p := newProblem(log, init, model, opt, eng, worker)
+	if opt.WarmStart != nil && eng.LegalState(opt.WarmStart) {
+		// Warm start: the previous best interface is still a legal state for
+		// this (possibly extended) log, so the search resumes from it.
+		p.root = opt.WarmStart
+	}
 
 	res := opt.Strategy.search(ctx, p)
 	best := res.best
@@ -161,16 +185,23 @@ func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*R
 	ui, bd, complete := BestInterface(best, log, model, opt.EnumLimit, opt.Seed)
 
 	initBD := bd
-	if difftree.Hash(best) != difftree.Hash(init) {
+	if opt.SkipInitialRef {
+		initBD = cost.Breakdown{}
+	} else if difftree.Hash(best) != difftree.Hash(init) {
 		_, initBD, _ = BestInterface(init, log, model, opt.EnumLimit, opt.Seed)
 	}
 
 	stats := res.stats
-	// The engine already enumerated (and memoized) the initial state's legal
-	// move set during the search; this also keeps InitialFan consistent with
-	// the size-capped moves every strategy actually sees.
-	stats.InitialFan = len(eng.Moves(init))
+	if !opt.SkipInitialRef {
+		// For cold searches the engine already enumerated (and memoized)
+		// the initial state's legal move set during the search, so this is
+		// a cache hit; a warm-started search may compute it here. Either
+		// way InitialFan stays consistent with the size-capped moves every
+		// strategy actually sees.
+		stats.InitialFan = len(eng.Moves(init))
+	}
 	stats.EnumComplete = complete
+	stats.WarmStarted = p.root != p.init
 	stats.Workers = 1
 	stats.Elapsed = time.Since(p.start)
 	cs := eng.CacheStats()

@@ -65,12 +65,26 @@ func TestCachedUncachedEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 
+			// A deliberately tiny cache keeps every lookup on the
+			// eviction-heavy path: entries are constantly recycled, so most
+			// hits become recomputes — which by construction are
+			// bit-identical, making eviction invisible to the search.
+			tinyOpt := base
+			tinyOpt.Cache = eval.NewCache(96)
+			tiny, err := Generate(context.Background(), log, tinyOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts := tinyOpt.Cache.Stats(); ts.Entries > ts.Capacity {
+				t.Errorf("tiny cache occupancy %d exceeds capacity %d", ts.Entries, ts.Capacity)
+			}
+
 			want := cached.Cost.Total()
 			if math.IsInf(want, 1) {
 				t.Fatalf("no valid interface found: %+v", cached.Cost)
 			}
 			for label, r := range map[string]*Result{
-				"uncached": uncached, "shared-cold": warm, "shared-hot": hot,
+				"uncached": uncached, "shared-cold": warm, "shared-hot": hot, "tiny-evicting": tiny,
 			} {
 				if got := r.Cost.Total(); got != want {
 					t.Errorf("%s best cost %v, want %v", label, got, want)
@@ -136,5 +150,46 @@ func TestParallelSharedCacheDeterministic(t *testing.T) {
 	c := run(off)
 	if c.Cost.Total() != a.Cost.Total() {
 		t.Errorf("memoization changed the parallel result: %v vs %v", c.Cost.Total(), a.Cost.Total())
+	}
+}
+
+// TestParallelTinyCacheDeterministic: 8 workers share one deliberately tiny
+// cache, so insert/evict races on the CLOCK rings happen on every search
+// path; under `go test -race` (CI) this is the eviction concurrency
+// exercise. The result must match the unbounded-cache run exactly —
+// eviction may cost recomputes, never correctness.
+func TestParallelTinyCacheDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	log := workload.PaperFigure1Log()
+	base := Options{Iterations: 6, RolloutDepth: 6, Seed: 3}
+
+	big := base
+	big.Cache = eval.NewCache(0)
+	ref, err := GenerateParallel(context.Background(), log, big, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tiny := base
+	tiny.Cache = eval.NewCache(96)
+	got, err := GenerateParallel(context.Background(), log, tiny, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Cost.Total() != ref.Cost.Total() {
+		t.Errorf("tiny evicting cache changed the result: %v vs %v", got.Cost.Total(), ref.Cost.Total())
+	}
+	if difftree.Hash(got.DiffTree) != difftree.Hash(ref.DiffTree) {
+		t.Error("tiny evicting cache changed the best difftree")
+	}
+	st := tiny.Cache.Stats()
+	if st.Evictions == 0 {
+		t.Error("tiny cache under 8 workers recorded no evictions")
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("occupancy %d exceeds capacity %d", st.Entries, st.Capacity)
 	}
 }

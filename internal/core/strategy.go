@@ -68,6 +68,7 @@ const progressStride = 25
 type problem struct {
 	log    []*ast.Node
 	init   *difftree.Node
+	root   *difftree.Node // search start state: init, or a legal WarmStart
 	model  cost.Model
 	opt    Options
 	eng    *eval.Engine
@@ -83,7 +84,7 @@ type problem struct {
 
 func newProblem(log []*ast.Node, init *difftree.Node, model cost.Model, opt Options, eng *eval.Engine, worker int) *problem {
 	return &problem{
-		log: log, init: init, model: model, opt: opt, eng: eng, worker: worker,
+		log: log, init: init, root: init, model: model, opt: opt, eng: eng, worker: worker,
 		start:    time.Now(),
 		bestCost: math.Inf(1),
 	}
@@ -148,7 +149,9 @@ func (p *problem) objective() search.Objective {
 }
 
 // space is the shared comparator-searcher state space, with the same size
-// cap the MCTS domain prunes with and the same memoized move sets.
+// cap the MCTS domain prunes with and the same memoized move sets. The cap
+// always derives from the initial state, not the search root: a warm start
+// must not inflate the reachable space.
 func (p *problem) space() search.Space {
 	sp := search.SpaceFor(p.init, p.log, p.opt.Rules)
 	sp.Eng = p.eng
@@ -209,7 +212,7 @@ func (mctsStrategy) Name() string { return "mcts" }
 func (mctsStrategy) search(ctx context.Context, p *problem) searchOutcome {
 	dom := newDomain(p.log, p.opt, p.eng)
 	dom.onCost = p.noteCost
-	res := mcts.Search(ctx, dom, state{d: p.init, h: difftree.Hash(p.init)}, mcts.Config{
+	res := mcts.Search(ctx, dom, state{d: p.root, h: difftree.Hash(p.root)}, mcts.Config{
 		C:                p.opt.ExplorationC,
 		MaxRolloutDepth:  p.opt.RolloutDepth,
 		Iterations:       p.opt.Iterations,
@@ -255,7 +258,7 @@ func (beamStrategy) Name() string { return "beam" }
 func (s beamStrategy) search(ctx context.Context, p *problem) searchOutcome {
 	bctx, cancel := searchCtx(ctx, p.opt)
 	defer cancel()
-	return outcomeFromSearch("beam", search.Beam(bctx, p.init, p.space(), p.objective(), s.width, p.steps()), p, ctx)
+	return outcomeFromSearch("beam", search.Beam(bctx, p.root, p.space(), p.objective(), s.width, p.steps()), p, ctx)
 }
 
 type greedyStrategy struct{}
@@ -269,7 +272,7 @@ func (greedyStrategy) Name() string { return "greedy" }
 func (greedyStrategy) search(ctx context.Context, p *problem) searchOutcome {
 	gctx, cancel := searchCtx(ctx, p.opt)
 	defer cancel()
-	return outcomeFromSearch("greedy", search.Greedy(gctx, p.init, p.space(), p.objective(), p.steps()), p, ctx)
+	return outcomeFromSearch("greedy", search.Greedy(gctx, p.root, p.space(), p.objective(), p.steps()), p, ctx)
 }
 
 type randomStrategy struct{ walks int }
@@ -290,7 +293,7 @@ func (s randomStrategy) search(ctx context.Context, p *problem) searchOutcome {
 	rctx, cancel := searchCtx(ctx, p.opt)
 	defer cancel()
 	return outcomeFromSearch("random",
-		search.Random(rctx, p.init, p.space(), p.objective(), s.walks, p.opt.RolloutDepth, p.opt.Seed), p, ctx)
+		search.Random(rctx, p.root, p.space(), p.objective(), s.walks, p.opt.RolloutDepth, p.opt.Seed), p, ctx)
 }
 
 type exhaustiveStrategy struct{ maxStates int }
@@ -310,9 +313,12 @@ func (exhaustiveStrategy) Name() string { return "exhaustive" }
 func (s exhaustiveStrategy) search(ctx context.Context, p *problem) searchOutcome {
 	ectx, cancel := searchCtx(ctx, p.opt)
 	defer cancel()
-	res, complete := search.Exhaustive(ectx, p.init, p.space(), p.objective(), s.maxStates)
+	res, complete := search.Exhaustive(ectx, p.root, p.space(), p.objective(), s.maxStates)
 	out := outcomeFromSearch("exhaustive", res, p, ctx)
-	out.stats.SpaceExhausted = complete
+	// A warm-started sweep covers only states reachable from the warm root
+	// (moves are not invertible), so it must not claim the whole-space
+	// optimality a cold sweep calibrates.
+	out.stats.SpaceExhausted = complete && p.root == p.init
 	return out
 }
 

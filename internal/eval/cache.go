@@ -41,21 +41,51 @@ const DefaultMaxEntries = 1 << 20
 // configuration fingerprint (see Engine): engines mix their fingerprint
 // into every key, so one Cache instance can safely back generators with
 // different logs, screens, or seeds without cross-talk.
+//
+// Eviction policy: each shard is an independent CLOCK (second-chance) ring.
+// Every lookup that finds an entry sets the entry's reference bit; when a
+// full shard must admit a new state, a clock hand sweeps the ring, clearing
+// reference bits as it passes, and evicts the first entry found with its
+// bit already clear. Entries revisited between sweeps therefore survive
+// scan-heavy workloads (a long stream of one-shot states evicts other
+// one-shot states, not the hot set), at the cost of a single bit per entry
+// and no extra allocation on the lookup path. Evicting never changes a
+// result: state evaluation is a pure function of (config, state), so a
+// dropped entry is simply recomputed bit-identically on the next visit —
+// correctness never depends on an insert landing or an entry staying
+// resident. That is the contract that lets a long-lived daemon run a
+// tightly bounded cache under an unbounded stream of workloads.
 type Cache struct {
 	maxPerShard int
 	shards      [shardCount]shard
 	hits        atomic.Int64
 	misses      atomic.Int64
+	evictions   atomic.Int64
 }
 
+// shard is one CLOCK ring: the map resolves a key to its ring slot, the
+// ring holds the entries (inline, off the GC scan list for the common
+// fields), and hand is the clock position of the next eviction sweep. The
+// ring grows by appending until it reaches capacity and is never shrunk
+// except by Reset.
 type shard struct {
-	mu sync.Mutex
-	m  map[uint64]entry
+	mu   sync.Mutex
+	m    map[uint64]int
+	ring []slot
+	hand int
+}
+
+// slot is one ring position: the resident key, its second-chance reference
+// bit, and the entry payload. All fields are guarded by the shard mutex.
+type slot struct {
+	key uint64
+	ref bool
+	e   entry
 }
 
 // entry is the memoized record of one (configuration, state) pair. Entries
 // are stored by value — the search retains hundreds of thousands of
-// one-shot states, and inline map storage keeps them off the GC scan list.
+// one-shot states, and inline storage keeps them off the GC scan list.
 // Fields are guarded by the owning shard's mutex.
 type entry struct {
 	cost     float64
@@ -70,15 +100,12 @@ type entry struct {
 // NewCache returns a cache holding at least maxEntries states
 // (DefaultMaxEntries when <= 0). The bound is enforced per shard — rounded
 // up to shard granularity, so total capacity is in [maxEntries,
-// maxEntries+shardCount) — which means a hot shard can stop accepting new
-// states while others still have room; keys are scattered by a mixed hash,
-// so shards fill evenly in practice. When a shard is full, new states are
-// simply not inserted — existing entries keep serving hits; correctness
-// never depends on an insert landing. There is no automatic eviction: a
-// cache shared across many distinct workloads eventually fills with states
-// that will never be revisited and stops memoizing new ones. Long-lived
-// callers that rotate workloads should Reset (or replace) the cache at
-// rotation points.
+// maxEntries+shardCount) — which means a hot shard can start evicting while
+// others still have room; keys are scattered by a mixed hash, so shards
+// fill evenly in practice. A full shard admits new states by evicting cold
+// ones (per-shard CLOCK, see Cache), so a long-lived process keeps
+// memoizing its current working set forever; Reset remains available for
+// callers that want a hard rotation point.
 func NewCache(maxEntries int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMaxEntries
@@ -86,24 +113,65 @@ func NewCache(maxEntries int) *Cache {
 	perShard := (maxEntries + shardCount - 1) / shardCount
 	c := &Cache{maxPerShard: perShard}
 	for i := range c.shards {
-		c.shards[i].m = make(map[uint64]entry)
+		c.shards[i].m = make(map[uint64]int)
 	}
 	return c
 }
 
 func (c *Cache) shard(key uint64) *shard { return &c.shards[key&(shardCount-1)] }
 
+// get returns key's entry, marking its reference bit (the CLOCK "used since
+// the hand last passed" signal). Caller must hold s.mu.
+func (s *shard) get(key uint64) (entry, bool) {
+	i, ok := s.m[key]
+	if !ok {
+		return entry{}, false
+	}
+	s.ring[i].ref = true
+	return s.ring[i].e, true
+}
+
+// insert admits key into the shard, evicting the hand's second-chance
+// victim when the ring is at capacity, and returns the slot index. Caller
+// must hold s.mu.
+func (c *Cache) insert(s *shard, key uint64) int {
+	if len(s.ring) < c.maxPerShard {
+		s.ring = append(s.ring, slot{key: key})
+		s.m[key] = len(s.ring) - 1
+		return len(s.ring) - 1
+	}
+	// CLOCK sweep: clear reference bits as the hand passes; evict the first
+	// slot whose bit is already clear. Terminates within two revolutions.
+	for {
+		sl := &s.ring[s.hand]
+		if sl.ref {
+			sl.ref = false
+			s.hand = (s.hand + 1) % len(s.ring)
+			continue
+		}
+		delete(s.m, sl.key)
+		*sl = slot{key: key}
+		i := s.hand
+		s.m[key] = i
+		s.hand = (s.hand + 1) % len(s.ring)
+		c.evictions.Add(1)
+		return i
+	}
+}
+
 // update applies fn to key's entry under the shard lock, creating the entry
-// if the shard has room; a full shard drops creations (existing entries keep
-// serving — correctness never depends on an insert landing).
+// (evicting a cold one when the shard is at capacity) if absent. New
+// entries are admitted with a clear reference bit, so a pure scan workload
+// evicts its own one-shot states before touching entries that have been
+// hit since the hand last passed.
 func (c *Cache) update(key uint64, fn func(*entry)) {
 	s := c.shard(key)
 	s.mu.Lock()
-	e, ok := s.m[key]
-	if ok || len(s.m) < c.maxPerShard {
-		fn(&e)
-		s.m[key] = e
+	i, ok := s.m[key]
+	if !ok {
+		i = c.insert(s, key)
 	}
+	fn(&s.ring[i].e)
 	s.mu.Unlock()
 }
 
@@ -111,7 +179,7 @@ func (c *Cache) update(key uint64, fn func(*entry)) {
 func (c *Cache) Cost(key uint64) (float64, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	e, found := s.m[key]
+	e, found := s.get(key)
 	s.mu.Unlock()
 	ok := found && e.hasCost
 	c.count(ok)
@@ -130,7 +198,7 @@ func (c *Cache) SetCost(key uint64, v float64) {
 func (c *Cache) Legal(key uint64) (legal, ok bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	e, found := s.m[key]
+	e, found := s.get(key)
 	s.mu.Unlock()
 	ok = found && e.legal != 0
 	legal = ok && e.legal == 1
@@ -154,7 +222,7 @@ func (c *Cache) SetLegal(key uint64, legal bool) {
 func (c *Cache) Moves(key uint64) ([]rules.Move, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	e, found := s.m[key]
+	e, found := s.get(key)
 	s.mu.Unlock()
 	ok := found && e.hasMoves
 	c.count(ok)
@@ -178,7 +246,7 @@ func (c *Cache) SetMoves(key uint64, ms []rules.Move) {
 func (c *Cache) Pools(key uint64) ([4][]difftree.Path, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	e, found := s.m[key]
+	e, found := s.get(key)
 	s.mu.Unlock()
 	ok := found && e.hasPools
 	c.count(ok)
@@ -205,11 +273,14 @@ func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.m = make(map[uint64]entry)
+		s.m = make(map[uint64]int)
+		s.ring = nil
+		s.hand = 0
 		s.mu.Unlock()
 	}
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
 }
 
 func (c *Cache) count(hit bool) {
@@ -222,9 +293,11 @@ func (c *Cache) count(hit bool) {
 
 // Stats reports cumulative cache effectiveness.
 type Stats struct {
-	Hits    int64 // lookups answered from the cache
-	Misses  int64 // lookups that had to compute
-	Entries int64 // states currently resident
+	Hits      int64 // lookups answered from the cache
+	Misses    int64 // lookups that had to compute
+	Entries   int64 // states currently resident
+	Evictions int64 // states evicted to admit new ones
+	Capacity  int64 // maximum resident states across all shards
 }
 
 // HitRate is Hits/(Hits+Misses), 0 when the cache saw no traffic.
@@ -238,11 +311,16 @@ func (s Stats) HitRate() float64 {
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() Stats {
-	st := Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Capacity:  int64(c.maxPerShard) * shardCount,
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		st.Entries += int64(len(s.m))
+		st.Entries += int64(len(s.ring))
 		s.mu.Unlock()
 	}
 	return st

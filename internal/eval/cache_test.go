@@ -70,22 +70,28 @@ func TestCacheBasics(t *testing.T) {
 	}
 }
 
-// TestCacheCapStopsInserts: a full shard refuses new states but keeps
-// serving (and updating) existing ones.
-func TestCacheCapStopsInserts(t *testing.T) {
+// TestCacheCapEvicts: a full shard admits new states by evicting the CLOCK
+// victim instead of refusing the insert.
+func TestCacheCapEvicts(t *testing.T) {
 	c := NewCache(shardCount) // one entry per shard
 	// Fill shard 0 (keys that are multiples of shardCount land in shard 0).
 	c.SetCost(0*shardCount, 1)
-	c.SetCost(1*shardCount, 2) // same shard, over cap: dropped
-	if _, ok := c.Cost(0 * shardCount); !ok {
-		t.Fatal("resident entry evicted")
+	c.SetCost(1*shardCount, 2) // same shard, over cap: evicts key 0
+	if _, ok := c.Cost(1 * shardCount); !ok {
+		t.Fatal("over-cap insert was refused instead of evicting")
 	}
-	if _, ok := c.Cost(1 * shardCount); ok {
-		t.Fatal("over-cap insert accepted")
+	if _, ok := c.Cost(0 * shardCount); ok {
+		t.Fatal("CLOCK victim survived a full-shard insert")
 	}
-	c.SetLegal(0*shardCount, true) // update of resident entry still lands
-	if v, ok := c.Legal(0 * shardCount); !ok || !v {
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	c.SetLegal(1*shardCount, true) // update of resident entry lands in place
+	if v, ok := c.Legal(1 * shardCount); !ok || !v {
 		t.Fatal("update to resident entry lost")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (update must not insert)", st.Entries)
 	}
 }
 

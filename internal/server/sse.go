@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	mctsui "repro"
+)
+
+// ProgressEvent is one SSE "progress" frame: a best-so-far snapshot of the
+// running search (the same data cmd/mctsui -progress prints). BestCost is
+// -1 until a valid interface has been seen.
+type ProgressEvent struct {
+	Strategy   string  `json:"strategy"`
+	Worker     int     `json:"worker"`
+	Iterations int     `json:"iterations"`
+	States     int     `json:"states"`
+	Evals      int     `json:"evals"`
+	BestCost   float64 `json:"best_cost"`
+	ElapsedMS  int64   `json:"elapsed_ms"`
+}
+
+// streamSearch runs work on its own goroutine and writes its progress
+// snapshots as Server-Sent Events, ending with one "result" or "error"
+// event. Snapshots arrive on the search goroutines (serialized by the
+// engine); a slow client drops snapshots rather than stalling the search.
+func (s *Server) streamSearch(w http.ResponseWriter, ctx context.Context,
+	work func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error)) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusNotAcceptable, fmt.Errorf("streaming unsupported by connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	snapshots := make(chan ProgressEvent, 16)
+	type outcome struct {
+		resp *GenerateResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, _, err := work(ctx, func(p mctsui.Progress) {
+			ev := ProgressEvent{
+				Strategy:   p.Strategy,
+				Worker:     p.Worker,
+				Iterations: p.Iterations,
+				States:     p.States,
+				Evals:      p.Evals,
+				BestCost:   jsonCost(p.BestCost),
+				ElapsedMS:  p.Elapsed.Milliseconds(),
+			}
+			select {
+			case snapshots <- ev:
+			default: // client is slow: drop the snapshot, never the search
+			}
+		})
+		done <- outcome{resp, err}
+	}()
+
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	ctxDone := ctx.Done()
+	for {
+		select {
+		case ev := <-snapshots:
+			emit("progress", ev)
+		case out := <-done:
+			// Drain snapshots that beat the result onto the channel so the
+			// event order stays progress* then result.
+			for {
+				select {
+				case ev := <-snapshots:
+					emit("progress", ev)
+					continue
+				default:
+				}
+				break
+			}
+			if out.err != nil {
+				emit("error", errorJSON{Error: out.err.Error()})
+			} else {
+				emit("result", out.resp)
+			}
+			return
+		case <-ctxDone:
+			// Client went away or the daemon is draining; the work goroutine
+			// unblocks promptly (the engine is anytime) and its best-so-far
+			// result is emitted above. Nil the channel so this select arm
+			// fires once instead of spinning.
+			ctxDone = nil
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// FuzzParseRenderRoundTrip is the daemon's parser wall: every serving
+// endpoint feeds attacker-controlled SQL strings into Parse, and session
+// state round trips through Render. The contract fuzzed here:
+//
+//   - Parse never panics, whatever the bytes;
+//   - anything Parse accepts renders to SQL that Parse accepts again
+//     (the daemon re-parses its own rendered output on every session
+//     append and LoadQuery);
+//   - Render is a fixpoint after one round trip: Render(Parse(Render(q)))
+//     == Render(q), so rendered SQL is a canonical form and stored logs
+//     are stable across arbitrarily many persist/load cycles.
+func FuzzParseRenderRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT Sales FROM sales WHERE cty = USA",
+		"select Costs from sales",
+		"select top 10 objid from stars where u between 0 and 30 and g between 0 and 30",
+		"select count(*) from quasars where u between 1 and 29",
+		"select a from t where x = 1 and y between 2 and 3",
+		"select a from t where not x = 1",
+		"select a from t where (x = 1 and y = 2)",
+		"select top 1000 a from t",
+		"select a from t where s = 'quoted'",
+		"",
+		"select",
+		"select a from",
+		"select a from t where",
+		"select a from t where x between 0",
+		"select \x00 from t",
+		"select a from t -- trailing",
+	} {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejecting malformed SQL is the contract
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned nil without error", src)
+		}
+		r1 := Render(q)
+		q2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendered output does not re-parse: Parse(%q) -> Render %q -> %v", src, r1, err)
+		}
+		if ast.Hash(q) != ast.Hash(q2) {
+			t.Fatalf("round trip changed the AST:\n src: %q\n ast: %s\nback: %s", src, Render(q), Render(q2))
+		}
+		if r2 := Render(q2); r1 != r2 {
+			t.Fatalf("Render is not a fixpoint: %q -> %q", r1, r2)
+		}
+	})
+}

@@ -15,11 +15,7 @@ import (
 // MarshalJSON serializes the interface (difftree + widget tree + input log)
 // so it can be stored and reloaded without re-running the search.
 func (f *Interface) MarshalJSON() ([]byte, error) {
-	queries := make([]string, len(f.res.Log))
-	for i, q := range f.res.Log {
-		queries[i] = sqlparser.Render(q)
-	}
-	return codec.Marshal(f.res.DiffTree, f.res.UI, queries)
+	return codec.Marshal(f.res.DiffTree, f.res.UI, f.QueryLog())
 }
 
 // LoadInterface reconstructs an interface from MarshalJSON output. The cost
@@ -50,15 +46,23 @@ func LoadInterface(data []byte, screen Screen) (*Interface, error) {
 	}}, nil
 }
 
-// Page renders the interface as a self-contained interactive HTML page: the
-// widgets are live form controls and an embedded JavaScript port of the
-// query generator shows the current SQL on every interaction.
-func (f *Interface) Page(title string) (string, error) {
+// QueryLog returns the interface's input log rendered back to SQL — the
+// canonical query sequence an identical offline Generate (or a warm-started
+// incremental regeneration) would run over. Indices match the original log
+// order.
+func (f *Interface) QueryLog() []string {
 	queries := make([]string, len(f.res.Log))
 	for i, q := range f.res.Log {
 		queries[i] = sqlparser.Render(q)
 	}
-	return htmlpage.Render(f.res.DiffTree, f.res.UI, queries, title)
+	return queries
+}
+
+// Page renders the interface as a self-contained interactive HTML page: the
+// widgets are live form controls and an embedded JavaScript port of the
+// query generator shows the current SQL on every interaction.
+func (f *Interface) Page(title string) (string, error) {
+	return htmlpage.Render(f.res.DiffTree, f.res.UI, f.QueryLog(), title)
 }
 
 // GenerateMulti splits a mixed query log into structurally coherent clusters

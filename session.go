@@ -57,6 +57,9 @@ func (f *Interface) NewSession() *Session {
 	return s
 }
 
+// Interface returns the interface this session drives.
+func (s *Session) Interface() *Interface { return s.iface }
+
 // WidgetInfo describes one interactive widget for display.
 type WidgetInfo struct {
 	Index   int
