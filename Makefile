@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test test-fast bench bench-json golden fuzz-smoke serve
+.PHONY: verify build vet fmt test test-fast bench bench-json race-tree golden fuzz-smoke serve
 
 # verify is the tier-1 gate: build, vet, formatting, and the full test suite.
 verify: build vet fmt test
@@ -34,10 +34,17 @@ bench:
 
 # bench-json regenerates BENCH_search.json: iterations/sec with the
 # transposition cache cold, warm, and disabled on the SDSS workload, plus
-# the cache hit rate and best cost. Fails if the warm-cache speedup drops
-# below 3x or if caching changes a result.
+# the cache hit rate, best cost, and the tree_parallel section (4 workers
+# on one tree vs sequential, both cold). Fails if the warm-cache speedup
+# drops below 3x, if caching changes a result, or — on machines with >= 4
+# CPUs — if tree-parallel misses 2x iters/sec or worsens the best cost.
 bench-json:
 	$(GO) run ./cmd/searchbench -out BENCH_search.json
+
+# race-tree runs the tree-parallel race suite CI gates on: shared-tree
+# stress, virtual-loss accounting invariants, TreeWorkers=1 bit-identity.
+race-tree:
+	$(GO) test -race -count=2 -run 'TreeParallel|TreeWorkers|VirtualLoss' ./internal/mcts ./internal/core .
 
 # golden regenerates the end-to-end fixtures under testdata/golden/ (run it
 # after an intentional change to search or cost semantics, then review the

@@ -5,7 +5,8 @@
 //
 //	mctsui -log queries.sql [-width 1200 -height 800] [-iters 60 | -budget 60s]
 //	       [-seed 1] [-strategy mcts|beam[:W]|greedy|random[:N]|exhaustive[:M]]
-//	       [-workers N] [-progress] [-format ascii|html|both] [-show-queries N]
+//	       [-workers N] [-tree-workers N] [-progress]
+//	       [-format ascii|html|both] [-show-queries N]
 //
 // With no -log flag it runs on the paper's SDSS log (Listing 1). The search
 // is anytime: interrupt with Ctrl-C and the best interface found so far is
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", mctsui.DefaultSeed, "random seed")
 	strategy := flag.String("strategy", "mcts", "search strategy: mcts, beam[:width], greedy, random[:walks], or exhaustive[:states]")
 	workers := flag.Int("workers", 1, "parallel root searches (keeps the best result)")
+	treeWorkers := flag.Int("tree-workers", 1, "goroutines sharing each MCTS search tree (>1 trades determinism for speed)")
 	progress := flag.Bool("progress", false, "stream best-so-far snapshots to stderr while searching")
 	format := flag.String("format", "ascii", "output format: ascii, html, page (interactive HTML), json, or both")
 	showQueries := flag.Int("show-queries", 0, "also print up to N expressible queries")
@@ -70,6 +72,7 @@ func main() {
 		mctsui.WithSeed(*seed),
 		mctsui.WithStrategy(strat),
 		mctsui.WithWorkers(*workers),
+		mctsui.WithTreeWorkers(*treeWorkers),
 	}
 	if *budget > 0 {
 		opts = append(opts, mctsui.WithTimeBudget(*budget))
@@ -131,8 +134,8 @@ func main() {
 
 	if *stats {
 		s := iface.Stats()
-		fmt.Printf("search: strategy=%s workers=%d iterations=%d expanded=%d rollouts=%d evals=%d best-reward=%.3f initial-fanout=%d initial-cost=%.2f interrupted=%v\n",
-			s.Strategy, s.Workers, s.Iterations, s.Expanded, s.Rollouts, s.Evals, s.BestReward, s.InitialFan, iface.InitialCost(), s.Interrupted)
+		fmt.Printf("search: strategy=%s workers=%d tree-workers=%d iterations=%d expanded=%d rollouts=%d evals=%d best-reward=%.3f initial-fanout=%d initial-cost=%.2f interrupted=%v\n",
+			s.Strategy, s.Workers, s.TreeWorkers, s.Iterations, s.Expanded, s.Rollouts, s.Evals, s.BestReward, s.InitialFan, iface.InitialCost(), s.Interrupted)
 		if n := len(s.Trajectory); n > 0 {
 			last := s.Trajectory[n-1]
 			fmt.Printf("trajectory: %d improvements, final best %.2f after %d evals (%v)\n",

@@ -5,9 +5,9 @@
 // Usage:
 //
 //	mctsuid [-addr :8080] [-cache-entries 1048576] [-max-concurrent N]
-//	        [-queue-depth N] [-queue-wait 10s] [-max-budget 1m]
-//	        [-default-budget 0] [-max-sessions 1024] [-max-queries 500]
-//	        [-shutdown-grace 10s]
+//	        [-max-workers N] [-queue-depth N] [-queue-wait 10s]
+//	        [-max-budget 1m] [-default-budget 0] [-max-sessions 1024]
+//	        [-max-queries 500] [-shutdown-grace 10s]
 //
 // Endpoints (all JSON; see internal/server):
 //
@@ -41,6 +41,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheEntries := flag.Int("cache-entries", 0, "transposition cache bound in states (0 = ~1M default); the cache CLOCK-evicts once full")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max simultaneous searches (0 = GOMAXPROCS)")
+	maxWorkers := flag.Int("max-workers", 0, "per-request parallelism budget: workers x tree_workers is capped here (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a search slot (0 = 4x max-concurrent); overflow gets 429")
 	queueWait := flag.Duration("queue-wait", 10*time.Second, "max time a request waits for a slot before 503")
 	maxBudget := flag.Duration("max-budget", time.Minute, "cap on per-request wall-clock search budgets")
@@ -53,6 +54,7 @@ func main() {
 	srv := server.New(server.Config{
 		CacheEntries:  *cacheEntries,
 		MaxConcurrent: *maxConcurrent,
+		MaxWorkers:    *maxWorkers,
 		QueueDepth:    *queueDepth,
 		QueueWait:     *queueWait,
 		MaxBudget:     *maxBudget,

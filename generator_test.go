@@ -336,6 +336,42 @@ func TestWithWorkers(t *testing.T) {
 // TestWithCacheSharesAcrossCalls: a caller-provided cache carries memoized
 // state evaluations across Generate calls — the second call hits what the
 // first computed, with an identical result; WithoutCache records nothing.
+// TestWithTreeWorkers covers the public tree-parallel option: one worker is
+// bit-identical to the default sequential search, several workers still
+// return a valid interface (never worse than the unsearched initial state)
+// and report their count in Stats.
+func TestWithTreeWorkers(t *testing.T) {
+	seq, err := fastGen().Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := fastGen(WithTreeWorkers(1)).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Cost() != seq.Cost() || one.DiffTree() != seq.DiffTree() {
+		t.Errorf("WithTreeWorkers(1) diverged from the sequential default: cost %v vs %v",
+			one.Cost(), seq.Cost())
+	}
+	if one.Stats().TreeWorkers != 1 {
+		t.Errorf("TreeWorkers stat = %d, want 1", one.Stats().TreeWorkers)
+	}
+
+	par, err := fastGen(WithTreeWorkers(4)).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Valid() {
+		t.Error("tree-parallel interface invalid")
+	}
+	if par.Cost() > par.InitialCost() {
+		t.Errorf("tree-parallel search worse than the initial state: %v vs %v", par.Cost(), par.InitialCost())
+	}
+	if par.Stats().TreeWorkers != 4 {
+		t.Errorf("TreeWorkers stat = %d, want 4", par.Stats().TreeWorkers)
+	}
+}
+
 func TestWithCacheSharesAcrossCalls(t *testing.T) {
 	cache := NewCache(0)
 	gen := fastGen(WithCache(cache))

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/assign"
@@ -96,6 +97,15 @@ type Options struct {
 	Rules []rules.Rule
 	// Strategy selects the search procedure (default StrategyMCTS()).
 	Strategy Strategy
+	// TreeWorkers > 1 runs the MCTS search tree-parallel: that many
+	// goroutines share one search tree, diversified by virtual loss, all
+	// draining their leaf evaluations through the shared transposition
+	// cache. <= 1 (the default) keeps the sequential search, bit-identical
+	// per seed; > 1 trades that reproducibility for iterations/sec (only
+	// the quality envelope is pinned). Orthogonal to GenerateParallel's
+	// root parallelization: each root worker runs TreeWorkers goroutines.
+	// Non-MCTS strategies ignore it.
+	TreeWorkers int
 	// Progress, when non-nil, receives anytime snapshots while the search
 	// runs. Under GenerateParallel the callback is serialized across
 	// workers; each snapshot carries its worker index.
@@ -125,7 +135,8 @@ type Stats struct {
 	SpaceExhausted bool // StrategyExhaustive swept the entire space
 	Interrupted    bool // the context ended the search before its budget
 	WarmStarted    bool // the search was seeded from Options.WarmStart
-	Workers        int  // parallel workers that contributed
+	Workers        int  // root-parallel workers that contributed
+	TreeWorkers    int  // goroutines sharing each search tree (1 = sequential)
 	Elapsed        time.Duration
 	// CacheHits/CacheMisses/CacheEntries snapshot the evaluation engine's
 	// transposition cache at the end of the search (all zero with
@@ -203,6 +214,9 @@ func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*R
 	stats.EnumComplete = complete
 	stats.WarmStarted = p.root != p.init
 	stats.Workers = 1
+	if stats.TreeWorkers == 0 {
+		stats.TreeWorkers = 1 // non-MCTS strategies always run sequentially
+	}
 	stats.Elapsed = time.Since(p.start)
 	cs := eng.CacheStats()
 	stats.CacheHits, stats.CacheMisses, stats.CacheEntries = cs.Hits, cs.Misses, cs.Entries
@@ -309,13 +323,81 @@ func (s state) Hash() uint64 { return s.h }
 // keeps one run-local layer: materialized neighbor *states* per hash (the
 // engine caches move sets, which are shareable across workers; the trees
 // they produce are cheap to rebuild but cheaper to keep).
+//
+// With concurrent set (tree-parallel MCTS), the run-local maps are guarded
+// by mu; the engine underneath is already concurrency-safe. The sequential
+// path never touches the lock.
 type domain struct {
-	eng     *eval.Engine
-	ruleSet []rules.Rule
-	scale   float64                 // reward normalization: the initial state's cost
-	rewards map[uint64]float64      // run-local reward memo (nil when memoization is off)
-	seen    map[uint64][]mcts.State // run-local neighbor-state memo (nil when memoization is off)
-	onCost  func(float64)           // observes each newly computed state cost
+	eng        *eval.Engine
+	ruleSet    []rules.Rule
+	scale      float64 // reward normalization: the initial state's cost
+	concurrent bool    // guard the run-local memos for tree-parallel workers
+	mu         sync.RWMutex
+	rewards    map[uint64]float64      // run-local reward memo (nil when memoization is off)
+	seen       map[uint64][]mcts.State // run-local neighbor-state memo (nil when memoization is off)
+	onCost     func(float64)           // observes each newly computed state cost
+}
+
+// cachedReward reads the run-local reward memo.
+func (d *domain) cachedReward(h uint64) (float64, bool) {
+	if d.rewards == nil {
+		return 0, false
+	}
+	if d.concurrent {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
+	r, ok := d.rewards[h]
+	return r, ok
+}
+
+// storeReward writes the run-local reward memo and reports whether this
+// call was the state's first (it always is with the memo disabled — every
+// visit then recomputes and counts). Concurrent tree workers can race past
+// cachedReward and both compute the same state; the insert-under-lock
+// verdict decides which one gets to report the evaluation, keeping the
+// onCost bookkeeping at one call per unique state.
+func (d *domain) storeReward(h uint64, r float64) bool {
+	if d.rewards == nil {
+		return true
+	}
+	if d.concurrent {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
+	if _, ok := d.rewards[h]; ok {
+		return false
+	}
+	d.rewards[h] = r
+	return true
+}
+
+// cachedNeighbors reads the run-local neighbor-state memo.
+func (d *domain) cachedNeighbors(h uint64) ([]mcts.State, bool) {
+	if d.seen == nil {
+		return nil, false
+	}
+	if d.concurrent {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
+	ns, ok := d.seen[h]
+	return ns, ok
+}
+
+// storeNeighbors writes the run-local neighbor-state memo, bounded so a
+// pathological run cannot hoard every materialized state forever.
+func (d *domain) storeNeighbors(h uint64, ns []mcts.State) {
+	if d.seen == nil {
+		return
+	}
+	if d.concurrent {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+	}
+	if len(d.seen) < 1<<14 {
+		d.seen[h] = ns
+	}
 }
 
 func newDomain(log []*ast.Node, opt Options, eng *eval.Engine) *domain {
@@ -342,19 +424,15 @@ func newDomain(log []*ast.Node, opt Options, eng *eval.Engine) *domain {
 // expansion revisit popular states constantly.
 func (d *domain) Neighbors(s mcts.State) []mcts.State {
 	st := s.(state)
-	if d.seen != nil {
-		if ns, ok := d.seen[st.h]; ok {
-			return ns
-		}
+	if ns, ok := d.cachedNeighbors(st.h); ok {
+		return ns
 	}
 	ts := d.eng.Neighbors(st.d)
 	out := make([]mcts.State, 0, len(ts))
 	for _, t := range ts {
 		out = append(out, state{d: t, h: difftree.Hash(t)})
 	}
-	if d.seen != nil && len(d.seen) < 1<<14 {
-		d.seen[st.h] = out
-	}
+	d.storeNeighbors(st.h, out)
 	return out
 }
 
@@ -420,21 +498,16 @@ func (d *domain) RandomNeighbor(s mcts.State, rng *rand.Rand) (mcts.State, bool)
 // bookkeeping and skips the cache round trip for hot states.
 func (d *domain) Reward(s mcts.State) float64 {
 	st := s.(state)
-	if d.rewards != nil {
-		if r, ok := d.rewards[st.h]; ok {
-			return r
-		}
+	if r, ok := d.cachedReward(st.h); ok {
+		return r
 	}
 	c := d.eng.StateCost(st.d)
-	if d.onCost != nil {
-		d.onCost(c)
-	}
 	r := 0.0
 	if !math.IsInf(c, 1) {
 		r = 1.0 / (1.0 + c/d.scale)
 	}
-	if d.rewards != nil {
-		d.rewards[st.h] = r
+	if d.storeReward(st.h, r) && d.onCost != nil {
+		d.onCost(c)
 	}
 	return r
 }

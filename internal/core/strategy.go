@@ -6,6 +6,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ast"
@@ -212,18 +213,44 @@ func (mctsStrategy) Name() string { return "mcts" }
 func (mctsStrategy) search(ctx context.Context, p *problem) searchOutcome {
 	dom := newDomain(p.log, p.opt, p.eng)
 	dom.onCost = p.noteCost
+	progress := func(r mcts.Result) {
+		p.iterations = r.Iterations
+		p.states = r.Expanded
+		p.emit()
+	}
+	tw := p.opt.TreeWorkers
+	if tw < 1 {
+		tw = 1
+	}
+	if tw > 1 {
+		// Tree-parallel workers call the domain — and through it the
+		// problem's trajectory bookkeeping — concurrently: switch the domain
+		// memos into their guarded mode and serialize every touch of the
+		// problem's mutable state behind one mutex. (The evaluation engine
+		// underneath is already concurrency-safe.)
+		dom.concurrent = true
+		var mu sync.Mutex
+		dom.onCost = func(c float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			p.noteCost(c)
+		}
+		inner := progress
+		progress = func(r mcts.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(r)
+		}
+	}
 	res := mcts.Search(ctx, dom, state{d: p.root, h: difftree.Hash(p.root)}, mcts.Config{
 		C:                p.opt.ExplorationC,
 		MaxRolloutDepth:  p.opt.RolloutDepth,
 		Iterations:       p.opt.Iterations,
 		TimeBudget:       p.opt.TimeBudget,
 		Seed:             p.opt.Seed,
+		TreeWorkers:      tw,
 		EvaluateChildren: true,
-		Progress: func(r mcts.Result) {
-			p.iterations = r.Iterations
-			p.states = r.Expanded
-			p.emit()
-		},
+		Progress:         progress,
 	})
 	return searchOutcome{
 		best: res.Best.(state).d,
@@ -235,6 +262,7 @@ func (mctsStrategy) search(ctx context.Context, p *problem) searchOutcome {
 			Evals:       p.evals, // unique cost evaluations, the scale Progress/Trajectory use
 			BestReward:  res.BestReward,
 			Interrupted: res.Interrupted,
+			TreeWorkers: tw,
 		},
 	}
 }

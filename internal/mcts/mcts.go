@@ -12,6 +12,11 @@
 // promptly — returning the best state seen so far — when the context is
 // cancelled or its deadline passes, in addition to the iteration and
 // wall-clock budgets in Config.
+//
+// Config.TreeWorkers > 1 switches to the tree-parallel search in
+// parallel.go: the workers share one tree, diversified by virtual loss.
+// TreeWorkers <= 1 keeps the sequential search below, bit-identical per
+// seed.
 package mcts
 
 import (
@@ -50,18 +55,30 @@ type Config struct {
 	// MaxRolloutDepth bounds random walks (paper: up to 200 steps).
 	MaxRolloutDepth int
 	// Iterations bounds the number of MCTS iterations (0 = unbounded; then
-	// TimeBudget must be set).
+	// TimeBudget must be set). With TreeWorkers > 1 the budget is shared
+	// across workers, not multiplied by them.
 	Iterations int
 	// TimeBudget bounds wall-clock time (0 = unbounded).
 	TimeBudget time.Duration
 	// Seed makes the search deterministic.
 	Seed int64
+	// TreeWorkers > 1 runs the search tree-parallel: that many goroutines
+	// share one tree, selection applies a virtual-loss penalty to in-flight
+	// paths so workers diversify, and expansion is guarded per node. The
+	// Domain must then be safe for concurrent use. Values <= 1 run the
+	// sequential search, which is bit-identical for a fixed seed;
+	// tree-parallel results are *not* reproducible across runs (worker
+	// interleaving decides which states are visited), only the quality
+	// envelope is pinned.
+	TreeWorkers int
 	// EvaluateChildren also scores each expanded child directly, so good
 	// intermediate states are never missed; costs one Reward call per child.
 	EvaluateChildren bool
 	// Progress, when non-nil, is invoked after every iteration with the
 	// running result (anytime observability). It runs on the search
-	// goroutine and must be fast.
+	// goroutine and must be fast. With TreeWorkers > 1 it may be invoked
+	// concurrently from several workers; callers needing serialization
+	// wrap the callback in their own mutex.
 	Progress func(Result)
 }
 
@@ -129,13 +146,17 @@ func Search(ctx context.Context, d Domain, root State, cfg Config) Result {
 	if cfg.Iterations <= 0 && cfg.TimeBudget <= 0 {
 		cfg.Iterations = 100
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	deadline := time.Time{}
 	if cfg.TimeBudget > 0 {
 		deadline = time.Now().Add(cfg.TimeBudget)
 	}
+	if cfg.TreeWorkers > 1 {
+		res, _ := searchParallel(ctx, d, root, cfg, deadline)
+		return res
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	s := &searcher{d: d, cfg: cfg, rng: rng, ctx: ctx}
+	s := &searcher{d: d, cfg: cfg, rng: rng, ctx: ctx, deadline: deadline}
 	rootNode := &node{state: root}
 	s.res.Best = root
 	s.res.BestReward = s.eval(root)
@@ -148,24 +169,29 @@ func Search(ctx context.Context, d Domain, root State, cfg Config) Result {
 		if cfg.Iterations > 0 && s.res.Iterations >= cfg.Iterations {
 			break
 		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
+		if s.expired() {
 			break
 		}
-		s.res.Iterations++
-		s.iterate(rootNode)
-		if cfg.Progress != nil {
-			cfg.Progress(s.res)
+		if s.iterate(rootNode) {
+			// Only fully completed iterations count: a cancelled or
+			// deadline-cut simulation pass must not inflate the counter (it
+			// would skew iters/sec in the bench harness).
+			s.res.Iterations++
+			if cfg.Progress != nil {
+				cfg.Progress(s.res)
+			}
 		}
 	}
 	return s.res
 }
 
 type searcher struct {
-	d   Domain
-	cfg Config
-	rng *rand.Rand
-	ctx context.Context
-	res Result
+	d        Domain
+	cfg      Config
+	rng      *rand.Rand
+	ctx      context.Context
+	deadline time.Time
+	res      Result
 }
 
 // cancelled polls the search context without blocking.
@@ -178,6 +204,18 @@ func (s *searcher) cancelled() bool {
 	}
 }
 
+// expired reports that the wall-clock budget has run out.
+func (s *searcher) expired() bool {
+	return !s.deadline.IsZero() && !time.Now().Before(s.deadline)
+}
+
+// stopped reports that the search must end now — by cancellation or by the
+// wall-clock budget. Checked wherever a long loop re-checks cancellation, so
+// a TimeBudget cannot be overrun by a large fanout.
+func (s *searcher) stopped() bool {
+	return s.cancelled() || s.expired()
+}
+
 func (s *searcher) eval(st State) float64 {
 	s.res.Evals++
 	r := s.d.Reward(st)
@@ -188,7 +226,10 @@ func (s *searcher) eval(st State) float64 {
 	return r
 }
 
-func (s *searcher) iterate(root *node) {
+// iterate runs one select-expand-simulate-backprop cycle; it reports whether
+// the cycle ran to completion (false when cancellation or the wall-clock
+// deadline cut the simulation pass short).
+func (s *searcher) iterate(root *node) bool {
 	// Selection: descend by UCT until an unexpanded node.
 	n := root
 	for n.expanded && len(n.children) > 0 {
@@ -220,19 +261,19 @@ func (s *searcher) iterate(root *node) {
 	if len(n.children) == 0 {
 		// Terminal: reward the node itself.
 		backprop(n, s.eval(n.state))
-		return
+		return true
 	}
 
 	// Simulation: one random walk from every new child (paper: "perform a
 	// random walk ... from all of its immediate neighbor states"). Large
-	// fanouts make this the long pole of an iteration, so cancellation is
-	// re-checked between children.
+	// fanouts make this the long pole of an iteration, so both cancellation
+	// and the wall-clock deadline are re-checked between children.
 	for _, c := range n.children {
 		if c.visits > 0 {
 			continue
 		}
-		if s.cancelled() {
-			return
+		if s.stopped() {
+			return false
 		}
 		if s.cfg.EvaluateChildren {
 			s.eval(c.state)
@@ -240,6 +281,7 @@ func (s *searcher) iterate(root *node) {
 		r := s.rollout(c.state)
 		backprop(c, r)
 	}
+	return true
 }
 
 // rollout performs a uniformly random walk from st and returns the final

@@ -152,6 +152,71 @@ func TestTimeBudget(t *testing.T) {
 	}
 }
 
+// fanDomain is a one-level star: the root has `fan` children, every child is
+// terminal, and each Reward call burns `delay`. It models the large-fanout
+// difftree states where one simulation pass dominates an iteration.
+type fanDomain struct {
+	fan   int
+	delay time.Duration
+	evals func() // called on every Reward, before the delay
+}
+
+func (d fanDomain) Neighbors(s State) []State {
+	if int(s.(lineState)) != 0 {
+		return nil
+	}
+	out := make([]State, d.fan)
+	for i := range out {
+		out[i] = lineState(i + 1)
+	}
+	return out
+}
+
+func (d fanDomain) Reward(State) float64 {
+	if d.evals != nil {
+		d.evals()
+	}
+	time.Sleep(d.delay)
+	return 0.5
+}
+
+// TestTimeBudgetNotOverrunByFanout is the regression test for the
+// time-budget overrun: the simulation loop used to re-check only the
+// context between children, never the wall-clock deadline, so one iteration
+// over a large fanout ran arbitrarily past TimeBudget (here ~1.5s of child
+// rollouts against a 50ms budget). The deadline must now cut the pass.
+func TestTimeBudgetNotOverrunByFanout(t *testing.T) {
+	d := fanDomain{fan: 300, delay: 5 * time.Millisecond}
+	start := time.Now()
+	Search(context.Background(), d, lineState(0), Config{TimeBudget: 50 * time.Millisecond, MaxRolloutDepth: 4, Seed: 1})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("TimeBudget=50ms overrun to %v by a fanout-300 simulation pass", elapsed)
+	}
+}
+
+// TestCancelledIterationNotCounted is the regression test for the
+// iteration off-by-one: the counter used to be incremented before iterate
+// ran, so a search cancelled mid-iteration reported one more completed
+// iteration than it performed. The context is cancelled from inside the
+// first simulation pass; the aborted iteration must not be counted.
+func TestCancelledIterationNotCounted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	d := fanDomain{fan: 10, evals: func() {
+		calls++
+		if calls == 2 { // call 1 scores the root; call 2 is mid-iteration
+			cancel()
+		}
+	}}
+	res := Search(ctx, d, lineState(0), Config{Iterations: 50, MaxRolloutDepth: 4, Seed: 1})
+	if !res.Interrupted {
+		t.Error("mid-iteration cancellation must report Interrupted")
+	}
+	if res.Iterations != 0 {
+		t.Errorf("aborted iteration was counted: Iterations = %d, want 0", res.Iterations)
+	}
+}
+
 func TestContextCancellation(t *testing.T) {
 	d := lineDomain{n: 1000, target: 999}
 	ctx, cancel := context.WithCancel(context.Background())

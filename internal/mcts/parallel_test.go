@@ -1,0 +1,131 @@
+package mcts
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// walkTree applies fn to every node reachable from root.
+func walkTree(root *pnode, fn func(*pnode)) {
+	fn(root)
+	for _, c := range root.children {
+		walkTree(c, fn)
+	}
+}
+
+func TestTreeParallelFindsPeak(t *testing.T) {
+	d := lineDomain{n: 40, target: 25}
+	res := Search(context.Background(), d, lineState(0), Config{
+		Iterations: 1500, MaxRolloutDepth: 60, Seed: 5, EvaluateChildren: true, TreeWorkers: 4,
+	})
+	if got := int(res.Best.(lineState)); got != d.target {
+		t.Errorf("best state = %d, want %d (reward %f)", got, d.target, res.BestReward)
+	}
+	if res.Iterations != 1500 {
+		t.Errorf("iterations = %d, want the full shared budget of 1500", res.Iterations)
+	}
+	if res.Expanded == 0 || res.Rollouts == 0 || res.Evals == 0 {
+		t.Errorf("counters zero: %+v", res)
+	}
+}
+
+// TestTreeParallelWorkersOneBitIdentical pins the determinism contract:
+// TreeWorkers 0 and 1 must run the identical sequential search.
+func TestTreeParallelWorkersOneBitIdentical(t *testing.T) {
+	d := lineDomain{n: 60, target: 47}
+	base := Config{Iterations: 200, MaxRolloutDepth: 30, Seed: 11, EvaluateChildren: true}
+	seq := Search(context.Background(), d, lineState(0), base)
+	one := base
+	one.TreeWorkers = 1
+	got := Search(context.Background(), d, lineState(0), one)
+	if got != seq {
+		t.Errorf("TreeWorkers=1 diverged from the sequential search:\n got %+v\nwant %+v", got, seq)
+	}
+}
+
+// TestVirtualLossAccounting joins an 8-worker shared-tree search and then
+// audits the tree: no virtual loss may remain, visit counts must be
+// consistent along every edge, rewards must stay within their [0, 1] bounds,
+// and the root must have absorbed exactly one backpropagation per random
+// walk (lineDomain has no terminal states, so walks are the only source).
+func TestVirtualLossAccounting(t *testing.T) {
+	d := lineDomain{n: 30, target: 21}
+	cfg := Config{Iterations: 400, MaxRolloutDepth: 20, Seed: 3, TreeWorkers: 8, C: 1.4}
+	res, root := searchParallel(context.Background(), d, lineState(0), cfg, time.Time{})
+
+	walkTree(root, func(n *pnode) {
+		if vl := n.vloss.Load(); vl != 0 {
+			t.Errorf("node %v: %d virtual losses left after join", n.state, vl)
+		}
+		v := n.visits.Load()
+		var childSum int64
+		for _, c := range n.children {
+			childSum += c.visits.Load()
+		}
+		// Every child backprop passes through its parent; the parent may
+		// additionally absorb its own expansion-time or terminal backprops.
+		if childSum > v {
+			t.Errorf("node %v: children visits %d exceed own visits %d", n.state, childSum, v)
+		}
+		if total := n.total(); total < 0 || total > float64(v) {
+			t.Errorf("node %v: total reward %f out of [0, visits=%d]", n.state, total, v)
+		}
+	})
+	if rv := root.visits.Load(); rv != int64(res.Rollouts) {
+		t.Errorf("root visits %d != rollouts %d: lost or duplicated backpropagation", rv, res.Rollouts)
+	}
+	if res.Iterations != 400 {
+		t.Errorf("iterations = %d, want 400", res.Iterations)
+	}
+}
+
+// TestTreeParallelStressTinyTree maximizes contention: 8 workers in a
+// 5-state space collide on the same few nodes constantly. Run under -race in
+// CI, this is the shared-tree memory-safety exercise.
+func TestTreeParallelStressTinyTree(t *testing.T) {
+	d := lineDomain{n: 5, target: 4}
+	cfg := Config{Iterations: 2000, MaxRolloutDepth: 8, Seed: 9, TreeWorkers: 8, EvaluateChildren: true}
+	res, root := searchParallel(context.Background(), d, lineState(0), cfg, time.Time{})
+	if int(res.Best.(lineState)) != d.target {
+		t.Errorf("best = %v, want %d", res.Best, d.target)
+	}
+	walkTree(root, func(n *pnode) {
+		if n.vloss.Load() != 0 {
+			t.Errorf("virtual loss left on %v", n.state)
+		}
+	})
+}
+
+func TestTreeParallelCancellation(t *testing.T) {
+	d := lineDomain{n: 1000, target: 999}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Search(ctx, d, lineState(0), Config{Iterations: 1 << 30, MaxRolloutDepth: 10, Seed: 1, TreeWorkers: 4})
+	if !res.Interrupted {
+		t.Error("cancelled tree-parallel search must report Interrupted")
+	}
+	if res.Iterations != 0 {
+		t.Errorf("cancelled-before-start search completed %d iterations", res.Iterations)
+	}
+	if res.Best == nil {
+		t.Error("cancelled search must still return the root as best-so-far")
+	}
+}
+
+func TestTreeParallelTimeBudget(t *testing.T) {
+	d := lineDomain{n: 100000, target: 99999}
+	start := time.Now()
+	res := Search(context.Background(), d, lineState(0), Config{
+		TimeBudget: 30 * time.Millisecond, MaxRolloutDepth: 10, Seed: 1, TreeWorkers: 4,
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("time budget ignored: ran %v", elapsed)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations within budget")
+	}
+	if res.Interrupted {
+		t.Error("an elapsed TimeBudget is a normal completion, not an interruption")
+	}
+}

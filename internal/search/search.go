@@ -13,6 +13,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/difftree"
@@ -64,13 +65,21 @@ func (sp Space) moves(d *difftree.Node) []rules.Move {
 	if sp.Eng != nil {
 		return sp.Eng.Moves(d)
 	}
-	ms := rules.Moves(d, sp.Log, sp.Rules)
-	if sp.SizeCap <= 0 {
+	return filterMoves(d, rules.Moves(d, sp.Log, sp.Rules), sp.SizeCap)
+}
+
+// filterMoves returns the moves whose application keeps d within sizeCap.
+// The filter writes into a fresh slice — never in place — because ms belongs
+// to the enumerator that produced it: an in-place `ms[:0]` compaction would
+// silently corrupt any copy of that slice a memoizing layer (or any other
+// caller) retains.
+func filterMoves(d *difftree.Node, ms []rules.Move, sizeCap int) []rules.Move {
+	if sizeCap <= 0 {
 		return ms
 	}
-	out := ms[:0]
+	out := make([]rules.Move, 0, len(ms))
 	for _, m := range ms {
-		if next, err := rules.ApplyMove(d, m); err == nil && next.Size() <= sp.SizeCap {
+		if next, err := rules.ApplyMove(d, m); err == nil && next.Size() <= sizeCap {
 			out = append(out, m)
 		}
 	}
@@ -179,15 +188,38 @@ func Greedy(ctx context.Context, init *difftree.Node, sp Space, obj Objective, m
 	return res
 }
 
+// scored is one beam candidate: the state, its cost, and its structural
+// hash (unique within a generation thanks to the dedup set, which makes the
+// hash a total deterministic tie-break for equal costs).
+type scored struct {
+	d *difftree.Node
+	c float64
+	h uint64
+}
+
+// selectBest sorts candidates by (cost, hash) and keeps the width best.
+// Cost ties are broken on the structural hash rather than slice position, so
+// the survivors are a deterministic function of the candidate *set* — and
+// sort.Slice replaces the former O(n²) pairwise pass (generations of a few
+// thousand candidates made that pass the beam's hot spot).
+func selectBest(next []scored, width int) []scored {
+	sort.Slice(next, func(i, j int) bool {
+		if next[i].c != next[j].c {
+			return next[i].c < next[j].c
+		}
+		return next[i].h < next[j].h
+	})
+	if len(next) > width {
+		next = next[:width]
+	}
+	return next
+}
+
 // Beam keeps the `width` best states per generation for maxSteps
 // generations, deduplicating by structural hash.
 func Beam(ctx context.Context, init *difftree.Node, sp Space, obj Objective, width, maxSteps int) Result {
-	type scored struct {
-		d *difftree.Node
-		c float64
-	}
 	res := Result{Best: init, BestCost: obj(init), Evals: 1, States: 1}
-	frontier := []scored{{init, res.BestCost}}
+	frontier := []scored{{init, res.BestCost, difftree.Hash(init)}}
 	seen := map[uint64]bool{difftree.Hash(init): true}
 
 	for s := 0; s < maxSteps && len(frontier) > 0; s++ {
@@ -210,21 +242,10 @@ func Beam(ctx context.Context, init *difftree.Node, sp Space, obj Objective, wid
 				c := obj(nd)
 				res.Evals++
 				res.track(nd, c)
-				next = append(next, scored{nd, c})
+				next = append(next, scored{nd, c, h})
 			}
 		}
-		// Partial selection: keep the width best.
-		for i := 0; i < len(next); i++ {
-			for j := i + 1; j < len(next); j++ {
-				if next[j].c < next[i].c {
-					next[i], next[j] = next[j], next[i]
-				}
-			}
-		}
-		if len(next) > width {
-			next = next[:width]
-		}
-		frontier = next
+		frontier = selectBest(next, width)
 	}
 	return res
 }

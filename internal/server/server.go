@@ -29,7 +29,10 @@
 // in iterations, strategy, workers) the response body is byte-identical
 // across processes and across cache configurations — eviction and sharing
 // can change only how fast an answer is computed, never the answer. The
-// integration soak test pins that property.
+// integration soak test pins that property. The one opt-out is
+// tree_workers > 1 (tree-parallel MCTS): those requests explicitly trade
+// reproducibility for iterations/sec, and their responses vary with worker
+// interleaving.
 package server
 
 import (
@@ -319,6 +322,12 @@ type SearchParams struct {
 	Strategy string `json:"strategy,omitempty"`
 	// Workers runs root-parallel searches, clamped to MaxWorkers.
 	Workers int `json:"workers,omitempty"`
+	// TreeWorkers runs each MCTS search tree-parallel with that many
+	// goroutines sharing one tree (virtual-loss diversification). Admission
+	// control caps the request's total goroutine fan-out: workers ×
+	// tree_workers never exceeds MaxWorkers. Requests with tree_workers > 1
+	// trade the byte-identical-response determinism contract for speed.
+	TreeWorkers int `json:"tree_workers,omitempty"`
 	// Seed makes the response deterministic (engine default when 0).
 	Seed int64 `json:"seed,omitempty"`
 	// Screen is the output constraint (wide screen when omitted).
@@ -350,6 +359,7 @@ type SearchStats struct {
 	Iterations  int    `json:"iterations"`
 	Evals       int    `json:"evals"`
 	Workers     int    `json:"workers"`
+	TreeWorkers int    `json:"tree_workers"`
 	Interrupted bool   `json:"interrupted"`
 	WarmStarted bool   `json:"warm_started"`
 }
@@ -503,8 +513,19 @@ func (s *Server) options(p SearchParams) ([]mctsui.Option, error) {
 		opts = append(opts, mctsui.WithIterations(iters))
 	}
 	opts = append(opts, mctsui.WithTimeBudget(budget))
+	if p.Workers < 0 || p.TreeWorkers < 0 {
+		return nil, errors.New("negative worker count")
+	}
+	workers := 1
 	if p.Workers != 0 {
-		opts = append(opts, mctsui.WithWorkers(min(p.Workers, s.cfg.MaxWorkers)))
+		workers = min(p.Workers, s.cfg.MaxWorkers)
+		opts = append(opts, mctsui.WithWorkers(workers))
+	}
+	if p.TreeWorkers > 1 {
+		// Admission control bounds the whole request's goroutine fan-out:
+		// root workers × tree workers stays within MaxWorkers, the same
+		// budget a plain root-parallel request gets.
+		opts = append(opts, mctsui.WithTreeWorkers(min(p.TreeWorkers, max(1, s.cfg.MaxWorkers/workers))))
 	}
 	if p.Seed != 0 {
 		opts = append(opts, mctsui.WithSeed(p.Seed))
@@ -556,6 +577,7 @@ func (s *Server) response(iface *mctsui.Interface, session string, queryCount in
 			Iterations:  st.Iterations,
 			Evals:       st.Evals,
 			Workers:     st.Workers,
+			TreeWorkers: st.TreeWorkers,
 			Interrupted: st.Interrupted,
 			WarmStarted: st.WarmStarted,
 		},

@@ -163,6 +163,40 @@ func TestGenerateDeterministicAndMatchesOffline(t *testing.T) {
 	}
 }
 
+// TestGenerateTreeWorkers: a tree-parallel request is served and its
+// goroutine fan-out is capped by admission control — workers × tree_workers
+// never exceeds MaxWorkers, so one request cannot grab more CPU than a plain
+// root-parallel request could.
+func TestGenerateTreeWorkers(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWorkers: 4})
+
+	p := fastParams
+	p.TreeWorkers = 8
+	status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: p, Queries: figure1})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	resp := decodeGenerate(t, body)
+	if !resp.Valid {
+		t.Fatalf("invalid interface: %s", body)
+	}
+	if resp.Search.TreeWorkers != 4 {
+		t.Errorf("tree_workers = %d, want the MaxWorkers cap of 4", resp.Search.TreeWorkers)
+	}
+
+	// Root and tree workers share one budget: 2 root workers leave room for
+	// only 2 tree workers each under MaxWorkers=4.
+	p.Workers, p.TreeWorkers = 2, 8
+	status, body = post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: p, Queries: figure1})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	resp = decodeGenerate(t, body)
+	if resp.Search.Workers != 2 || resp.Search.TreeWorkers != 2 {
+		t.Errorf("workers=%d tree_workers=%d, want 2 and 2", resp.Search.Workers, resp.Search.TreeWorkers)
+	}
+}
+
 func TestGenerateRejectsBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxQueries: 2})
 	for name, req := range map[string]GenerateRequest{
@@ -172,6 +206,7 @@ func TestGenerateRejectsBadRequests(t *testing.T) {
 		"bad strategy":  {SearchParams: SearchParams{Strategy: "warp"}, Queries: figure1},
 		"bad budget":    {SearchParams: SearchParams{Iterations: -4}, Queries: figure1},
 		"bad screen":    {SearchParams: SearchParams{Screen: &Size{W: -1, H: 5}}, Queries: figure1},
+		"bad workers":   {SearchParams: SearchParams{TreeWorkers: -2}, Queries: figure1},
 	} {
 		if status, body := post(t, ts.URL+"/v1/generate", req); status != http.StatusBadRequest {
 			t.Errorf("%s: status %d (%s), want 400", name, status, body)
