@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test test-fast bench bench-json race-tree golden fuzz-smoke serve
+.PHONY: verify build vet fmt test test-fast bench bench-json race-tree golden fuzz-smoke serve join-scenarios staticcheck
 
 # verify is the tier-1 gate: build, vet, formatting, and the full test suite.
 verify: build vet fmt test
@@ -33,13 +33,15 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-json regenerates BENCH_search.json: iterations/sec with the
-# transposition cache cold, warm, and disabled on the SDSS workload, plus
-# the cache hit rate, best cost, and the tree_parallel section (4 workers
-# on one tree vs sequential, both cold). Fails if the warm-cache speedup
-# drops below 3x, if caching changes a result, or — on machines with >= 4
-# CPUs — if tree-parallel misses 2x iters/sec or worsens the best cost.
+# transposition cache cold, warm, and disabled — one section per workload
+# (sdss and sdss-join) — plus the cache hit rate, best cost, and the first
+# workload's tree_parallel section (4 workers on one tree vs sequential,
+# both cold). Fails if any workload's warm-cache speedup drops below 3x, if
+# caching changes a result, or — on machines with >= 4 CPUs — if
+# tree-parallel misses 2x iters/sec or worsens the best cost. Pass
+# COMPARE=old.json to print per-metric deltas before the gates.
 bench-json:
-	$(GO) run ./cmd/searchbench -out BENCH_search.json
+	$(GO) run ./cmd/searchbench -out BENCH_search.json $(if $(COMPARE),-compare $(COMPARE))
 
 # race-tree runs the tree-parallel race suite CI gates on: shared-tree
 # stress, virtual-loss accounting invariants, TreeWorkers=1 bit-identity.
@@ -56,7 +58,21 @@ golden:
 # campaigns: go test ./internal/sqlparser -fuzz FuzzParseRenderRoundTrip
 fuzz-smoke:
 	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParseRenderRoundTrip -fuzztime 10s
+	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParseRenderMultiTable -fuzztime 10s
 	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
+
+# join-scenarios mirrors the CI acceptance step for the multi-table grammar:
+# end-to-end join/union/subquery generation, golden fixtures, and a
+# searchbench run on the sdss-join workload.
+join-scenarios:
+	$(GO) test -race -count=1 -run 'TestJoinScenario|TestGoldenFixtures' .
+	$(GO) test -count=1 -run 'Join|MultiTable|Union|Subquery|Structural' \
+		./internal/sqlparser ./internal/engine ./internal/rules ./internal/cost ./internal/workload ./internal/core
+	$(GO) run ./cmd/searchbench -out /tmp/bench-join.json -workload sdss-join -tree-workers 0 -min-speedup 0
+
+# staticcheck runs the pinned version CI uses (installs on demand).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 # serve runs the long-lived daemon locally (see README "Serving").
 serve:

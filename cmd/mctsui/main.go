@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	mctsui -log queries.sql [-width 1200 -height 800] [-iters 60 | -budget 60s]
+//	mctsui [-log queries.sql | -workload sdss|sdss-join|sdss-join-block|figure1]
+//	       [-width 1200 -height 800] [-iters 60 | -budget 60s]
 //	       [-seed 1] [-strategy mcts|beam[:W]|greedy|random[:N]|exhaustive[:M]]
 //	       [-workers N] [-tree-workers N] [-progress]
 //	       [-format ascii|html|both] [-show-queries N]
@@ -23,11 +24,13 @@ import (
 	"time"
 
 	mctsui "repro"
+	"repro/internal/sqlparser"
 	"repro/internal/workload"
 )
 
 func main() {
-	logPath := flag.String("log", "", "query log file (default: the paper's SDSS log)")
+	logPath := flag.String("log", "", "query log file (default: the -workload log)")
+	workloadName := flag.String("workload", "sdss", "built-in log when no -log is given: sdss | sdss-join | sdss-join-block | figure1")
 	width := flag.Int("width", 1200, "screen width in layout units")
 	height := flag.Int("height", 800, "screen height in layout units")
 	iters := flag.Int("iters", mctsui.DefaultIterations, "search iterations (ignored when -budget is set)")
@@ -44,8 +47,21 @@ func main() {
 
 	var queries []string
 	if *logPath == "" {
-		queries = workload.SDSSLogSQL()
-		fmt.Fprintln(os.Stderr, "mctsui: no -log given; using the paper's SDSS log (Listing 1)")
+		switch *workloadName {
+		case "sdss":
+			queries = workload.SDSSLogSQL()
+		case "sdss-join":
+			queries = workload.SDSSJoinLogSQL()
+		case "sdss-join-block":
+			queries = workload.SDSSJoinLogSQL()[:6]
+		case "figure1":
+			for _, q := range workload.PaperFigure1Log() {
+				queries = append(queries, sqlparser.Render(q))
+			}
+		default:
+			fatal(fmt.Errorf("unknown workload %q", *workloadName))
+		}
+		fmt.Fprintf(os.Stderr, "mctsui: no -log given; using the built-in %s log\n", *workloadName)
 	} else {
 		data, err := os.ReadFile(*logPath)
 		if err != nil {

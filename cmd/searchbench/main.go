@@ -1,8 +1,9 @@
 // Command searchbench measures the memoized evaluation engine against the
-// memoization-off baseline on one workload and emits a machine-readable
-// BENCH_search.json for the performance trajectory.
+// memoization-off baseline and emits a machine-readable BENCH_search.json
+// for the performance trajectory. Since the multi-table expansion the report
+// carries one section per workload (default: sdss and sdss-join).
 //
-// Three modes are timed, all with the same seed and budget:
+// Three modes are timed per workload, all with the same seed and budget:
 //
 //   - uncached:    memoization disabled (every state re-scored per visit)
 //   - cached_cold: a fresh shared cache, first search
@@ -11,17 +12,23 @@
 //
 // State evaluation is deterministic per state, so all three modes must
 // return the identical best cost; searchbench fails if they do not. The
-// -min-speedup gate (default 3) applies to the warm/uncached ratio and
-// makes `make bench-json` fail loudly if the cache stops paying for itself.
+// -min-speedup gate (default 3) applies to the warm/uncached ratio of every
+// workload and makes `make bench-json` fail loudly if the cache stops
+// paying for itself.
 //
 // A fourth mode measures tree-parallel MCTS (-tree-workers goroutines on
 // one shared tree, virtual-loss diversified) against the sequential
-// warm-cache reference and emits it as the report's tree_parallel section.
-// The -min-tree-speedup gate (default 2) and its equal-or-better best-cost
-// companion are enforced only when the machine has at least -tree-workers
-// CPUs — a 1-CPU container records its numbers without failing the build.
+// cold-cache reference; it runs on the first listed workload only (it is
+// the wall-clock-dominant section). The -min-tree-speedup gate (default 2)
+// and its equal-or-better best-cost companion are enforced only when the
+// machine has at least -tree-workers CPUs — a 1-CPU container records its
+// numbers without failing the build.
 //
-//	go run ./cmd/searchbench -out BENCH_search.json
+// -compare old.json prints per-metric deltas against a previous report
+// (either format generation) before any gate is enforced, so a CI failure
+// arrives with a readable diff of what moved:
+//
+//	go run ./cmd/searchbench -out BENCH_search.json -compare prev/BENCH_search.json
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/ast"
@@ -70,56 +79,154 @@ type treeSection struct {
 	GateEnforced bool       `json:"gate_enforced"`
 }
 
-type report struct {
-	Workload      string      `json:"workload"`
-	Strategy      string      `json:"strategy"`
-	Iterations    int         `json:"iterations"`
-	RolloutDepth  int         `json:"rollout_depth"`
-	Seed          int64       `json:"seed"`
-	Repeats       int         `json:"repeats"`
-	Uncached      modeResult  `json:"uncached"`
-	CachedCold    modeResult  `json:"cached_cold"`
-	CachedWarm    modeResult  `json:"cached_warm"`
-	SpeedupCold   float64     `json:"speedup_cold"`
-	SpeedupWarm   float64     `json:"speedup_warm"`
-	EqualBestCost bool        `json:"equal_best_cost"`
-	TreeParallel  treeSection `json:"tree_parallel"`
-	GeneratedAt   string      `json:"generated_at"`
+// workloadReport is one workload's section of the file.
+type workloadReport struct {
+	Workload      string       `json:"workload"`
+	Strategy      string       `json:"strategy"`
+	Iterations    int          `json:"iterations"`
+	RolloutDepth  int          `json:"rollout_depth"`
+	Seed          int64        `json:"seed"`
+	Repeats       int          `json:"repeats"`
+	Uncached      modeResult   `json:"uncached"`
+	CachedCold    modeResult   `json:"cached_cold"`
+	CachedWarm    modeResult   `json:"cached_warm"`
+	SpeedupCold   float64      `json:"speedup_cold"`
+	SpeedupWarm   float64      `json:"speedup_warm"`
+	EqualBestCost bool         `json:"equal_best_cost"`
+	TreeParallel  *treeSection `json:"tree_parallel,omitempty"`
+}
+
+// fileReport is the on-disk shape: one section per workload.
+type fileReport struct {
+	Workloads   map[string]workloadReport `json:"workloads"`
+	GeneratedAt string                    `json:"generated_at"`
+}
+
+// legacyReport is the pre-multi-workload single-section file shape, still
+// accepted by -compare.
+type legacyReport struct {
+	Workload  string                    `json:"workload"`
+	Workloads map[string]workloadReport `json:"workloads"`
+}
+
+func logFor(name string) ([]*ast.Node, error) {
+	switch name {
+	case "sdss":
+		return workload.SDSSLog(), nil
+	case "sdss-subset":
+		return workload.SDSSSubset(6, 8), nil
+	case "sdss-join":
+		return workload.SDSSJoinLog(), nil
+	case "sdss-join-block":
+		return workload.SDSSJoinSubset(1, 6), nil
+	case "figure1":
+		return workload.PaperFigure1Log(), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
 func main() {
 	out := flag.String("out", "BENCH_search.json", "output file ('-' for stdout)")
-	workloadName := flag.String("workload", "sdss", "query log: sdss | sdss-subset | figure1")
+	workloads := flag.String("workload", "sdss,sdss-join", "comma-separated query logs: sdss | sdss-subset | sdss-join | sdss-join-block | figure1")
 	strategySpec := flag.String("strategy", "mcts", "search strategy (see -h of cmd/mctsui)")
 	iterations := flag.Int("iterations", 15, "search iteration budget per run")
 	rollout := flag.Int("rollout", 8, "rollout depth")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	repeats := flag.Int("repeats", 3, "timed repetitions per mode (fastest wins)")
-	minSpeedup := flag.Float64("min-speedup", 3, "fail unless warm-cache/uncached iters-per-sec reaches this (0 disables)")
-	treeWorkers := flag.Int("tree-workers", 4, "tree-parallel worker count for the tree_parallel section (0 disables the section)")
+	minSpeedup := flag.Float64("min-speedup", 3, "fail unless warm-cache/uncached iters-per-sec reaches this on every workload (0 disables)")
+	treeWorkers := flag.Int("tree-workers", 4, "tree-parallel worker count for the first workload's tree_parallel section (0 disables the section)")
 	minTreeSpeedup := flag.Float64("min-tree-speedup", 2, "fail unless tree-parallel/sequential iters-per-sec reaches this — enforced only when NumCPU >= tree-workers (0 disables)")
+	comparePath := flag.String("compare", "", "previous BENCH_search.json to diff against (per-metric deltas printed before gates)")
 	flag.Parse()
 
-	var log []*ast.Node
-	switch *workloadName {
-	case "sdss":
-		log = workload.SDSSLog()
-	case "sdss-subset":
-		log = workload.SDSSSubset(6, 8)
-	case "figure1":
-		log = workload.PaperFigure1Log()
-	default:
-		fatalf("unknown workload %q", *workloadName)
-	}
 	strategy, err := core.StrategyByName(*strategySpec)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
+	names := strings.Split(*workloads, ",")
+	file := fileReport{Workloads: make(map[string]workloadReport, len(names))}
+	var order []string
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		log, err := logFor(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rep := benchWorkload(name, log, strategy, *strategySpec, *iterations, *rollout, *seed, *repeats,
+			i == 0, *treeWorkers, *minTreeSpeedup)
+		file.Workloads[name] = rep
+		order = append(order, name)
+	}
+	file.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	for _, name := range order {
+		rep := file.Workloads[name]
+		fmt.Printf("%s/%s: %.1f iters/sec warm-cached vs %.1f uncached (%.1fx warm, %.1fx cold, hit rate %.1f%%), best cost %.2f\n",
+			rep.Workload, rep.Strategy, rep.CachedWarm.ItersPerSec, rep.Uncached.ItersPerSec,
+			rep.SpeedupWarm, rep.SpeedupCold, rep.CachedWarm.CacheHitRate*100, rep.CachedWarm.BestCost)
+		if tree := rep.TreeParallel; tree != nil {
+			fmt.Printf("%s tree-parallel x%d: %.1f iters/sec vs %.1f sequential (%.2fx, cpus=%d, gate %s), best cost %.2f vs %.2f\n",
+				rep.Workload, tree.Workers, tree.Parallel.ItersPerSec, tree.Sequential.ItersPerSec, tree.Speedup,
+				tree.CPUs, map[bool]string{true: "enforced", false: "skipped"}[tree.GateEnforced],
+				tree.Parallel.BestCost, tree.Sequential.BestCost)
+		}
+	}
+
+	// The readable diff comes before any gate, so a gate failure arrives
+	// with the per-metric context of what regressed.
+	if *comparePath != "" {
+		printComparison(*comparePath, file)
+	}
+
+	for _, name := range order {
+		rep := file.Workloads[name]
+		if !rep.EqualBestCost {
+			fatalf("%s: best costs diverged (uncached %v, cold %v, warm %v) — the cache changed a result",
+				name, rep.Uncached.BestCost, rep.CachedCold.BestCost, rep.CachedWarm.BestCost)
+		}
+		if *minSpeedup > 0 && rep.SpeedupWarm < *minSpeedup {
+			fatalf("%s: warm speedup %.2fx below the %.1fx gate", name, rep.SpeedupWarm, *minSpeedup)
+		}
+		if tree := rep.TreeParallel; tree != nil && tree.GateEnforced {
+			if !tree.CostNoWorse {
+				fatalf("%s: tree-parallel best cost %v worse than sequential %v", name, tree.Parallel.BestCost, tree.Sequential.BestCost)
+			}
+			if tree.Speedup < *minTreeSpeedup {
+				fatalf("%s: tree-parallel speedup %.2fx at %d workers below the %.1fx gate",
+					name, tree.Speedup, tree.Workers, *minTreeSpeedup)
+			}
+		}
+	}
+}
+
+// benchWorkload times the three cache modes (and, for the first workload,
+// the tree-parallel section) on one query log.
+func benchWorkload(name string, log []*ast.Node, strategy core.Strategy, strategySpec string,
+	iterations, rollout int, seed int64, repeats int,
+	withTree bool, treeWorkers int, minTreeSpeedup float64) workloadReport {
+
 	base := core.Options{
-		Iterations:   *iterations,
-		RolloutDepth: *rollout,
-		Seed:         *seed,
+		Iterations:   iterations,
+		RolloutDepth: rollout,
+		Seed:         seed,
 		Strategy:     strategy,
 	}
 
@@ -165,12 +272,27 @@ func main() {
 
 	uncachedOpt := base
 	uncachedOpt.DisableMemo = true
-	uncached := fastest(uncachedOpt, *repeats)
+	uncached := fastest(uncachedOpt, repeats)
 
 	sharedOpt := base
 	sharedOpt.Cache = eval.NewCache(0)
 	cold := once(sharedOpt)
-	warm := fastest(sharedOpt, *repeats)
+	warm := fastest(sharedOpt, repeats)
+
+	rep := workloadReport{
+		Workload:      name,
+		Strategy:      strategySpec,
+		Iterations:    iterations,
+		RolloutDepth:  rollout,
+		Seed:          seed,
+		Repeats:       repeats,
+		Uncached:      uncached,
+		CachedCold:    cold,
+		CachedWarm:    warm,
+		SpeedupCold:   cold.ItersPerSec / uncached.ItersPerSec,
+		SpeedupWarm:   warm.ItersPerSec / uncached.ItersPerSec,
+		EqualBestCost: cold.BestCost == uncached.BestCost && warm.BestCost == uncached.BestCost,
+	}
 
 	// Tree-parallel section: N goroutines on one tree vs the sequential
 	// search, both *cold* (a fresh cache per repetition). Cold-vs-cold is
@@ -185,95 +307,97 @@ func main() {
 	// non-deterministic) search: the fastest elapsed time measures speed and
 	// the best cost across repetitions measures quality, mirroring how a
 	// caller under a wall-clock budget would actually use the knob.
-	coldFastest := func(opt core.Options, n int) modeResult {
-		best := modeResult{ElapsedMS: -1}
-		minCost := math.Inf(1)
-		for r := 0; r < n; r++ {
-			opt.Cache = eval.NewCache(0)
-			m := once(opt)
-			minCost = math.Min(minCost, m.BestCost)
-			if best.ElapsedMS < 0 || m.ElapsedMS < best.ElapsedMS {
-				best = m
+	if withTree && treeWorkers > 1 {
+		coldFastest := func(opt core.Options, n int) modeResult {
+			best := modeResult{ElapsedMS: -1}
+			minCost := math.Inf(1)
+			for r := 0; r < n; r++ {
+				opt.Cache = eval.NewCache(0)
+				m := once(opt)
+				minCost = math.Min(minCost, m.BestCost)
+				if best.ElapsedMS < 0 || m.ElapsedMS < best.ElapsedMS {
+					best = m
+				}
 			}
+			best.BestCost = minCost
+			return best
 		}
-		best.BestCost = minCost
-		return best
-	}
-	var tree treeSection
-	if *treeWorkers > 1 {
 		treeOpt := base
-		treeOpt.TreeWorkers = *treeWorkers
+		treeOpt.TreeWorkers = treeWorkers
 		// The parallel search is non-deterministic, so this section is gated
 		// on samples, not a single run: take at least 5 repetitions per mode
 		// so one unlucky interleaving (or one noisy-CI hiccup) cannot flip
 		// the speedup or best-cost verdict.
-		treeRepeats := max(*repeats, 5)
-		tree = treeSection{
-			Workers:      *treeWorkers,
+		treeRepeats := max(repeats, 5)
+		tree := &treeSection{
+			Workers:      treeWorkers,
 			Sequential:   coldFastest(base, treeRepeats),
 			Parallel:     coldFastest(treeOpt, treeRepeats),
 			CPUs:         runtime.NumCPU(),
-			GateEnforced: *minTreeSpeedup > 0 && runtime.NumCPU() >= *treeWorkers,
+			GateEnforced: minTreeSpeedup > 0 && runtime.NumCPU() >= treeWorkers,
 		}
 		tree.Speedup = tree.Parallel.ItersPerSec / tree.Sequential.ItersPerSec
 		tree.CostNoWorse = tree.Parallel.BestCost <= tree.Sequential.BestCost+1e-9
+		rep.TreeParallel = tree
 	}
+	return rep
+}
 
-	rep := report{
-		Workload:      *workloadName,
-		Strategy:      *strategySpec,
-		Iterations:    *iterations,
-		RolloutDepth:  *rollout,
-		Seed:          *seed,
-		Repeats:       *repeats,
-		Uncached:      uncached,
-		CachedCold:    cold,
-		CachedWarm:    warm,
-		SpeedupCold:   cold.ItersPerSec / uncached.ItersPerSec,
-		SpeedupWarm:   warm.ItersPerSec / uncached.ItersPerSec,
-		EqualBestCost: cold.BestCost == uncached.BestCost && warm.BestCost == uncached.BestCost,
-		TreeParallel:  tree,
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
-	}
-
-	buf, err := json.MarshalIndent(rep, "", "  ")
+// printComparison diffs the fresh report against a previous file, printing
+// one line per workload metric that is present on both sides. Both the
+// multi-workload format and the legacy single-section format are accepted.
+func printComparison(path string, fresh fileReport) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fatalf("marshal: %v", err)
+		fmt.Printf("compare: cannot read %s (%v); skipping diff\n", path, err)
+		return
 	}
-	buf = append(buf, '\n')
-	if *out == "-" {
-		os.Stdout.Write(buf)
-	} else {
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fatalf("write %s: %v", *out, err)
+	var old legacyReport
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Printf("compare: cannot parse %s (%v); skipping diff\n", path, err)
+		return
+	}
+	prev := old.Workloads
+	if prev == nil {
+		// Legacy single-section file: the whole object is one workload.
+		var single workloadReport
+		if err := json.Unmarshal(data, &single); err != nil || single.Workload == "" {
+			fmt.Printf("compare: %s has no workloads section; skipping diff\n", path)
+			return
 		}
-		fmt.Printf("wrote %s\n", *out)
-	}
-	fmt.Printf("%s/%s: %.1f iters/sec warm-cached vs %.1f uncached (%.1fx warm, %.1fx cold, hit rate %.1f%%), best cost %.2f\n",
-		rep.Workload, rep.Strategy, warm.ItersPerSec, uncached.ItersPerSec,
-		rep.SpeedupWarm, rep.SpeedupCold, warm.CacheHitRate*100, warm.BestCost)
-
-	if *treeWorkers > 1 {
-		fmt.Printf("tree-parallel x%d: %.1f iters/sec vs %.1f sequential (%.2fx, cpus=%d, gate %s), best cost %.2f vs %.2f\n",
-			tree.Workers, tree.Parallel.ItersPerSec, tree.Sequential.ItersPerSec, tree.Speedup,
-			tree.CPUs, map[bool]string{true: "enforced", false: "skipped"}[tree.GateEnforced],
-			tree.Parallel.BestCost, tree.Sequential.BestCost)
+		prev = map[string]workloadReport{single.Workload: single}
 	}
 
-	if !rep.EqualBestCost {
-		fatalf("best costs diverged (uncached %v, cold %v, warm %v) — the cache changed a result",
-			uncached.BestCost, cold.BestCost, warm.BestCost)
+	names := make([]string, 0, len(fresh.Workloads))
+	for name := range fresh.Workloads {
+		names = append(names, name)
 	}
-	if *minSpeedup > 0 && rep.SpeedupWarm < *minSpeedup {
-		fatalf("warm speedup %.2fx below the %.1fx gate", rep.SpeedupWarm, *minSpeedup)
-	}
-	if tree.GateEnforced {
-		if !tree.CostNoWorse {
-			fatalf("tree-parallel best cost %v worse than sequential %v", tree.Parallel.BestCost, tree.Sequential.BestCost)
+	sort.Strings(names)
+
+	fmt.Printf("compare vs %s:\n", path)
+	for _, name := range names {
+		now := fresh.Workloads[name]
+		was, ok := prev[name]
+		if !ok {
+			fmt.Printf("  %s: new workload (no previous data)\n", name)
+			continue
 		}
-		if tree.Speedup < *minTreeSpeedup {
-			fatalf("tree-parallel speedup %.2fx at %d workers below the %.1fx gate",
-				tree.Speedup, tree.Workers, *minTreeSpeedup)
+		fmt.Printf("  %s:\n", name)
+		delta := func(label string, old, new float64, unit string) {
+			pct := ""
+			if old != 0 {
+				pct = fmt.Sprintf(" (%+.1f%%)", (new-old)/old*100)
+			}
+			fmt.Printf("    %-22s %10.2f -> %10.2f %s%s\n", label, old, new, unit, pct)
+		}
+		delta("uncached iters/sec", was.Uncached.ItersPerSec, now.Uncached.ItersPerSec, "")
+		delta("warm iters/sec", was.CachedWarm.ItersPerSec, now.CachedWarm.ItersPerSec, "")
+		delta("warm speedup", was.SpeedupWarm, now.SpeedupWarm, "x")
+		delta("cold speedup", was.SpeedupCold, now.SpeedupCold, "x")
+		delta("warm hit rate", was.CachedWarm.CacheHitRate*100, now.CachedWarm.CacheHitRate*100, "%")
+		delta("best cost", was.CachedWarm.BestCost, now.CachedWarm.BestCost, "")
+		if was.TreeParallel != nil && now.TreeParallel != nil {
+			delta("tree speedup", was.TreeParallel.Speedup, now.TreeParallel.Speedup, "x")
 		}
 	}
 }

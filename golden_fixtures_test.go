@@ -31,6 +31,8 @@ func goldenCases() map[string][]*ast.Node {
 		"figure1":         workload.PaperFigure1Log(),
 		"sdss_full":       workload.SDSSLog(),
 		"sdss_subset_6_8": workload.SDSSSubset(6, 8),
+		"sdss_join":       workload.SDSSJoinLog(),
+		"sdss_join_block": workload.SDSSJoinSubset(1, 6),
 	}
 }
 

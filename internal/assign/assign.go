@@ -327,7 +327,32 @@ func DomainOf(d *difftree.Node, parent *difftree.Node) widgets.Domain {
 	if dom.Numeric && parent != nil && parent.Kind == difftree.All && parent.Label == ast.KindBetween {
 		dom.Bounds = true
 	}
+	// The multi-table extension's linked widgets get descriptive captions: a
+	// table choice directly inside a Join is the join-partner picker, and a
+	// choice directly inside a Union switches the active branch.
+	if parent != nil && parent.Kind == difftree.All {
+		switch {
+		case parent.Label == ast.KindJoin && allTables(d):
+			dom.Title = "join partner"
+		case parent.Label == ast.KindUnion:
+			dom.Title = "union branch"
+		}
+	}
 	return dom
+}
+
+// allTables reports whether every alternative of a choice node is a plain
+// Table leaf (∅ alternatives allowed).
+func allTables(d *difftree.Node) bool {
+	for _, c := range d.Children {
+		if c.IsEmpty() {
+			continue
+		}
+		if c.Kind != difftree.All || c.Label != ast.KindTable {
+			return false
+		}
+	}
+	return len(d.Children) > 0
 }
 
 func numericValue(s string) bool {

@@ -23,7 +23,7 @@ const (
 	KindInvalid  Kind = iota
 	KindSelect        // root of a query; children: Project, From, [Where], [GroupBy], [OrderBy], [Top|Limit]
 	KindProject       // children: ColExpr | FuncExpr | Star, in select-list order
-	KindFrom          // children: Table
+	KindFrom          // children: Table, then zero or more Join steps
 	KindWhere         // children: one predicate expression
 	KindGroupBy       // children: ColExpr...
 	KindOrderBy       // children: SortKey...
@@ -38,7 +38,7 @@ const (
 	KindFuncExpr      // Value: function name; children: argument expressions
 	KindBiExpr        // Value: operator (=, <, >, <=, >=, !=); children: lhs, rhs
 	KindBetween       // children: ColExpr, NumExpr lo, NumExpr hi
-	KindIn            // children: ColExpr, literals...
+	KindIn            // children: ColExpr, literals... — or ColExpr, Subquery
 	KindLike          // children: ColExpr, StrExpr
 	KindNot           // children: predicate
 	KindAnd           // children: predicates (n-ary, flattened)
@@ -53,6 +53,25 @@ const (
 	// produced by the Lift transformation rule and only appears inside
 	// difftrees.
 	KindSeq
+
+	// Multi-table extension. These are appended after the difftree markers so
+	// the numeric values of the original kinds stay stable (structural hashes
+	// and any persisted artifacts keyed on them do not shift).
+
+	// KindJoin is one join step in a FROM chain. Value: "inner" or "left";
+	// children: Table (the join partner), On.
+	KindJoin
+	// KindOn is a join condition: children are equi-predicates (BiExpr "="
+	// over two ColExprs), n-ary, AND-joined.
+	KindOn
+	// KindUnion combines whole SELECT queries. Value: "" (UNION, dedup) or
+	// "all" (UNION ALL); children: Select nodes, n-ary, flattened. The
+	// supported fragment keeps one connective per chain (no mixing).
+	KindUnion
+	// KindSubquery wraps a nested Select. Value "": relation form, the RHS of
+	// IN (children of In: ColExpr, Subquery); Value "exists": predicate form,
+	// usable wherever a predicate is. One nesting level is supported.
+	KindSubquery
 
 	kindMax
 )
@@ -85,6 +104,10 @@ var kindNames = [...]string{
 	KindAlias:    "Alias",
 	KindEmpty:    "Empty",
 	KindSeq:      "Seq",
+	KindJoin:     "Join",
+	KindOn:       "On",
+	KindUnion:    "Union",
+	KindSubquery: "Subquery",
 }
 
 // String returns the grammar rule name for k.

@@ -199,17 +199,3 @@ func Similarity(a, b profile) float64 {
 	}
 	return float64(mins) / float64(maxs)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/difftree"
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+// TestJoinLogTinyCacheDeterministic: the evicting-cache determinism contract
+// extends to the multi-table grammar. A deliberately tiny shared cache over
+// a join/union/subquery log must return exactly the unbounded-cache result —
+// eviction may cost recomputes, never correctness — and the new node kinds
+// must flow through the memoized legality/cost aspects unchanged.
+func TestJoinLogTinyCacheDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	log := workload.SDSSJoinLog()[:5] // joins with varying partner/kind
+	base := Options{Iterations: 5, RolloutDepth: 5, Seed: 3}
+
+	big := base
+	big.Cache = eval.NewCache(0)
+	ref, err := Generate(context.Background(), log, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tiny := base
+	tiny.Cache = eval.NewCache(128)
+	got, err := Generate(context.Background(), log, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Cost.Total() != ref.Cost.Total() {
+		t.Errorf("tiny evicting cache changed the join-log result: %v vs %v",
+			got.Cost.Total(), ref.Cost.Total())
+	}
+	if difftree.Hash(got.DiffTree) != difftree.Hash(ref.DiffTree) {
+		t.Error("tiny evicting cache changed the best join-log difftree")
+	}
+	st := tiny.Cache.Stats()
+	if st.Entries > st.Capacity {
+		t.Errorf("occupancy %d exceeds capacity %d", st.Entries, st.Capacity)
+	}
+
+	off := base
+	off.DisableMemo = true
+	unmemo, err := Generate(context.Background(), log, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unmemo.Cost.Total() != ref.Cost.Total() {
+		t.Errorf("memoization changed the join-log result: %v vs %v",
+			unmemo.Cost.Total(), ref.Cost.Total())
+	}
+}

@@ -82,6 +82,7 @@ type Evaluator struct {
 	asg       []difftree.Assignment
 	classes   []transClass // deduplicated consecutive-pair changed sets
 	expressOK bool
+	parent    map[*difftree.Node]*difftree.Node
 
 	mMemo map[widgetKey]float64 // Appropriateness per (choice node, widget type)
 	uMemo map[widgetKey]float64 // InteractionCost per (choice node, widget type)
@@ -122,10 +123,15 @@ func (m Model) NewEvaluator(root *difftree.Node, log []*ast.Node) *Evaluator {
 
 	// Canonical pre-order positions give changed sets a deterministic order
 	// (Assignment is a map; its iteration order must not leak into float
-	// summation order) and a stable class key.
+	// summation order) and a stable class key. The same walk records parents
+	// for the structural-surcharge lookup.
 	pos := make(map[*difftree.Node]int)
+	e.parent = make(map[*difftree.Node]*difftree.Node)
 	difftree.WalkPath(root, func(n *difftree.Node, _ difftree.Path) bool {
 		pos[n] = len(pos)
+		for _, c := range n.Children {
+			e.parent[c] = n
+		}
 		return true
 	})
 
@@ -152,24 +158,93 @@ func (m Model) NewEvaluator(root *difftree.Node, log []*ast.Node) *Evaluator {
 	return e
 }
 
-// appropriateness memoizes widgets.Appropriateness per placement.
+// Structural surcharges for the multi-table grammar: a widget whose options
+// denote join steps, union branches, or subqueries changes the *shape* of
+// the query (which tables participate), not just a literal. Explaining such
+// an option takes more caption/labelling space and vetting it takes more
+// user attention, so structural choices pay a flat appropriateness surcharge
+// (M) and a per-use effort surcharge (U), both scaled by the share of
+// alternatives that carry multi-table structure.
+const (
+	StructuralM = 0.4
+	StructuralU = 0.2
+)
+
+// structuralKinds are the grammar rules introduced by the multi-table
+// extension; a choice node is structural when its alternatives contain them.
+var structuralKinds = map[ast.Kind]bool{
+	ast.KindJoin:     true,
+	ast.KindOn:       true,
+	ast.KindUnion:    true,
+	ast.KindSubquery: true,
+}
+
+// structuralShare returns how structural a choice node is: 1 when the choice
+// sits directly inside a Join/On/Union/Subquery node (e.g. the join-partner
+// table picker, whose alternatives are plain Table leaves), otherwise the
+// fraction of its alternatives whose subtrees contain multi-table structure.
+// It is 0 for every single-table choice, so the pre-extension cost surface
+// is unchanged.
+func (e *Evaluator) structuralShare(d *difftree.Node) float64 {
+	if d == nil || len(d.Children) == 0 {
+		return 0
+	}
+	for p := e.parent[d]; p != nil; p = e.parent[p] {
+		if p.Kind == difftree.All {
+			if structuralKinds[p.Label] {
+				return 1
+			}
+			break // nearest enclosing grammar rule decides
+		}
+		// Skip intervening choice wrappers (OPT/ANY/MULTI chains).
+	}
+	n := 0
+	for _, c := range d.Children {
+		if containsStructural(c) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Children))
+}
+
+func containsStructural(d *difftree.Node) bool {
+	if d == nil {
+		return false
+	}
+	if d.Kind == difftree.All && structuralKinds[d.Label] {
+		return true
+	}
+	for _, c := range d.Children {
+		if containsStructural(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// appropriateness memoizes widgets.Appropriateness plus the structural M
+// surcharge per placement.
 func (e *Evaluator) appropriateness(w *layout.Node) float64 {
 	k := widgetKey{node: w.Choice, t: w.Type}
 	if c, ok := e.mMemo[k]; ok {
 		return c
 	}
 	c := widgets.Appropriateness(w.Type, w.Domain)
+	if !widgets.IsInf(c) {
+		c += StructuralM * e.structuralShare(w.Choice)
+	}
 	e.mMemo[k] = c
 	return c
 }
 
-// interaction memoizes widgets.InteractionCost per placement.
+// interaction memoizes widgets.InteractionCost plus the structural U
+// surcharge per placement.
 func (e *Evaluator) interaction(w *layout.Node) float64 {
 	k := widgetKey{node: w.Choice, t: w.Type}
 	if c, ok := e.uMemo[k]; ok {
 		return c
 	}
-	c := widgets.InteractionCost(w.Type, w.Domain)
+	c := widgets.InteractionCost(w.Type, w.Domain) + StructuralU*e.structuralShare(w.Choice)
 	e.uMemo[k] = c
 	return c
 }

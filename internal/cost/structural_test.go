@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/layout"
+	"repro/internal/sqlparser"
+)
+
+// joinPairTree builds the factored difftree of two queries that differ only
+// in the join partner: Select[Project, From[Table, Join[ANY[Table Table],
+// On]], Where?] — the join-partner picker the multi-table extension exists
+// for.
+func joinPairTree() (*difftree.Node, []*ast.Node) {
+	log := []*ast.Node{
+		sqlparser.MustParse("select objid from stars inner join photoz on objid = objid"),
+		sqlparser.MustParse("select objid from stars inner join specobj on objid = objid"),
+	}
+	project := difftree.NewAll(ast.KindProject, "", difftree.NewAll(ast.KindColExpr, "objid"))
+	on := difftree.NewAll(ast.KindOn, "",
+		difftree.NewAll(ast.KindBiExpr, "=",
+			difftree.NewAll(ast.KindColExpr, "objid"),
+			difftree.NewAll(ast.KindColExpr, "objid")))
+	join := difftree.NewAll(ast.KindJoin, "inner",
+		difftree.NewAny(
+			difftree.NewAll(ast.KindTable, "photoz"),
+			difftree.NewAll(ast.KindTable, "specobj"),
+		), on)
+	from := difftree.NewAll(ast.KindFrom, "", difftree.NewAll(ast.KindTable, "stars"), join)
+	return difftree.NewAll(ast.KindSelect, "", project, from), log
+}
+
+// singlePairTree is the structurally identical single-table control: the
+// same two-option table picker, but sitting directly under From.
+func singlePairTree() (*difftree.Node, []*ast.Node) {
+	log := []*ast.Node{
+		sqlparser.MustParse("select objid from photoz"),
+		sqlparser.MustParse("select objid from specobj"),
+	}
+	project := difftree.NewAll(ast.KindProject, "", difftree.NewAll(ast.KindColExpr, "objid"))
+	from := difftree.NewAll(ast.KindFrom, "",
+		difftree.NewAny(
+			difftree.NewAll(ast.KindTable, "photoz"),
+			difftree.NewAll(ast.KindTable, "specobj"),
+		))
+	return difftree.NewAll(ast.KindSelect, "", project, from), log
+}
+
+func evalFirst(t *testing.T, d *difftree.Node, log []*ast.Node) Breakdown {
+	t.Helper()
+	p, err := assign.BuildPlan(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default(layout.Screen{W: 1200, H: 800})
+	b := m.Evaluate(d, p.First(), log)
+	if !b.Valid {
+		t.Fatalf("invalid: %s", b.Reason)
+	}
+	return b
+}
+
+// TestStructuralSurcharge: the join-partner picker (a choice directly inside
+// a Join node) pays the full structural M and U surcharges relative to the
+// identical picker under a plain single-table From.
+func TestStructuralSurcharge(t *testing.T) {
+	jd, jlog := joinPairTree()
+	sd, slog := singlePairTree()
+	jb := evalFirst(t, jd, jlog)
+	sb := evalFirst(t, sd, slog)
+	if jb.Widgets != 1 || sb.Widgets != 1 {
+		t.Fatalf("want exactly the table picker widget, got %d / %d", jb.Widgets, sb.Widgets)
+	}
+	if got := jb.M - sb.M; math.Abs(got-StructuralM) > 1e-9 {
+		t.Errorf("M surcharge = %v, want %v", got, StructuralM)
+	}
+	// One transition (photoz -> specobj) flips the single widget: U differs
+	// by exactly one structural interaction surcharge.
+	if got := jb.U - sb.U; math.Abs(got-StructuralU) > 1e-9 {
+		t.Errorf("U surcharge = %v, want %v", got, StructuralU)
+	}
+}
+
+// TestStructuralShareFraction: an OPT over a whole Join subtree is
+// structural by content (its alternative contains a Join node), and a
+// mixed ANY pays a fractional surcharge.
+func TestStructuralShareFraction(t *testing.T) {
+	e := &Evaluator{parent: map[*difftree.Node]*difftree.Node{}}
+	join := difftree.NewAll(ast.KindJoin, "inner",
+		difftree.NewAll(ast.KindTable, "specobj"),
+		difftree.NewAll(ast.KindOn, "",
+			difftree.NewAll(ast.KindBiExpr, "=",
+				difftree.NewAll(ast.KindColExpr, "objid"),
+				difftree.NewAll(ast.KindColExpr, "objid"))))
+	opt := difftree.NewOpt(join)
+	if got := e.structuralShare(opt); got != 1 {
+		t.Errorf("Opt[Join] share = %v, want 1", got)
+	}
+	mixed := difftree.NewAny(join.Clone(), difftree.NewAll(ast.KindTable, "stars"))
+	if got := e.structuralShare(mixed); got != 0.5 {
+		t.Errorf("mixed share = %v, want 0.5", got)
+	}
+	plain := difftree.NewAny(
+		difftree.NewAll(ast.KindTable, "stars"),
+		difftree.NewAll(ast.KindTable, "galaxies"))
+	if got := e.structuralShare(plain); got != 0 {
+		t.Errorf("plain share = %v, want 0", got)
+	}
+}

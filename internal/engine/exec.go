@@ -20,10 +20,15 @@ type Result struct {
 }
 
 // Exec runs a parsed query against the database. Supported: projection of
-// columns / count,min,max,avg,sum aggregates / *, FROM one table, WHERE
-// trees of AND/OR/NOT over comparisons, BETWEEN, IN, LIKE, plus TOP/LIMIT,
-// ORDER BY, GROUP BY with aggregates, and DISTINCT.
+// columns / count,min,max,avg,sum aggregates / *, FROM one table extended by
+// INNER/LEFT JOIN chains with ON equi-predicates, WHERE trees of AND/OR/NOT
+// over comparisons, BETWEEN, IN (literal list or one-column subquery), LIKE,
+// EXISTS subqueries, plus TOP/LIMIT, ORDER BY, GROUP BY with aggregates,
+// DISTINCT, and top-level UNION / UNION ALL.
 func Exec(db *DB, q *ast.Node) (*Result, error) {
+	if q != nil && q.Kind == ast.KindUnion {
+		return execUnion(db, q)
+	}
 	if q == nil || q.Kind != ast.KindSelect {
 		return nil, fmt.Errorf("engine: not a SELECT")
 	}
@@ -31,19 +36,24 @@ func Exec(db *DB, q *ast.Node) (*Result, error) {
 	if from == nil || len(from.Children) == 0 {
 		return nil, fmt.Errorf("engine: missing FROM")
 	}
-	tbl, ok := db.Table(from.Children[0].Value)
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", from.Children[0].Value)
+	tbl, err := resolveFrom(db, from)
+	if err != nil {
+		return nil, err
 	}
 
-	// Filter.
+	// Filter. Subqueries are uncorrelated in the supported fragment, so each
+	// is executed once up front and its result shared across rows.
 	rows := make([]int, 0, tbl.NumRows())
 	var pred *ast.Node
 	if w := q.ChildOfKind(ast.KindWhere); w != nil {
 		pred = w.Children[0]
 	}
+	subs, err := execSubqueries(db, pred)
+	if err != nil {
+		return nil, err
+	}
 	for r := 0; r < tbl.NumRows(); r++ {
-		ok, err := evalPred(tbl, pred, r)
+		ok, err := evalPred(tbl, pred, r, subs)
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +75,6 @@ func Exec(db *DB, q *ast.Node) (*Result, error) {
 	}
 
 	var res *Result
-	var err error
 	if gb := q.ChildOfKind(ast.KindGroupBy); gb != nil {
 		res, err = execGrouped(tbl, proj, gb, rows)
 	} else if isAggregate(proj) {
@@ -94,6 +103,174 @@ func Exec(db *DB, q *ast.Node) (*Result, error) {
 		res.Rows = res.Rows[:limit]
 	}
 	return res, nil
+}
+
+// execUnion executes each branch of a UNION chain and concatenates the rows;
+// plain UNION deduplicates, UNION ALL keeps duplicates. Branches must agree
+// on column count; headers come from the first branch.
+func execUnion(db *DB, q *ast.Node) (*Result, error) {
+	if len(q.Children) == 0 {
+		return nil, fmt.Errorf("engine: empty UNION")
+	}
+	var out *Result
+	for i, branch := range q.Children {
+		r, err := Exec(db, branch)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			out = &Result{Cols: r.Cols, ColTypes: r.ColTypes, Rows: r.Rows, Aggregate: r.Aggregate}
+			continue
+		}
+		if len(r.Cols) != len(out.Cols) {
+			return nil, fmt.Errorf("engine: UNION branches project %d vs %d columns", len(out.Cols), len(r.Cols))
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+		out.Aggregate = out.Aggregate && r.Aggregate
+	}
+	if q.Value != "all" {
+		out.Rows = dedupRows(out.Rows)
+	}
+	return out, nil
+}
+
+// resolveFrom materializes the FROM clause: the base table as-is, or — when
+// the clause carries Join steps — a joined table built by hash equi-join
+// over the ON columns. Column names are unioned left-to-right;
+// a right column whose name already exists on the left is dropped (for
+// matched equi-join rows the values agree anyway). LEFT JOIN keeps
+// unmatched left rows and fills the right columns with zero values (the
+// engine's tables have no NULL).
+func resolveFrom(db *DB, from *ast.Node) (*Table, error) {
+	base, ok := db.Table(from.Children[0].Value)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", from.Children[0].Value)
+	}
+	cur := base
+	for _, step := range from.Children[1:] {
+		if step.Kind != ast.KindJoin {
+			return nil, fmt.Errorf("engine: unsupported FROM element %s", step.Kind)
+		}
+		if len(step.Children) != 2 || step.Children[0].Kind != ast.KindTable || step.Children[1].Kind != ast.KindOn {
+			return nil, fmt.Errorf("engine: malformed join step")
+		}
+		right, ok := db.Table(step.Children[0].Value)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown table %q", step.Children[0].Value)
+		}
+		next, err := joinTables(cur, right, step.Children[1], step.Value == "left")
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// onCols resolves one ON equi-predicate against the two sides; either
+// operand order (left-col = right-col or the reverse) is accepted.
+func onCols(left, right *Table, eq *ast.Node) (*Column, *Column, error) {
+	if eq.Kind != ast.KindBiExpr || eq.Value != "=" || len(eq.Children) != 2 {
+		return nil, nil, fmt.Errorf("engine: ON supports only equi-predicates")
+	}
+	a, b := eq.Children[0].Value, eq.Children[1].Value
+	if lc, rc := left.Col(a), right.Col(b); lc != nil && rc != nil {
+		return lc, rc, nil
+	}
+	if lc, rc := left.Col(b), right.Col(a); lc != nil && rc != nil {
+		return lc, rc, nil
+	}
+	return nil, nil, fmt.Errorf("engine: ON columns %q = %q not found across the join", a, b)
+}
+
+// joinTables hash-joins two tables on the conjunction of ON equi-predicates:
+// an O(R)-space composite-key index over the right side, probed once per
+// left row.
+func joinTables(left, right *Table, on *ast.Node, leftOuter bool) (*Table, error) {
+	type pair struct{ lc, rc *Column }
+	var keys []pair
+	for _, eq := range on.Children {
+		lc, rc, err := onCols(left, right, eq)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, pair{lc, rc})
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("engine: join without ON predicates")
+	}
+
+	// Index right rows by their composite key for a hash-join probe.
+	idx := make(map[string][]int, right.NumRows())
+	for r := 0; r < right.NumRows(); r++ {
+		k := ""
+		for _, p := range keys {
+			k += cellString(p.rc, r) + "\x00"
+		}
+		idx[k] = append(idx[k], r)
+	}
+
+	var lrows, rrows []int // rrow -1 marks an unmatched LEFT JOIN row
+	for l := 0; l < left.NumRows(); l++ {
+		k := ""
+		for _, p := range keys {
+			k += cellString(p.lc, l) + "\x00"
+		}
+		matches := idx[k]
+		if len(matches) == 0 {
+			if leftOuter {
+				lrows = append(lrows, l)
+				rrows = append(rrows, -1)
+			}
+			continue
+		}
+		for _, r := range matches {
+			lrows = append(lrows, l)
+			rrows = append(rrows, r)
+		}
+	}
+
+	out := &Table{Name: left.Name + "+" + right.Name}
+	for _, c := range left.Cols {
+		out.Cols = append(out.Cols, projectColumn(c, lrows))
+	}
+	for _, c := range right.Cols {
+		if left.Col(c.Name) != nil {
+			continue // name collision: the left column wins
+		}
+		out.Cols = append(out.Cols, projectColumn(c, rrows))
+	}
+	return out, nil
+}
+
+// projectColumn materializes a column for the given source rows; row -1
+// yields the column type's zero value (unmatched LEFT JOIN fill).
+func projectColumn(c *Column, rows []int) *Column {
+	out := &Column{Name: c.Name, Type: c.Type}
+	switch c.Type {
+	case Int:
+		out.Ints = make([]int64, len(rows))
+		for i, r := range rows {
+			if r >= 0 {
+				out.Ints[i] = c.Ints[r]
+			}
+		}
+	case Float:
+		out.Flts = make([]float64, len(rows))
+		for i, r := range rows {
+			if r >= 0 {
+				out.Flts[i] = c.Flts[r]
+			}
+		}
+	default:
+		out.Strs = make([]string, len(rows))
+		for i, r := range rows {
+			if r >= 0 {
+				out.Strs[i] = c.Strs[r]
+			}
+		}
+	}
+	return out
 }
 
 func atoiDefault(s string, def int) int {
@@ -127,15 +304,69 @@ func cellString(c *Column, row int) string {
 	}
 }
 
+// subResult is one pre-executed subquery: its first-column values (the IN
+// membership set, pre-parsed into string and numeric lookup sets so the
+// per-row probe is O(1)) and whether it returned any row (EXISTS verdict).
+type subResult struct {
+	strSet map[string]bool
+	numSet map[float64]bool
+	rows   int
+	cols   int
+}
+
+// execSubqueries walks a predicate tree, executes every (uncorrelated)
+// subquery once against db, and returns their results keyed by node.
+func execSubqueries(db *DB, pred *ast.Node) (map[*ast.Node]*subResult, error) {
+	if pred == nil {
+		return nil, nil
+	}
+	var subs map[*ast.Node]*subResult
+	var err error
+	ast.Walk(pred, func(n *ast.Node) bool {
+		if err != nil || n.Kind != ast.KindSubquery {
+			return err == nil
+		}
+		if len(n.Children) != 1 {
+			err = fmt.Errorf("engine: malformed subquery")
+			return false
+		}
+		res, e := Exec(db, n.Children[0])
+		if e != nil {
+			err = e
+			return false
+		}
+		sr := &subResult{
+			rows:   len(res.Rows),
+			cols:   len(res.Cols),
+			strSet: make(map[string]bool, len(res.Rows)),
+			numSet: make(map[float64]bool, len(res.Rows)),
+		}
+		for _, r := range res.Rows {
+			if len(r) > 0 {
+				sr.strSet[r[0]] = true
+				if v, perr := strconv.ParseFloat(r[0], 64); perr == nil {
+					sr.numSet[v] = true
+				}
+			}
+		}
+		if subs == nil {
+			subs = make(map[*ast.Node]*subResult)
+		}
+		subs[n] = sr
+		return false // one nesting level: don't descend into the subquery
+	})
+	return subs, err
+}
+
 // evalPred evaluates a predicate subtree on one row; nil predicates accept.
-func evalPred(t *Table, p *ast.Node, row int) (bool, error) {
+func evalPred(t *Table, p *ast.Node, row int, subs map[*ast.Node]*subResult) (bool, error) {
 	if p == nil {
 		return true, nil
 	}
 	switch p.Kind {
 	case ast.KindAnd:
 		for _, c := range p.Children {
-			ok, err := evalPred(t, c, row)
+			ok, err := evalPred(t, c, row, subs)
 			if err != nil || !ok {
 				return false, err
 			}
@@ -143,7 +374,7 @@ func evalPred(t *Table, p *ast.Node, row int) (bool, error) {
 		return true, nil
 	case ast.KindOr:
 		for _, c := range p.Children {
-			ok, err := evalPred(t, c, row)
+			ok, err := evalPred(t, c, row, subs)
 			if err != nil {
 				return false, err
 			}
@@ -153,8 +384,17 @@ func evalPred(t *Table, p *ast.Node, row int) (bool, error) {
 		}
 		return false, nil
 	case ast.KindNot:
-		ok, err := evalPred(t, p.Children[0], row)
+		ok, err := evalPred(t, p.Children[0], row, subs)
 		return !ok, err
+	case ast.KindSubquery:
+		if p.Value != "exists" {
+			return false, fmt.Errorf("engine: bare subquery used as a predicate")
+		}
+		sr := subs[p]
+		if sr == nil {
+			return false, fmt.Errorf("engine: subquery was not pre-executed")
+		}
+		return sr.rows > 0, nil
 	case ast.KindBetween:
 		col := t.Col(p.Children[0].Value)
 		if col == nil {
@@ -178,6 +418,19 @@ func evalPred(t *Table, p *ast.Node, row int) (bool, error) {
 			return false, fmt.Errorf("engine: unknown column %q", p.Children[0].Value)
 		}
 		got := cellString(col, row)
+		if len(p.Children) == 2 && p.Children[1].Kind == ast.KindSubquery {
+			sr := subs[p.Children[1]]
+			if sr == nil {
+				return false, fmt.Errorf("engine: subquery was not pre-executed")
+			}
+			if sr.cols != 1 {
+				return false, fmt.Errorf("engine: IN subquery must project exactly one column, got %d", sr.cols)
+			}
+			if col.Type != String {
+				return sr.numSet[cell(t, col, row).num(col.Type)], nil
+			}
+			return sr.strSet[got], nil
+		}
 		for _, lit := range p.Children[1:] {
 			if col.Type != String {
 				want, err := strconv.ParseFloat(lit.Value, 64)

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sqlparser"
+)
+
+// joinDB extends testDB's stars with a spectra table covering objids 1, 3,
+// and 5, so INNER and LEFT joins differ.
+func joinDB(t testing.TB) *DB {
+	t.Helper()
+	db := testDB(t)
+	if err := db.Add(&Table{Name: "spectra", Cols: []*Column{
+		{Name: "specid", Type: Int, Ints: []int64{101, 103, 105}},
+		{Name: "objid", Type: Int, Ints: []int64{1, 3, 5}},
+		{Name: "redshift", Type: Float, Flts: []float64{0.5, 2.5, 4.0}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := joinDB(t)
+	res := exec(t, db, "select objid from stars inner join spectra on objid = objid")
+	if len(res.Rows) != 3 {
+		t.Fatalf("inner join rows = %d, want 3", len(res.Rows))
+	}
+	// Join columns merge: the right side's colliding objid is dropped, its
+	// other columns are reachable.
+	res = exec(t, db, "select objid, redshift from stars inner join spectra on objid = objid where redshift > 1")
+	if len(res.Rows) != 2 {
+		t.Fatalf("filtered join rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0] != "3" || res.Rows[0][1] != "2.5" {
+		t.Fatalf("row 0 = %v", res.Rows[0])
+	}
+}
+
+func TestInnerJoinCrossNamedKeys(t *testing.T) {
+	db := joinDB(t)
+	// ON with differently named sides resolves columns across the two
+	// tables in either operand order.
+	res := exec(t, db, "select specid from stars inner join spectra on g = objid")
+	// stars.g values 1..5 match spectra.objid 1,3,5.
+	if len(res.Rows) != 3 {
+		t.Fatalf("cross-named join rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := joinDB(t)
+	res := exec(t, db, "select objid, redshift from stars left join spectra on objid = objid order by objid")
+	if len(res.Rows) != 5 {
+		t.Fatalf("left join rows = %d, want 5", len(res.Rows))
+	}
+	// objid 2 has no spectrum: right columns are zero-filled.
+	if res.Rows[1][0] != "2" || res.Rows[1][1] != "0" {
+		t.Fatalf("unmatched left row = %v", res.Rows[1])
+	}
+	if res.Rows[2][0] != "3" || res.Rows[2][1] != "2.5" {
+		t.Fatalf("matched left row = %v", res.Rows[2])
+	}
+}
+
+func TestJoinChainAndAggregates(t *testing.T) {
+	db := joinDB(t)
+	res := exec(t, db, "select count(*) from stars inner join spectra on objid = objid where u between 0 and 30")
+	if res.Rows[0][0] != "3" {
+		t.Fatalf("count over join = %v", res.Rows[0])
+	}
+	res = exec(t, db, "select class, count(*) from stars left join spectra on objid = objid group by class")
+	if len(res.Rows) != 3 {
+		t.Fatalf("grouped join rows = %v", res.Rows)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	db := joinDB(t)
+	// Plain UNION deduplicates; stars with u<20 are objids 1,2,5 and
+	// class-B stars are 2,5.
+	res := exec(t, db, "select objid from stars where u < 20 union select objid from stars where class = 'B'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("union rows = %v", res.Rows)
+	}
+	res = exec(t, db, "select objid from stars where u < 20 union all select objid from stars where class = 'B'")
+	if len(res.Rows) != 5 {
+		t.Fatalf("union all rows = %v", res.Rows)
+	}
+}
+
+func TestUnionColumnMismatch(t *testing.T) {
+	db := joinDB(t)
+	q := sqlparser.MustParse("select objid from stars union select objid, u from stars")
+	if _, err := Exec(db, q); err == nil {
+		t.Fatal("column-count mismatch accepted")
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	db := joinDB(t)
+	res := exec(t, db, "select objid from stars where objid in (select objid from spectra where redshift > 1)")
+	if len(res.Rows) != 2 {
+		t.Fatalf("IN subquery rows = %v", res.Rows)
+	}
+	// IN subqueries must project exactly one column.
+	q := sqlparser.MustParse("select objid from stars where objid in (select objid, redshift from spectra)")
+	if _, err := Exec(db, q); err == nil {
+		t.Fatal("two-column IN subquery accepted")
+	}
+}
+
+func TestExistsSubquery(t *testing.T) {
+	db := joinDB(t)
+	res := exec(t, db, "select objid from stars where exists (select specid from spectra where redshift > 3)")
+	if len(res.Rows) != 5 {
+		t.Fatalf("EXISTS true should keep all rows, got %v", res.Rows)
+	}
+	res = exec(t, db, "select objid from stars where exists (select specid from spectra where redshift > 100)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("EXISTS false should drop all rows, got %v", res.Rows)
+	}
+}
+
+func TestSDSSJoinTables(t *testing.T) {
+	db := SDSSDB(90, 42)
+	// photoz covers every star; specobj every third.
+	res := exec(t, db, "select count(*) from stars inner join photoz on objid = objid")
+	if res.Rows[0][0] != "90" {
+		t.Fatalf("stars x photoz count = %v", res.Rows[0])
+	}
+	res = exec(t, db, "select count(*) from stars inner join specobj on objid = objid")
+	if res.Rows[0][0] != "30" {
+		t.Fatalf("stars x specobj count = %v", res.Rows[0])
+	}
+	left := exec(t, db, "select count(*) from stars left join specobj on objid = objid")
+	if left.Rows[0][0] != "90" {
+		t.Fatalf("left join count = %v", left.Rows[0])
+	}
+	// Determinism across constructions extends to the new tables.
+	db2 := SDSSDB(90, 42)
+	a, _ := db.Table("specobj")
+	b, _ := db2.Table("specobj")
+	for i := range a.Col("class").Strs {
+		if a.Col("class").Strs[i] != b.Col("class").Strs[i] {
+			t.Fatal("specobj not deterministic")
+		}
+	}
+}

@@ -167,5 +167,53 @@ func SDSSDB(rowsPerTable int, seed int64) *DB {
 			panic(err) // fresh DB, fixed names: cannot happen
 		}
 	}
+
+	// Join partners for the multi-table workloads, generated after the
+	// photometric tables so their cell values are unchanged from earlier
+	// versions of the catalog.
+	//
+	// photoz has one row per star and per galaxy (photometric redshift
+	// estimate); specobj covers every third of those objects (only a
+	// fraction of photometric objects get a spectrum), so a LEFT JOIN on
+	// specobj keeps rows an INNER JOIN drops.
+	var photoIDs []int64
+	for _, name := range []string{"stars", "galaxies"} {
+		t, _ := db.Table(name)
+		photoIDs = append(photoIDs, t.Col("objid").Ints...)
+	}
+	zphot := make([]float64, len(photoIDs))
+	zerr := make([]float64, len(photoIDs))
+	for i := range photoIDs {
+		zphot[i] = rng.Float64() * 4
+		zerr[i] = rng.Float64() * 0.2
+	}
+	mustAdd(db, &Table{Name: "photoz", Cols: []*Column{
+		{Name: "objid", Type: Int, Ints: photoIDs},
+		{Name: "zphot", Type: Float, Flts: zphot},
+		{Name: "zerr", Type: Float, Flts: zerr},
+	}})
+
+	classes := []string{"STAR", "GALAXY", "QSO"}
+	var specIDs, specObjIDs []int64
+	var specClass []string
+	var redshift []float64
+	for i := 0; i < len(photoIDs); i += 3 {
+		specIDs = append(specIDs, 9_000_000+int64(i))
+		specObjIDs = append(specObjIDs, photoIDs[i])
+		specClass = append(specClass, classes[rng.Intn(len(classes))])
+		redshift = append(redshift, rng.Float64()*6)
+	}
+	mustAdd(db, &Table{Name: "specobj", Cols: []*Column{
+		{Name: "specobjid", Type: Int, Ints: specIDs},
+		{Name: "objid", Type: Int, Ints: specObjIDs},
+		{Name: "class", Type: String, Strs: specClass},
+		{Name: "redshift", Type: Float, Flts: redshift},
+	}})
 	return db
+}
+
+func mustAdd(db *DB, t *Table) {
+	if err := db.Add(t); err != nil {
+		panic(err) // fresh DB, fixed names: cannot happen
+	}
 }

@@ -173,10 +173,3 @@ func (n *Node) Fits(s Screen) bool {
 	b := n.Bounds()
 	return b.W <= s.W && b.H <= s.H
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

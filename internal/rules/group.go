@@ -1,0 +1,81 @@
+package rules
+
+import (
+	"repro/internal/difftree"
+)
+
+// GroupAny partitions a heterogeneous ANY by the root (Label, Value) head of
+// its alternatives, nesting every multi-member head group in an inner ANY:
+//
+//	ANY[ Select.. Select.. Union.. Union.. ] →
+//	ANY[ ANY[Select.. Select..] ANY[Union.. Union..] ]
+//
+// ANY is associative, so the generated language is unchanged; what changes
+// is that Any2All and Lift — whose pattern requires one shared head — can
+// now factor the homogeneous inner groups. This is what opens the search
+// space for logs that mix query shapes (multi-table logs mixing plain
+// SELECTs with UNION chains, or INNER with LEFT join steps). Flatten is the
+// inverse. The rule never matches a single-head ANY (grouping it would be a
+// no-op wrap), so single-shape logs see no new moves.
+type GroupAny struct{}
+
+// Name implements Rule.
+func (GroupAny) Name() string { return "GroupAny" }
+
+// groupKey buckets an alternative by its factorable head; non-All children
+// (choices, Seq, ∅) are never grouped and bucket alone.
+func groupKey(c *difftree.Node) (string, bool) {
+	if c.Kind != difftree.All || c.IsEmpty() || c.IsSeq() {
+		return "", false
+	}
+	return c.Label.String() + "\x00" + c.Value, true
+}
+
+// Apply implements Rule.
+func (GroupAny) Apply(n *difftree.Node) (*difftree.Node, bool) {
+	if n.Kind != difftree.Any || len(n.Children) < 3 {
+		return nil, false
+	}
+	type group struct {
+		members []*difftree.Node
+	}
+	var order []string
+	groups := make(map[string]*group)
+	var singles int
+	for _, c := range n.Children {
+		k, ok := groupKey(c)
+		if !ok {
+			// Ungroupable alternative: its own bucket.
+			singles++
+			k = "\x01" + itoa(singles)
+		}
+		g, seen := groups[k]
+		if !seen {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.members = append(g.members, c) // shared: each child lands once
+	}
+	// Grouping is only a move when it changes the shape: at least two
+	// buckets (a single head is Any2All/Lift territory already) and at
+	// least one bucket with two or more members.
+	if len(order) < 2 {
+		return nil, false
+	}
+	grouped := false
+	kids := make([]*difftree.Node, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		if len(g.members) == 1 {
+			kids = append(kids, g.members[0])
+			continue
+		}
+		grouped = true
+		kids = append(kids, difftree.NewAny(g.members...))
+	}
+	if !grouped {
+		return nil, false
+	}
+	return difftree.NewAny(kids...), true
+}

@@ -1,0 +1,156 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/sqlparser"
+	"repro/internal/workload"
+)
+
+func parseAll(t *testing.T, srcs ...string) []*ast.Node {
+	t.Helper()
+	out := make([]*ast.Node, len(srcs))
+	for i, s := range srcs {
+		out[i] = sqlparser.MustParse(s)
+	}
+	return out
+}
+
+// TestAny2AllFactorsJoinPartner: two queries that differ only in the join
+// partner table factor — via repeated Any2All — down to a single ANY over
+// the partner tables sitting inside the Join node (the join-partner picker).
+func TestAny2AllFactorsJoinPartner(t *testing.T) {
+	log := parseAll(t,
+		"select objid from stars inner join specobj on objid = objid",
+		"select objid from stars inner join photoz on objid = objid",
+	)
+	d, err := difftree.Initial(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Greedily apply Any2All anywhere it is legal until a fixpoint; on this
+	// pair that fully factors the shared structure.
+	for {
+		applied := false
+		for _, m := range Moves(d, log, []Rule{Any2All{}}) {
+			next, err := ApplyMove(d, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, applied = next, true
+			break
+		}
+		if !applied {
+			break
+		}
+	}
+
+	// The factored tree has exactly one choice: ANY[Table(specobj),
+	// Table(photoz)] directly under the Join node.
+	if got := d.CountChoice(); got != 1 {
+		t.Fatalf("choices after factoring = %d, want 1\ntree: %s", got, d)
+	}
+	var picker *difftree.Node
+	difftree.WalkPath(d, func(n *difftree.Node, _ difftree.Path) bool {
+		if n.Kind == difftree.All && n.Label == ast.KindJoin {
+			for _, c := range n.Children {
+				if c.Kind == difftree.Any {
+					picker = c
+				}
+			}
+		}
+		return true
+	})
+	if picker == nil {
+		t.Fatalf("no ANY under the Join node\ntree: %s", d)
+	}
+	for _, alt := range picker.Children {
+		if alt.Label != ast.KindTable {
+			t.Fatalf("picker alternative is %s, want Table", alt.Label)
+		}
+	}
+	if !difftree.ExpressibleAll(d, log) {
+		t.Fatal("factored tree lost a query")
+	}
+}
+
+// TestAny2AllFactorsUnionBranches: two union chains sharing their first
+// branch factor into a Union node whose varying branch is an ANY — the
+// union-branch choice the tabs widget hosts.
+func TestAny2AllFactorsUnionBranches(t *testing.T) {
+	log := parseAll(t,
+		"select objid from stars union select objid from galaxies",
+		"select objid from stars union select objid from quasars",
+	)
+	d, err := difftree.Initial(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := Moves(d, log, []Rule{Any2All{}})
+	if len(ms) == 0 {
+		t.Fatalf("Any2All has no move on ANY of Unions\ntree: %s", d)
+	}
+	next, err := ApplyMove(d, ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Kind != difftree.All || next.Label != ast.KindUnion {
+		t.Fatalf("factored root = %s, want Union", next)
+	}
+	anyBranches := 0
+	for _, c := range next.Children {
+		if c.Kind == difftree.Any {
+			anyBranches++
+		}
+	}
+	if anyBranches != 1 {
+		t.Fatalf("want exactly one varying union branch, got %d\ntree: %s", anyBranches, next)
+	}
+	if !difftree.ExpressibleAll(next, log) {
+		t.Fatal("factored union tree lost a query")
+	}
+}
+
+// TestLiftOverJoinChain: Lift applies to an ANY of Selects whose FROM
+// clauses carry different join chains, producing the Seq-splice intermediate
+// states the long search paths need; the result stays legal.
+func TestLiftOverJoinChain(t *testing.T) {
+	log := parseAll(t,
+		"select objid from stars inner join specobj on objid = objid where u between 0 and 30",
+		"select objid from stars left join photoz on objid = objid",
+	)
+	d, err := difftree.Initial(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := Lift{}.Apply(d)
+	if !ok {
+		t.Fatalf("Lift does not apply to %s", d)
+	}
+	if out.Label != ast.KindSelect {
+		t.Fatalf("lifted root label = %s", out.Label)
+	}
+	if err := difftree.Validate(out); err != nil {
+		t.Fatal(err)
+	}
+	if !difftree.ExpressibleAll(out, log) {
+		t.Fatal("Lift lost a query")
+	}
+}
+
+// TestMovesExploreJoinLog: the full rule set offers moves on the SDSS join
+// log's initial state — the search space over the new grammar is not empty.
+func TestMovesExploreJoinLog(t *testing.T) {
+	log := workload.SDSSJoinLog()
+	d, err := difftree.Initial(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := Moves(d, log, All())
+	if len(ms) == 0 {
+		t.Fatal("no legal moves on the join log's initial difftree")
+	}
+}

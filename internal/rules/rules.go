@@ -1,6 +1,9 @@
 // Package rules implements the paper's difftree transformation rules
 // (Figure 5): Any2All, Lift, MultiMerge, Optional, and Noop, together with
-// their inverses (all rules are bidirectional except MultiMerge).
+// their inverses (all rules are bidirectional except MultiMerge), plus
+// GroupAny, which partitions a mixed-shape ANY into factorable same-head
+// groups (needed once logs mix SELECTs with UNION chains and join variants;
+// Flatten is its inverse).
 //
 // A rule rewrites the subtree rooted at one node; a Move names a rule and
 // the path of the node it applies to. Moves(root, queries) enumerates every
@@ -47,13 +50,14 @@ func All() []Rule {
 		Flatten{},
 		DedupAny{},
 		Wrap{},
+		GroupAny{},
 	}
 }
 
 // Forward returns only the factoring (forward) rules; useful for greedy
 // baselines that never want to expand a tree.
 func Forward() []Rule {
-	return []Rule{Any2All{}, Lift{}, MultiMerge{}, Optional{}, Unwrap{}, Flatten{}, DedupAny{}}
+	return []Rule{Any2All{}, Lift{}, MultiMerge{}, Optional{}, Unwrap{}, Flatten{}, DedupAny{}, GroupAny{}}
 }
 
 // MatchKinds maps each built-in rule to the difftree node kinds its pattern
@@ -72,6 +76,7 @@ var MatchKinds = map[string]map[difftree.Kind]bool{
 	"Flatten":    {difftree.Any: true},
 	"DedupAny":   {difftree.Any: true},
 	"Wrap":       {difftree.All: true},
+	"GroupAny":   {difftree.Any: true},
 }
 
 var ruleByName = func() map[string]Rule {

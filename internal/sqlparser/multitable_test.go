@@ -1,0 +1,189 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestParseInnerJoin(t *testing.T) {
+	q := MustParse("select objid from photoobj inner join specobj on objid = specobjid where z > 2")
+	from := q.ChildOfKind(ast.KindFrom)
+	if from == nil || len(from.Children) != 2 {
+		t.Fatalf("from wrong: %v", from)
+	}
+	if from.Children[0].Kind != ast.KindTable || from.Children[0].Value != "photoobj" {
+		t.Fatalf("base table wrong: %v", from.Children[0])
+	}
+	join := from.Children[1]
+	if join.Kind != ast.KindJoin || join.Value != "inner" {
+		t.Fatalf("join wrong: %v", join)
+	}
+	if join.Children[0].Kind != ast.KindTable || join.Children[0].Value != "specobj" {
+		t.Fatalf("join partner wrong: %v", join.Children[0])
+	}
+	on := join.Children[1]
+	if on.Kind != ast.KindOn || len(on.Children) != 1 {
+		t.Fatalf("on wrong: %v", on)
+	}
+	eq := on.Children[0]
+	if eq.Kind != ast.KindBiExpr || eq.Value != "=" {
+		t.Fatalf("on predicate wrong: %v", eq)
+	}
+	// Both ON operands are columns, unlike WHERE where a bare RHS ident is a
+	// string literal.
+	if eq.Children[0].Kind != ast.KindColExpr || eq.Children[1].Kind != ast.KindColExpr {
+		t.Fatalf("on operands should both be ColExpr: %v", eq)
+	}
+}
+
+func TestParseJoinVariants(t *testing.T) {
+	// Bare JOIN is INNER; LEFT OUTER JOIN collapses to "left".
+	q := MustParse("select a from t1 join t2 on x = y left outer join t3 on y = w")
+	from := q.ChildOfKind(ast.KindFrom)
+	if len(from.Children) != 3 {
+		t.Fatalf("want table + 2 joins, got %v", from)
+	}
+	if from.Children[1].Value != "inner" || from.Children[2].Value != "left" {
+		t.Fatalf("join kinds wrong: %v / %v", from.Children[1].Value, from.Children[2].Value)
+	}
+	if got := Render(q); got != "SELECT a FROM t1 INNER JOIN t2 ON x = y LEFT JOIN t3 ON y = w" {
+		t.Fatalf("render = %q", got)
+	}
+}
+
+func TestParseMultiOnConjuncts(t *testing.T) {
+	q := MustParse("select a from t1 inner join t2 on x = y and u = v where a = 1")
+	on := q.ChildOfKind(ast.KindFrom).Children[1].Children[1]
+	if len(on.Children) != 2 {
+		t.Fatalf("want 2 ON conjuncts, got %v", on)
+	}
+	// The WHERE clause after the ON chain still parses.
+	if q.ChildOfKind(ast.KindWhere) == nil {
+		t.Fatal("missing where after join")
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := MustParse("select a from t1 union select a from t2 union select a from t3")
+	if q.Kind != ast.KindUnion || q.Value != "" {
+		t.Fatalf("root wrong: %v", q)
+	}
+	if len(q.Children) != 3 {
+		t.Fatalf("want 3 flattened branches, got %d", len(q.Children))
+	}
+	for _, c := range q.Children {
+		if c.Kind != ast.KindSelect {
+			t.Fatalf("branch kind = %v", c.Kind)
+		}
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	q := MustParse("select a from t1 union all select b from t2")
+	if q.Kind != ast.KindUnion || q.Value != "all" {
+		t.Fatalf("root wrong: %v", q)
+	}
+	if got := Render(q); got != "SELECT a FROM t1 UNION ALL SELECT b FROM t2" {
+		t.Fatalf("render = %q", got)
+	}
+}
+
+func TestParseMixedUnionRejected(t *testing.T) {
+	for _, src := range []string{
+		"select a from t union select a from u union all select a from v",
+		"select a from t union all select a from u union select a from v",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("mixed chain accepted: %q", src)
+		}
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	q := MustParse("select objid from photoobj where objid in (select specobjid from specobj where z > 2)")
+	in := q.ChildOfKind(ast.KindWhere).Children[0]
+	if in.Kind != ast.KindIn || len(in.Children) != 2 {
+		t.Fatalf("in wrong: %v", in)
+	}
+	sub := in.Children[1]
+	if sub.Kind != ast.KindSubquery || sub.Value != "" {
+		t.Fatalf("subquery wrong: %v", sub)
+	}
+	if sub.Children[0].Kind != ast.KindSelect {
+		t.Fatalf("subquery child wrong: %v", sub.Children[0])
+	}
+}
+
+func TestParseExistsSubquery(t *testing.T) {
+	q := MustParse("select a from t where exists (select b from u where c = 1) and a > 0")
+	and := q.ChildOfKind(ast.KindWhere).Children[0]
+	if and.Kind != ast.KindAnd {
+		t.Fatalf("want And root, got %v", and.Kind)
+	}
+	sub := and.Children[0]
+	if sub.Kind != ast.KindSubquery || sub.Value != "exists" {
+		t.Fatalf("exists wrong: %v", sub)
+	}
+}
+
+func TestParseNestedSubqueryRejected(t *testing.T) {
+	for _, src := range []string{
+		"select a from t where x in (select b from u where y in (select c from v))",
+		"select a from t where exists (select b from u where exists (select c from v))",
+	} {
+		if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "nested subqueries") {
+			t.Errorf("nested subquery not rejected: %q (err %v)", src, err)
+		}
+	}
+}
+
+func TestMultiTableRoundTrips(t *testing.T) {
+	// Parse → Render → Parse must reproduce the AST and Render must be a
+	// fixpoint for the whole multi-table fragment.
+	for _, src := range []string{
+		"select objid from photoobj inner join specobj on objid = specobjid",
+		"select a from t1 left join t2 on x = y where u between 0 and 30",
+		"select a from t1 join t2 on x = y and u = v group by a order by a desc limit 5",
+		"select top 10 a from t1 union select top 10 a from t2",
+		"select a from t union all select b from u union all select c from v",
+		"select a from t where x in (select y from u)",
+		"select a from t where exists (select y from u inner join w on a = b)",
+		"select a from t1 inner join t2 on x = y where z in (select q from u) union select a from t3 inner join t4 on x = y where z in (select q from u)",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		r1 := Render(q)
+		q2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", r1, err)
+		}
+		if !ast.Equal(q, q2) {
+			t.Fatalf("round trip changed AST:\n src %q\n r1  %q\n got %s\nwant %s", src, r1, q2, q)
+		}
+		if r2 := Render(q2); r1 != r2 {
+			t.Fatalf("Render not a fixpoint: %q -> %q", r1, r2)
+		}
+	}
+}
+
+func TestMultiTableParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"select a from t1 join t2",                     // missing ON
+		"select a from t1 join t2 on x",                // incomplete equi-pred
+		"select a from t1 join t2 on x = 1",            // literal RHS in ON
+		"select a from t1 inner t2 on x = y",           // missing JOIN keyword
+		"select a from t union",                        // dangling UNION
+		"select a from t where exists select b",        // missing parens
+		"select a from t where x in (select)",          // malformed subquery
+		"select a from t where exists (x = 1)",         // EXISTS needs a select
+		"select a from t1 left inner join t2 on x = y", // conflicting kinds
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted malformed input %q", src)
+		}
+	}
+}

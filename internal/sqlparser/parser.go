@@ -53,6 +53,9 @@ func ParseLog(src string) ([]*ast.Node, error) {
 type parser struct {
 	toks []token
 	i    int
+	// subDepth tracks subquery nesting; the supported fragment allows one
+	// level of IN/EXISTS subqueries (a subquery cannot contain another).
+	subDepth int
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -111,9 +114,40 @@ func (p *parser) expectNumber() (string, error) {
 	return "", errorf(p.peek().pos, "expected number, found %s", p.peek())
 }
 
-// parseQuery := SELECT [DISTINCT] [TOP n] selectList FROM ident [WHERE ...]
-// [GROUP BY ...] [ORDER BY ...] [LIMIT n]
+// parseQuery := select (UNION [ALL] select)*. A chain uses one connective
+// throughout: mixing UNION and UNION ALL in one statement is rejected so the
+// n-ary, flattened Union node round-trips unambiguously.
 func (p *parser) parseQuery() (*ast.Node, error) {
+	first, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokKeyword || p.peek().text != "union" {
+		return first, nil
+	}
+	union := ast.New(ast.KindUnion, "", first)
+	for i := 0; p.acceptKeyword("union"); i++ {
+		pos := p.peek().pos
+		all := p.acceptKeyword("all")
+		if i == 0 {
+			if all {
+				union.Value = "all"
+			}
+		} else if all != (union.Value == "all") {
+			return nil, errorf(pos, "mixed UNION and UNION ALL in one chain is unsupported")
+		}
+		next, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		union.Children = append(union.Children, next)
+	}
+	return union, nil
+}
+
+// parseSelect := SELECT [DISTINCT] [TOP n] selectList FROM from [WHERE ...]
+// [GROUP BY ...] [ORDER BY ...] [LIMIT n]
+func (p *parser) parseSelect() (*ast.Node, error) {
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
 	}
@@ -139,11 +173,11 @@ func (p *parser) parseQuery() (*ast.Node, error) {
 	if err := p.expectKeyword("from"); err != nil {
 		return nil, err
 	}
-	tbl, err := p.expectIdent()
+	from, err := p.parseFrom()
 	if err != nil {
 		return nil, err
 	}
-	sel.Children = append(sel.Children, ast.New(ast.KindFrom, "", ast.Leaf(ast.KindTable, tbl)))
+	sel.Children = append(sel.Children, from)
 
 	if p.acceptKeyword("where") {
 		pred, err := p.parseOrExpr()
@@ -212,6 +246,96 @@ func (p *parser) parseQuery() (*ast.Node, error) {
 		sel.Children = append(sel.Children, ast.Leaf(ast.KindDistinct, ""))
 	}
 	return sel, nil
+}
+
+// parseFrom := ident join*. The chain maps to From[Table, Join...] with each
+// Join carrying its partner Table and On condition.
+func (p *parser) parseFrom() (*ast.Node, error) {
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	from := ast.New(ast.KindFrom, "", ast.Leaf(ast.KindTable, tbl))
+	for {
+		t := p.peek()
+		if t.kind != tokKeyword || (t.text != "join" && t.text != "inner" && t.text != "left") {
+			return from, nil
+		}
+		join, err := p.parseJoin()
+		if err != nil {
+			return nil, err
+		}
+		from.Children = append(from.Children, join)
+	}
+}
+
+// parseJoin := [INNER | LEFT [OUTER]] JOIN ident ON onPred (AND onPred)*.
+// A bare JOIN is INNER.
+func (p *parser) parseJoin() (*ast.Node, error) {
+	kind := "inner"
+	switch {
+	case p.acceptKeyword("inner"):
+	case p.acceptKeyword("left"):
+		kind = "left"
+		p.acceptKeyword("outer")
+	}
+	if err := p.expectKeyword("join"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	on := ast.New(ast.KindOn, "")
+	for {
+		pred, err := p.parseOnPred()
+		if err != nil {
+			return nil, err
+		}
+		on.Children = append(on.Children, pred)
+		if !p.acceptKeyword("and") {
+			break
+		}
+	}
+	return ast.New(ast.KindJoin, kind, ast.Leaf(ast.KindTable, tbl), on), nil
+}
+
+// parseOnPred := ident "=" ident — an equi-predicate over two columns (both
+// sides are ColExpr, unlike WHERE comparisons whose bare-ident RHS is a
+// string literal).
+func (p *parser) parseOnPred() (*ast.Node, error) {
+	lhs, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return ast.New(ast.KindBiExpr, "=",
+		ast.Leaf(ast.KindColExpr, lhs), ast.Leaf(ast.KindColExpr, rhs)), nil
+}
+
+// parseSubquery parses the select inside IN (...) / EXISTS (...) and wraps
+// it in a Subquery node. One nesting level is supported; union chains inside
+// subqueries are not part of the fragment.
+func (p *parser) parseSubquery(value string) (*ast.Node, error) {
+	if p.subDepth > 0 {
+		return nil, errorf(p.peek().pos, "nested subqueries are unsupported")
+	}
+	p.subDepth++
+	sel, err := p.parseSelect()
+	p.subDepth--
+	if err != nil {
+		return nil, err
+	}
+	return ast.New(ast.KindSubquery, value, sel), nil
 }
 
 func (p *parser) parseSelectList() (*ast.Node, error) {
@@ -325,6 +449,19 @@ func (p *parser) parsePred() (*ast.Node, error) {
 		}
 		return ast.New(ast.KindNot, "", inner), nil
 	}
+	if p.acceptKeyword("exists") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSubquery("exists")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	}
 
 	col, err := p.expectIdent()
 	if err != nil {
@@ -353,6 +490,17 @@ func (p *parser) parsePred() (*ast.Node, error) {
 			return nil, err
 		}
 		in := ast.New(ast.KindIn, "", colNode)
+		if t := p.peek(); t.kind == tokKeyword && t.text == "select" {
+			sub, err := p.parseSubquery("")
+			if err != nil {
+				return nil, err
+			}
+			in.Children = append(in.Children, sub)
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return in, nil
+		}
 		for {
 			lit, err := p.parseLiteral()
 			if err != nil {

@@ -39,9 +39,47 @@ func renderNode(b *strings.Builder, n *ast.Node) {
 		}
 	case ast.KindFrom:
 		b.WriteString("FROM ")
-		for _, c := range n.Children {
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
 			renderNode(b, c)
 		}
+	case ast.KindJoin:
+		if n.Value == "left" {
+			b.WriteString("LEFT JOIN ")
+		} else {
+			b.WriteString("INNER JOIN ")
+		}
+		renderChild(b, n, 0)
+		b.WriteByte(' ')
+		renderChild(b, n, 1)
+	case ast.KindOn:
+		b.WriteString("ON ")
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			renderNode(b, c)
+		}
+	case ast.KindUnion:
+		sep := " UNION "
+		if n.Value == "all" {
+			sep = " UNION ALL "
+		}
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			renderNode(b, c)
+		}
+	case ast.KindSubquery:
+		if n.Value == "exists" {
+			b.WriteString("EXISTS ")
+		}
+		b.WriteByte('(')
+		renderChild(b, n, 0)
+		b.WriteByte(')')
 	case ast.KindWhere:
 		b.WriteString("WHERE ")
 		for _, c := range n.Children {
@@ -130,6 +168,12 @@ func renderNode(b *strings.Builder, n *ast.Node) {
 		renderChild(b, n, 2)
 	case ast.KindIn:
 		renderChild(b, n, 0)
+		// A subquery RHS supplies its own parentheses.
+		if len(n.Children) == 2 && n.Children[1].Kind == ast.KindSubquery {
+			b.WriteString(" IN ")
+			renderNode(b, n.Children[1])
+			return
+		}
 		b.WriteString(" IN (")
 		if len(n.Children) > 1 {
 			for i, c := range n.Children[1:] {

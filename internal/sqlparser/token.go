@@ -4,8 +4,12 @@
 //
 // Supported grammar:
 //
-//	query      := SELECT [DISTINCT] [TOP n] selectList FROM ident
+//	query      := select (UNION [ALL] select)*      — one connective per chain
+//	select     := SELECT [DISTINCT] [TOP n] selectList FROM from
 //	              [WHERE orExpr] [GROUP BY cols] [ORDER BY keys] [LIMIT n]
+//	from       := ident join*
+//	join       := [INNER | LEFT [OUTER]] JOIN ident ON onPred (AND onPred)*
+//	onPred     := ident "=" ident
 //	selectList := item ("," item)*
 //	item       := "*" | ident [AS ident] | func "(" ("*"|ident) ")" [AS ident]
 //	orExpr     := andExpr (OR andExpr)*
@@ -13,8 +17,10 @@
 //	pred       := "(" orExpr ")" | NOT pred
 //	            | ident BETWEEN num AND num
 //	            | ident op literal
-//	            | ident IN "(" literal ("," literal)* ")"
+//	            | ident IN "(" (literal ("," literal)* | subquery) ")"
 //	            | ident LIKE string
+//	            | EXISTS "(" subquery ")"
+//	subquery   := select                            — one nesting level, no UNION
 package sqlparser
 
 import "fmt"
@@ -70,6 +76,8 @@ var keywords = map[string]bool{
 	"between": true, "in": true, "like": true, "as": true,
 	"group": true, "order": true, "by": true, "asc": true, "desc": true,
 	"limit": true,
+	"join":  true, "inner": true, "left": true, "outer": true, "on": true,
+	"union": true, "all": true, "exists": true,
 }
 
 // Error describes a lex or parse failure with its byte offset in the input.

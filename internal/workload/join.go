@@ -1,0 +1,163 @@
+// Multi-table workloads: the SDSS-style join log and random query
+// generators over the extended grammar (JOIN chains, UNION, IN/EXISTS
+// subqueries), mirroring the single-table generators in sdss.go and
+// randomquery.go.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/sqlparser"
+)
+
+// SDSSJoinLogSQL returns an SDSS-style multi-table session: photometric
+// tables joined against the spectroscopic tables of engine.SDSSDB (specobj,
+// photoz), IN-subquery variants of the same analysis, and UNION queries
+// combining photometric tables. Like Listing 1, consecutive queries differ
+// in one or two positions (TOP count, table, join partner, join kind,
+// subquery bound, union branch), which is what makes the log factorable
+// into a compact linked-widget interface.
+func SDSSJoinLogSQL() []string {
+	return []string{
+		// Join block: vary TOP, photometric table, join partner, join kind.
+		"select top 10 objid from stars inner join specobj on objid = objid where " + sdssWhere,
+		"select top 100 objid from stars inner join specobj on objid = objid where " + sdssWhere,
+		"select top 100 objid from galaxies inner join specobj on objid = objid where " + sdssWhere,
+		"select top 100 objid from galaxies inner join photoz on objid = objid where " + sdssWhere,
+		"select top 100 objid from galaxies left join photoz on objid = objid where " + sdssWhere,
+		"select top 10 objid from quasars left join photoz on objid = objid where " + sdssWhere,
+		// Subquery block: vary the table and the spectroscopic redshift bound.
+		"select objid from stars where objid in (select objid from specobj where redshift between 0 and 3)",
+		"select objid from galaxies where objid in (select objid from specobj where redshift between 0 and 3)",
+		"select objid from galaxies where objid in (select objid from specobj where redshift between 0 and 5)",
+		"select objid from quasars where objid in (select objid from specobj where redshift between 0 and 5)",
+		// Union block: vary TOP and the second branch's table.
+		"select top 10 objid from stars union select top 10 objid from galaxies",
+		"select top 100 objid from stars union select top 100 objid from galaxies",
+		"select top 100 objid from stars union select top 100 objid from quasars",
+		"select top 1000 objid from stars union select top 1000 objid from quasars",
+	}
+}
+
+// SDSSJoinLog parses the multi-table session into ASTs.
+func SDSSJoinLog() []*ast.Node {
+	srcs := SDSSJoinLogSQL()
+	out := make([]*ast.Node, len(srcs))
+	for i, s := range srcs {
+		out[i] = sqlparser.MustParse(s)
+	}
+	return out
+}
+
+// SDSSJoinSubset returns queries lo..hi (1-based, inclusive) of the join
+// log, like SDSSSubset for Listing 1. Queries 1–6 are the pure join block —
+// the sub-session whose optimal interface is a fully factored table /
+// join-partner / TOP widget panel rather than a whole-query picker.
+func SDSSJoinSubset(lo, hi int) []*ast.Node {
+	all := SDSSJoinLog()
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(all) {
+		hi = len(all)
+	}
+	if lo > hi {
+		return nil
+	}
+	return all[lo-1 : hi]
+}
+
+// RandomJoinQuerySQL builds one random query over the full multi-table
+// grammar: the single-table generator's SELECT core extended with join
+// chains, IN/EXISTS subqueries, and UNION/UNION ALL combinations. Every
+// string it returns must parse, and the parse/render round trip must be a
+// fixed point (property-tested).
+func RandomJoinQuerySQL(rng *rand.Rand) string {
+	sel := randomJoinSelect(rng)
+	// One in three queries is a union chain; one connective per chain.
+	if rng.Intn(3) != 0 {
+		return sel
+	}
+	op := " union "
+	if rng.Intn(2) == 0 {
+		op = " union all "
+	}
+	branches := []string{sel}
+	for n := 1 + rng.Intn(2); n > 0; n-- {
+		branches = append(branches, randomJoinSelect(rng))
+	}
+	return strings.Join(branches, op)
+}
+
+// randomJoinSelect emits one SELECT with optional join steps and subquery
+// predicates.
+func randomJoinSelect(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if rng.Intn(5) == 0 {
+		fmt.Fprintf(&b, "top %d ", 1+rng.Intn(1000))
+	}
+	cols := []string{"objid", "u", "g", "class"}
+	if rng.Intn(4) == 0 {
+		b.WriteString("count(*)")
+	} else {
+		b.WriteString(cols[rng.Intn(len(cols))])
+	}
+
+	tables := []string{"stars", "galaxies", "quasars"}
+	partners := []string{"specobj", "photoz"}
+	fmt.Fprintf(&b, " from %s", tables[rng.Intn(len(tables))])
+	for n := rng.Intn(3); n > 0; n-- {
+		kind := "inner"
+		if rng.Intn(3) == 0 {
+			kind = "left"
+		}
+		fmt.Fprintf(&b, " %s join %s on objid = objid", kind, partners[rng.Intn(len(partners))])
+		if rng.Intn(4) == 0 {
+			b.WriteString(" and u = g")
+		}
+	}
+
+	if rng.Intn(3) != 0 {
+		b.WriteString(" where ")
+		switch rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "objid in (select objid from specobj where redshift between 0 and %d)", 1+rng.Intn(5))
+		case 1:
+			fmt.Fprintf(&b, "exists (select objid from photoz where zphot > %d)", rng.Intn(4))
+		default:
+			writePred(&b, rng, 2)
+		}
+	}
+	return b.String()
+}
+
+// RandomJoinQuery parses RandomJoinQuerySQL; it panics if the generator
+// emits an unparsable query (a generator bug, caught by the property tests).
+func RandomJoinQuery(rng *rand.Rand) *ast.Node {
+	return sqlparser.MustParse(RandomJoinQuerySQL(rng))
+}
+
+// RandomJoinLog builds a log of n random multi-table queries sharing some
+// structure, like RandomLog: most entries mutate a base query's literals so
+// the log looks like one analysis session.
+func RandomJoinLog(rng *rand.Rand, n int) []*ast.Node {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*ast.Node, 0, n)
+	base := RandomJoinQuery(rng)
+	out = append(out, base)
+	for len(out) < n {
+		if rng.Intn(3) == 0 {
+			out = append(out, RandomJoinQuery(rng))
+			continue
+		}
+		out = append(out, mutate(base.Clone(), rng))
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/difftree"
+	"repro/internal/rules"
+	"repro/internal/sqlparser"
+	"repro/internal/testutil"
+)
+
+// TestQuickRandomJoinQueryParses: every multi-table query the generator
+// emits parses, and the parse/render round trip is a fixed point.
+func TestQuickRandomJoinQueryParses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5; i++ {
+			src := RandomJoinQuerySQL(rng)
+			n, err := sqlparser.Parse(src)
+			if err != nil {
+				t.Logf("unparsable: %q: %v", src, err)
+				return false
+			}
+			rendered := sqlparser.Render(n)
+			n2, err := sqlparser.Parse(rendered)
+			if err != nil || !ast.Equal(n, n2) {
+				t.Logf("round trip broke: %q -> %q", src, rendered)
+				return false
+			}
+			if r2 := sqlparser.Render(n2); r2 != rendered {
+				t.Logf("render not a fixpoint: %q -> %q", rendered, r2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, testutil.QuickConfig(211, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomJoinLogExpressible: the initial difftree of any random
+// multi-table log expresses every query in it (mirrors
+// TestQuickRandomLogExpressible over the extended grammar).
+func TestQuickRandomJoinLogExpressible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := RandomJoinLog(rng, 2+rng.Intn(4))
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		return difftree.ExpressibleAll(d, log)
+	}
+	if err := quick.Check(f, testutil.QuickConfig(212, 40)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickJoinLogRulesPreserveExpressibility: every legal rule move on a
+// multi-table log's difftree keeps every query expressible — the grammar
+// inversion rules handle the new node kinds, so the search space actually
+// explores join chains and union branches.
+func TestQuickJoinLogRulesPreserveExpressibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log := RandomJoinLog(rng, 2+rng.Intn(3))
+		d, err := difftree.Initial(log)
+		if err != nil {
+			return false
+		}
+		moves := rules.Moves(d, log, rules.All())
+		for i, m := range moves {
+			if i >= 8 {
+				break // bound per-case work; move order is deterministic
+			}
+			next, err := rules.ApplyMove(d, m)
+			if err != nil {
+				t.Logf("move %s failed: %v", m, err)
+				return false
+			}
+			if !difftree.ExpressibleAll(next, log) {
+				t.Logf("move %s lost a query", m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, testutil.QuickConfig(213, 15)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDSSJoinLogShape(t *testing.T) {
+	log := SDSSJoinLog()
+	if len(log) != 14 {
+		t.Fatalf("len = %d", len(log))
+	}
+	if got := len(SDSSJoinSubset(1, 6)); got != 6 {
+		t.Fatalf("subset len = %d", got)
+	}
+	joins, unions, subqueries := 0, 0, 0
+	for i, q := range log {
+		// Round trip like any other workload query.
+		src := sqlparser.Render(q)
+		q2, err := sqlparser.Parse(src)
+		if err != nil || !ast.Equal(q, q2) {
+			t.Fatalf("query %d does not round trip: %q", i, src)
+		}
+		ast.Walk(q, func(n *ast.Node) bool {
+			switch n.Kind {
+			case ast.KindJoin:
+				joins++
+			case ast.KindUnion:
+				unions++
+			case ast.KindSubquery:
+				subqueries++
+			}
+			return true
+		})
+	}
+	if joins == 0 || unions == 0 || subqueries == 0 {
+		t.Fatalf("log misses a scenario: joins=%d unions=%d subqueries=%d", joins, unions, subqueries)
+	}
+	d, err := difftree.Initial(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !difftree.ExpressibleAll(d, log) {
+		t.Fatal("initial difftree cannot express the join log")
+	}
+}
+
+// TestGenerateMultiTableKnobs: the knobs emit the new node kinds, stay
+// deterministic, and the zero-value knobs reproduce the single-table
+// generator exactly.
+func TestGenerateMultiTableKnobs(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Queries = 30
+	cfg.JoinTables = 2
+	cfg.LeftJoins = true
+	cfg.UnionBranches = 3
+	cfg.Subqueries = true
+
+	log := Generate(cfg)
+	joins, unions, subqueries := 0, 0, 0
+	for _, q := range log {
+		ast.Walk(q, func(n *ast.Node) bool {
+			switch n.Kind {
+			case ast.KindJoin:
+				joins++
+			case ast.KindUnion:
+				unions++
+			case ast.KindSubquery:
+				subqueries++
+			}
+			return true
+		})
+	}
+	if joins == 0 || unions == 0 || subqueries == 0 {
+		t.Fatalf("knobs produced joins=%d unions=%d subqueries=%d", joins, unions, subqueries)
+	}
+
+	again := Generate(cfg)
+	for i := range log {
+		if !ast.Equal(log[i], again[i]) {
+			t.Fatal("multi-table Generate not deterministic")
+		}
+	}
+
+	// Zero-value knobs: bit-identical to the pre-extension generator shape.
+	plain := DefaultGenConfig()
+	plain.Queries = 30
+	for _, q := range Generate(plain) {
+		ast.Walk(q, func(n *ast.Node) bool {
+			if n.Kind == ast.KindJoin || n.Kind == ast.KindUnion || n.Kind == ast.KindSubquery {
+				t.Fatalf("single-table config emitted %s", n.Kind)
+			}
+			return true
+		})
+	}
+}

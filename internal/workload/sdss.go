@@ -5,6 +5,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -91,6 +92,13 @@ type GenConfig struct {
 	LiteralVars int   // distinct literal patterns per predicate column
 	OptWhere    bool  // some queries drop the WHERE clause entirely
 	Seed        int64 // determinism
+
+	// Multi-table knobs; all zero values reproduce the single-table
+	// generator bit-for-bit (no extra rng draws are made).
+	JoinTables    int  // distinct join-partner tables; > 0 adds a join step to most queries
+	LeftJoins     bool // mix LEFT JOIN into the join steps
+	UnionBranches int  // > 1: some queries become UNION chains of up to this many branches
+	Subqueries    bool // some WHERE clauses gain an IN (SELECT ...) conjunct
 }
 
 // DefaultGenConfig mirrors the SDSS log's scale.
@@ -109,7 +117,9 @@ func DefaultGenConfig() GenConfig {
 }
 
 // Generate produces a deterministic synthetic query log in the SDSS style:
-// SELECT [TOP n] attr FROM table WHERE col BETWEEN lo AND hi AND ...
+// SELECT [TOP n] attr FROM table WHERE col BETWEEN lo AND hi AND ..., with
+// the multi-table knobs adding join steps, IN-subquery conjuncts, and UNION
+// chains on top of the same core shape.
 func Generate(cfg GenConfig) []*ast.Node {
 	if cfg.Queries <= 0 {
 		return nil
@@ -118,13 +128,12 @@ func Generate(cfg GenConfig) []*ast.Node {
 	tables := nameList("t", max(1, cfg.Tables))
 	projs := nameList("attr", max(1, cfg.Projections))
 	cols := nameList("c", max(1, cfg.PredColumns))
+	joins := nameList("j", cfg.JoinTables)
 
-	var out []*ast.Node
-	for i := 0; i < cfg.Queries; i++ {
-		var b strings.Builder
+	genSelect := func(b *strings.Builder) {
 		b.WriteString("select ")
 		if cfg.TopValues > 0 && rng.Intn(4) != 0 {
-			b.WriteString(fmt.Sprintf("top %d ", pow10(1+rng.Intn(cfg.TopValues))))
+			b.WriteString(fmt.Sprintf("top %d ", int(math.Pow10(1+rng.Intn(cfg.TopValues)))))
 		}
 		if rng.Intn(5) == 0 {
 			b.WriteString("count(*)")
@@ -133,6 +142,13 @@ func Generate(cfg GenConfig) []*ast.Node {
 		}
 		b.WriteString(" from ")
 		b.WriteString(tables[rng.Intn(len(tables))])
+		if len(joins) > 0 && rng.Intn(4) != 0 {
+			kind := "inner"
+			if cfg.LeftJoins && rng.Intn(3) == 0 {
+				kind = "left"
+			}
+			fmt.Fprintf(b, " %s join %s on %s = %s", kind, joins[rng.Intn(len(joins))], cols[0], cols[0])
+		}
 		if cfg.Predicates > 0 && (!cfg.OptWhere || rng.Intn(3) != 0) {
 			b.WriteString(" where ")
 			for p := 0; p < cfg.Predicates; p++ {
@@ -143,7 +159,23 @@ func Generate(cfg GenConfig) []*ast.Node {
 				variant := rng.Intn(max(1, cfg.LiteralVars))
 				lo := variant
 				hi := 30 - variant
-				fmt.Fprintf(&b, "%s between %d and %d", col, lo, hi)
+				fmt.Fprintf(b, "%s between %d and %d", col, lo, hi)
+			}
+			if cfg.Subqueries && rng.Intn(3) == 0 {
+				fmt.Fprintf(b, " and %s in (select %s from %s where %s between 0 and 30)",
+					cols[0], cols[0], tables[rng.Intn(len(tables))], cols[len(cols)-1])
+			}
+		}
+	}
+
+	var out []*ast.Node
+	for i := 0; i < cfg.Queries; i++ {
+		var b strings.Builder
+		genSelect(&b)
+		if cfg.UnionBranches > 1 && rng.Intn(3) == 0 {
+			for n := 1 + rng.Intn(cfg.UnionBranches-1); n > 0; n-- {
+				b.WriteString(" union ")
+				genSelect(&b)
 			}
 		}
 		out = append(out, sqlparser.MustParse(b.String()))
@@ -157,19 +189,4 @@ func nameList(prefix string, n int) []string {
 		out[i] = fmt.Sprintf("%s%d", prefix, i+1)
 	}
 	return out
-}
-
-func pow10(n int) int {
-	v := 1
-	for i := 0; i < n; i++ {
-		v *= 10
-	}
-	return v
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,140 @@
+package mctsui
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sqlparser"
+	"repro/internal/workload"
+)
+
+// joinStrategies are the two searchers the join-scenarios acceptance gate
+// runs end-to-end (mirroring the CI step).
+func joinStrategies() map[string]Strategy {
+	return map[string]Strategy{
+		"mcts": StrategyMCTS(),
+		"beam": StrategyBeam(3),
+	}
+}
+
+func generateJoinInterface(t *testing.T, s Strategy) *Interface {
+	t.Helper()
+	iface, err := New(
+		WithStrategy(s),
+		WithIterations(10),
+		WithRolloutDepth(6),
+		WithRewardSamples(3),
+		WithSeed(1),
+	).Generate(context.Background(), workload.SDSSJoinLogSQL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iface
+}
+
+// TestJoinScenarioEndToEnd is the multi-table acceptance test: an SDSS-style
+// join/union/subquery log goes parse → search (mcts and beam) → widgets →
+// interact → export/import, and every step round-trips.
+func TestJoinScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	for name, strat := range joinStrategies() {
+		t.Run(name, func(t *testing.T) {
+			iface := generateJoinInterface(t, strat)
+			if !iface.Valid() {
+				t.Fatal("join interface invalid")
+			}
+			if iface.NumWidgets() == 0 {
+				t.Fatal("join interface has no widgets")
+			}
+
+			// Every input query stays expressible through the chosen tree.
+			for _, src := range workload.SDSSJoinLogSQL() {
+				ok, err := iface.CanExpress(src)
+				if err != nil || !ok {
+					t.Fatalf("cannot express %q (err %v)", src, err)
+				}
+			}
+
+			// Interact: load every log query into the live session and check
+			// the widgets reproduce it canonically (the paper's linked-widget
+			// behavior over join partners and union branches).
+			sess := iface.NewSession()
+			for _, src := range workload.SDSSJoinLogSQL() {
+				if err := sess.LoadQuery(src); err != nil {
+					t.Fatalf("LoadQuery(%q): %v", src, err)
+				}
+				got, err := sess.SQL()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := sqlparser.Render(sqlparser.MustParse(src))
+				if got != want {
+					t.Errorf("LoadQuery round trip: got %q, want %q", got, want)
+				}
+			}
+
+			// Flip every widget through its first two options; the session
+			// must keep materializing a query (widget combinations may be
+			// semantically odd — the paper accepts that — but never wedge
+			// the session).
+			for i, w := range sess.Widgets() {
+				if len(w.Options) > 1 {
+					if err := sess.Set(i, 1); err != nil {
+						t.Fatalf("Set(%d, 1): %v", i, err)
+					}
+				}
+				if _, err := sess.Query(); err != nil {
+					t.Fatalf("widget %d (%s) wedged the session: %v", i, w.Title, err)
+				}
+			}
+
+			// Export/import: the persisted interface reloads with the same
+			// difftree and still expresses the whole log.
+			data, err := iface.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := LoadInterface(data, WideScreen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.DiffTree() != iface.DiffTree() {
+				t.Errorf("import changed the difftree:\n got %s\nwant %s", back.DiffTree(), iface.DiffTree())
+			}
+			for _, src := range workload.SDSSJoinLogSQL() {
+				ok, err := back.CanExpress(src)
+				if err != nil || !ok {
+					t.Fatalf("imported interface cannot express %q (err %v)", src, err)
+				}
+			}
+		})
+	}
+}
+
+// TestJoinScenarioSemantics: the generated join interface's expressible
+// queries actually execute against the catalog — the engine integration
+// covers the multi-table grammar.
+func TestJoinScenarioSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	iface := generateJoinInterface(t, StrategyMCTS())
+	db := engine.SDSSDB(60, 7)
+	rep := iface.ValidateSemantics(db, 20)
+	if rep.Checked == 0 {
+		t.Fatal("no queries enumerated")
+	}
+	if rep.Executable == 0 {
+		t.Fatalf("no expressible join query executes: %v", rep.Errors)
+	}
+
+	// The log's own queries run against the engine directly.
+	for _, src := range workload.SDSSJoinLogSQL() {
+		if _, err := engine.Exec(db, sqlparser.MustParse(src)); err != nil {
+			t.Errorf("log query does not execute: %q: %v", src, err)
+		}
+	}
+}

@@ -256,10 +256,3 @@ func TestSingleQueryInterface(t *testing.T) {
 		t.Errorf("static SQL = %q", sql)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
