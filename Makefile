@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test test-fast bench bench-json race-tree golden fuzz-smoke serve join-scenarios staticcheck
+.PHONY: verify build vet fmt test test-fast bench bench-json bench-serving load-smoke race-tree golden fuzz-smoke serve join-scenarios staticcheck
 
 # verify is the tier-1 gate: build, vet, formatting, and the full test suite.
 verify: build vet fmt test
@@ -42,6 +42,23 @@ bench:
 # COMPARE=old.json to print per-metric deltas before the gates.
 bench-json:
 	$(GO) run ./cmd/searchbench -out BENCH_search.json $(if $(COMPARE),-compare $(COMPARE))
+
+# bench-serving regenerates BENCH_serving.json: the open-loop load harness
+# (cmd/mctsload) drives an in-process daemon with the built-in two-class
+# smoke spec and reports per-class p50/p95/p99 latency, throughput, goodput,
+# 429/503 rates, SSE time-to-first-event, and the daemon's cache/admission
+# curves. Gates (p99 budget, goodput floor) are recorded always but enforced
+# only on machines with >= 4 CPUs. Pass COMPARE=old.json for per-metric
+# deltas before the gates.
+bench-serving:
+	$(GO) run ./cmd/mctsload -out BENCH_serving.json $(if $(COMPARE),-compare $(COMPARE))
+
+# load-smoke is the quick serving sanity check: a short low-rate run with
+# gates disabled — proves the daemon serves multi-class open-loop traffic
+# end to end without judging performance.
+load-smoke:
+	$(GO) run ./cmd/mctsload -out - -duration-ms 3000 -warmup-ms 1000 \
+		-rate-scale 0.5 -max-p99-ms 0 -min-goodput 0
 
 # race-tree runs the tree-parallel race suite CI gates on: shared-tree
 # stress, virtual-loss accounting invariants, TreeWorkers=1 bit-identity.

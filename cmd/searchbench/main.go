@@ -38,12 +38,12 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/workload"
@@ -163,18 +163,8 @@ func main() {
 	}
 	file.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 
-	buf, err := json.MarshalIndent(file, "", "  ")
-	if err != nil {
-		fatalf("marshal: %v", err)
-	}
-	buf = append(buf, '\n')
-	if *out == "-" {
-		os.Stdout.Write(buf)
-	} else {
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fatalf("write %s: %v", *out, err)
-		}
-		fmt.Printf("wrote %s\n", *out)
+	if err := benchutil.WriteJSON(*out, file); err != nil {
+		fatalf("%v", err)
 	}
 
 	for _, name := range order {
@@ -329,12 +319,13 @@ func benchWorkload(name string, log []*ast.Node, strategy core.Strategy, strateg
 		// so one unlucky interleaving (or one noisy-CI hiccup) cannot flip
 		// the speedup or best-cost verdict.
 		treeRepeats := max(repeats, 5)
+		cpus, qualified := benchutil.GateEnforced(treeWorkers)
 		tree := &treeSection{
 			Workers:      treeWorkers,
 			Sequential:   coldFastest(base, treeRepeats),
 			Parallel:     coldFastest(treeOpt, treeRepeats),
-			CPUs:         runtime.NumCPU(),
-			GateEnforced: minTreeSpeedup > 0 && runtime.NumCPU() >= treeWorkers,
+			CPUs:         cpus,
+			GateEnforced: minTreeSpeedup > 0 && qualified,
 		}
 		tree.Speedup = tree.Parallel.ItersPerSec / tree.Sequential.ItersPerSec
 		tree.CostNoWorse = tree.Parallel.BestCost <= tree.Sequential.BestCost+1e-9
@@ -383,13 +374,7 @@ func printComparison(path string, fresh fileReport) {
 			continue
 		}
 		fmt.Printf("  %s:\n", name)
-		delta := func(label string, old, new float64, unit string) {
-			pct := ""
-			if old != 0 {
-				pct = fmt.Sprintf(" (%+.1f%%)", (new-old)/old*100)
-			}
-			fmt.Printf("    %-22s %10.2f -> %10.2f %s%s\n", label, old, new, unit, pct)
-		}
+		delta := benchutil.DeltaPrinter(os.Stdout)
 		delta("uncached iters/sec", was.Uncached.ItersPerSec, now.Uncached.ItersPerSec, "")
 		delta("warm iters/sec", was.CachedWarm.ItersPerSec, now.CachedWarm.ItersPerSec, "")
 		delta("warm speedup", was.SpeedupWarm, now.SpeedupWarm, "x")

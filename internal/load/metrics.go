@@ -1,0 +1,167 @@
+package load
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Histogram is an HDR-style log-linear latency histogram over non-negative
+// int64 values (microseconds here): exact below 2^subBits, then 2^subBits
+// sub-buckets per power of two — ≤ ~1.6% relative error at any magnitude,
+// constant memory, O(1) record.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	subBits     = 6
+	subCount    = 1 << subBits // 64 sub-buckets per octave
+	histBuckets = (64 - subBits) * subCount
+)
+
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - subBits // >= 1
+	mant := int(u >> uint(exp-1))  // in [subCount, 2*subCount)
+	return exp*subCount + mant - subCount
+}
+
+// bucketUpper is the inclusive upper edge of a bucket — quantiles report
+// it, a conservative (never under-reporting) estimate for SLO gating.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	exp := idx / subCount
+	mant := idx%subCount + subCount
+	return int64(mant+1)<<uint(exp-1) - 1
+}
+
+// Record adds one value; negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Count is the number of recorded values.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean is the exact mean of the recorded values (sums are exact; only
+// quantiles are bucketed).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max is the exact maximum recorded value.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns the value at or below which a fraction q of recordings
+// fall, as the containing bucket's upper edge clamped to the exact max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	target := int64(q*float64(h.total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.total {
+		target = h.total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i]
+		if seen >= target {
+			return min(bucketUpper(i), h.max)
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's recordings into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Sample is one completed (or failed) request as observed by the replay
+// engine. Times are microsecond offsets from the run start; Status is the
+// HTTP status, or 0 for a transport error.
+type Sample struct {
+	Class   string
+	Op      string
+	Status  int
+	Stream  bool
+	StartUS int64 // actual dispatch time
+	// LatencyUS is request start to full response read (for SSE: to the
+	// final event).
+	LatencyUS int64
+	// TTFEUS is the time to the first SSE event for streamed requests
+	// (-1 when no event arrived).
+	TTFEUS int64
+	Err    string
+}
+
+// ok reports whether the request completed successfully end to end.
+func (s *Sample) ok() bool { return s.Err == "" && s.Status >= 200 && s.Status < 300 }
+
+// Collector is the thread-safe sample sink the replay engine's concurrent
+// completions report into; the report builder aggregates it afterwards
+// (warmup filtering happens there, so the raw run is kept whole).
+type Collector struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one sample.
+func (c *Collector) Add(s Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = append(c.samples, s)
+}
+
+// Samples returns the recorded samples (the caller owns the snapshot).
+func (c *Collector) Samples() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Sample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}

@@ -1,0 +1,319 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a replay run.
+type Options struct {
+	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests (http.DefaultClient when nil). Replays
+	// against a loaded daemon want a generous Timeout and MaxConnsPerHost
+	// left unlimited — open-loop traffic needs one connection per in-flight
+	// request.
+	Client *http.Client
+	// Record, when non-nil, receives the dispatched events as JSONL in
+	// dispatch order — byte-identical to WriteTrace of the replayed trace,
+	// which is what makes record→replay→re-record a fixpoint.
+	Record io.Writer
+	// StatsEvery scrapes GET /v1/stats on this cadence into the result's
+	// stats curve (0: no scraping).
+	StatsEvery time.Duration
+}
+
+// StatsPoint is one /v1/stats scrape, decoded leniently (unknown fields
+// ignored) so the harness tolerates stats-surface growth.
+type StatsPoint struct {
+	AtMS  int64 `json:"at_ms"`
+	Cache struct {
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Entries   int64   `json:"entries"`
+		Evictions int64   `json:"evictions"`
+		Capacity  int64   `json:"capacity"`
+		HitRate   float64 `json:"hit_rate"`
+		Occupancy float64 `json:"occupancy"`
+	} `json:"cache"`
+	Admission struct {
+		Served          int64   `json:"served"`
+		Overflow429     int64   `json:"overflow_429"`
+		QueueTimeout503 int64   `json:"queue_timeout_503"`
+		Draining503     int64   `json:"draining_503"`
+		ClientGone      int64   `json:"client_gone"`
+		QueueWaitMS     float64 `json:"queue_wait_total_ms"`
+	} `json:"admission"`
+	Queued   int64 `json:"queued"`
+	Inflight int64 `json:"inflight"`
+	Sessions int64 `json:"sessions"`
+}
+
+// RunResult is a completed replay: every sample, the server stats curve
+// (first and last scrape bracket the run), and the wall-clock span.
+type RunResult struct {
+	Samples []Sample
+	Stats   []StatsPoint
+	// Elapsed is dispatch of the first event to completion of the last
+	// response.
+	Elapsed time.Duration
+	// Dispatched counts events actually issued (all of them unless the
+	// context was cancelled mid-run).
+	Dispatched int
+}
+
+// Replay issues the trace against the daemon with open-loop semantics:
+// each event fires at its scheduled offset from the run start on its own
+// goroutine, so a late response never delays a future arrival — the
+// defining property of an open-loop load generator, and the reason an
+// overloaded daemon sees queue growth instead of a politely backing-off
+// client. Cancelling ctx stops dispatching and waits for in-flight
+// requests to finish.
+func Replay(ctx context.Context, events []Event, opt Options) (*RunResult, error) {
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("replay: no BaseURL")
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	client := opt.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base := strings.TrimRight(opt.BaseURL, "/")
+
+	var rec *bufio.Writer
+	var recEnc *json.Encoder
+	if opt.Record != nil {
+		rec = bufio.NewWriter(opt.Record)
+		recEnc = json.NewEncoder(rec)
+		recEnc.SetEscapeHTML(false)
+	}
+
+	col := NewCollector()
+	start := time.Now()
+
+	// Stats scraper: one goroutine sampling /v1/stats on a fixed cadence,
+	// plus one final scrape after the last response so the curve's endpoint
+	// reflects the whole run.
+	var stats []StatsPoint
+	var statsMu sync.Mutex
+	scrape := func() {
+		p, err := scrapeStats(ctx, client, base, start)
+		if err != nil {
+			return // a missed scrape thins the curve, never fails the run
+		}
+		statsMu.Lock()
+		stats = append(stats, p)
+		statsMu.Unlock()
+	}
+	scrapeCtx, stopScraper := context.WithCancel(ctx)
+	var scraperDone chan struct{}
+	if opt.StatsEvery > 0 {
+		scraperDone = make(chan struct{})
+		go func() {
+			defer close(scraperDone)
+			tick := time.NewTicker(opt.StatsEvery)
+			defer tick.Stop()
+			scrape()
+			for {
+				select {
+				case <-tick.C:
+					scrape()
+				case <-scrapeCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	dispatched := 0
+dispatch:
+	for i := range events {
+		ev := &events[i]
+		if wait := time.Duration(ev.AtUS)*time.Microsecond - time.Since(start); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		if recEnc != nil {
+			if err := recEnc.Encode(ev); err != nil {
+				stopScraper()
+				return nil, fmt.Errorf("recording event %d: %w", ev.Seq, err)
+			}
+		}
+		dispatched++
+		wg.Add(1)
+		go func(ev *Event) {
+			defer wg.Done()
+			col.Add(issue(ctx, client, base, ev, start))
+		}(ev)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stopScraper()
+	if scraperDone != nil {
+		<-scraperDone
+		scrape() // final point after the last response
+	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return nil, fmt.Errorf("flushing recording: %w", err)
+		}
+	}
+	return &RunResult{
+		Samples:    col.Samples(),
+		Stats:      stats,
+		Elapsed:    elapsed,
+		Dispatched: dispatched,
+	}, nil
+}
+
+// scrapeStats reads one /v1/stats snapshot.
+func scrapeStats(ctx context.Context, client *http.Client, base string, start time.Time) (StatsPoint, error) {
+	var p StatsPoint
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		return p, err
+	}
+	at := time.Since(start)
+	resp, err := client.Do(req)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return p, fmt.Errorf("stats: %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return p, err
+	}
+	p.AtMS = at.Milliseconds()
+	return p, nil
+}
+
+// Request bodies mirror internal/server's wire shapes. They are local
+// structs (not imports) so the load package stays a pure HTTP client of
+// the daemon — the same coupling a real external client has.
+type generateBody struct {
+	Queries    []string `json:"queries"`
+	Iterations int      `json:"iterations,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	Stream     bool     `json:"stream,omitempty"`
+}
+
+type interactBody struct {
+	Op string `json:"op"`
+}
+
+// issue performs one event's request and reduces it to a Sample.
+func issue(ctx context.Context, client *http.Client, base string, ev *Event, start time.Time) Sample {
+	s := Sample{
+		Class:  ev.Class,
+		Op:     ev.Op,
+		Stream: ev.Stream,
+		TTFEUS: -1,
+	}
+	var (
+		method = http.MethodPost
+		url    string
+		body   any
+	)
+	switch ev.Op {
+	case OpGenerate:
+		url = base + "/v1/generate"
+		body = generateBody{Queries: ev.Queries, Iterations: ev.Iterations, Seed: ev.Seed, Stream: ev.Stream}
+	case OpAppend:
+		url = base + "/v1/sessions/" + ev.Session + "/queries"
+		body = generateBody{Queries: ev.Queries, Iterations: ev.Iterations, Seed: ev.Seed}
+	case OpInteract:
+		url = base + "/v1/sessions/" + ev.Session + "/interact"
+		body = interactBody{Op: "get"}
+	case OpExport:
+		method = http.MethodGet
+		url = base + "/v1/sessions/" + ev.Session + "/export?format=json"
+	default:
+		s.Err = fmt.Sprintf("unknown op %q", ev.Op)
+		return s
+	}
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			s.Err = err.Error()
+			return s
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, reader)
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+
+	t0 := time.Now()
+	s.StartUS = t0.Sub(start).Microseconds()
+	resp, err := client.Do(req)
+	if err != nil {
+		s.LatencyUS = time.Since(t0).Microseconds()
+		s.Err = err.Error()
+		return s
+	}
+	defer resp.Body.Close()
+	s.Status = resp.StatusCode
+	if ev.Stream && resp.StatusCode == http.StatusOK {
+		readStream(resp.Body, t0, &s)
+	} else {
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			s.Err = err.Error()
+		}
+	}
+	s.LatencyUS = time.Since(t0).Microseconds()
+	return s
+}
+
+// readStream consumes an SSE response, stamping the time to the first
+// event and demoting a stream that ends without a "result" event to a
+// transport error (the search never delivered).
+func readStream(body io.Reader, t0 time.Time, s *Sample) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	sawResult := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			if s.TTFEUS < 0 {
+				s.TTFEUS = time.Since(t0).Microseconds()
+			}
+			if strings.TrimPrefix(line, "event: ") == "result" {
+				sawResult = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.Err = err.Error()
+		return
+	}
+	if !sawResult {
+		s.Err = "stream ended without a result event"
+	}
+}

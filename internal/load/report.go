@@ -1,0 +1,254 @@
+package load
+
+import (
+	"sort"
+)
+
+// ReportSchema versions BENCH_serving.json; bump on breaking shape changes
+// so -compare can refuse to diff across incompatible runs.
+const ReportSchema = "mctsload/v1"
+
+// LatencySummary is a latency distribution in milliseconds. Quantiles come
+// from the HDR histogram (bucket upper edges, conservative for gating);
+// mean and max are exact.
+type LatencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+func summarize(h *Histogram) LatencySummary {
+	us := func(v int64) float64 { return float64(v) / 1000 }
+	return LatencySummary{
+		P50:  us(h.Quantile(0.50)),
+		P95:  us(h.Quantile(0.95)),
+		P99:  us(h.Quantile(0.99)),
+		Mean: h.Mean() / 1000,
+		Max:  us(h.Max()),
+	}
+}
+
+// OpReport aggregates one (class, op) cell — or a whole class, or the whole
+// run — over the measured window.
+type OpReport struct {
+	Op            string          `json:"op,omitempty"`
+	Count         int64           `json:"count"`
+	OK            int64           `json:"ok"`
+	Errors        int64           `json:"errors"`
+	Status429     int64           `json:"status_429"`
+	Status503     int64           `json:"status_503"`
+	StatusOther   int64           `json:"status_other_non_2xx"`
+	ThroughputRPS float64         `json:"throughput_rps"`
+	GoodputRPS    float64         `json:"goodput_rps"`
+	Rate429       float64         `json:"rate_429"`
+	Rate503       float64         `json:"rate_503"`
+	Latency       LatencySummary  `json:"latency"`
+	TTFE          *LatencySummary `json:"ttfe,omitempty"` // streamed requests only
+}
+
+// ClassReport is one client class's measured-window aggregate plus its
+// per-op breakdown.
+type ClassReport struct {
+	Class string     `json:"class"`
+	Total OpReport   `json:"total"`
+	Ops   []OpReport `json:"ops"`
+}
+
+// ServerReport is the daemon's own view of the run, from the /v1/stats
+// curve: deltas between the first and last scrape (so a pre-warmed daemon
+// does not pollute the run's numbers) plus final-point gauges.
+type ServerReport struct {
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheOccupancy float64 `json:"cache_occupancy"`
+	Served         int64   `json:"served"`
+	Overflow429    int64   `json:"overflow_429"`
+	QueueTimeouts  int64   `json:"queue_timeout_503"`
+	Draining503    int64   `json:"draining_503"`
+	ClientGone     int64   `json:"client_gone"`
+	// QueueWaitMeanMS is the mean admission queue wait per served request
+	// over the run.
+	QueueWaitMeanMS float64 `json:"queue_wait_mean_ms"`
+	ScrapePoints    int     `json:"scrape_points"`
+}
+
+// Report is the BENCH_serving.json payload. BuildReport leaves GeneratedAt,
+// Gates, CPUs, and GateEnforced zero — the CLI stamps them (keeping the
+// build itself a pure function of the run).
+type Report struct {
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	Spec        string `json:"spec"`
+	Seed        int64  `json:"seed"`
+	WarmupMS    int64  `json:"warmup_ms"`
+	DurationMS  int64  `json:"duration_ms"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+	Dispatched  int    `json:"dispatched"`
+	// Measured counts samples inside the measured window (dispatch at or
+	// after warmup end); warmup samples are replayed but not reported.
+	Measured int64         `json:"measured"`
+	Total    OpReport      `json:"total"`
+	Classes  []ClassReport `json:"classes"`
+	Server   *ServerReport `json:"server,omitempty"`
+	Stats    []StatsPoint  `json:"stats_curve,omitempty"`
+	Gates    []Gate        `json:"gates,omitempty"`
+	CPUs     int           `json:"cpus"`
+	// GateEnforced mirrors searchbench's convention: gates are always
+	// recorded, but only fail the run on machines with enough parallelism
+	// for the numbers to mean anything.
+	GateEnforced bool `json:"gate_enforced"`
+}
+
+// Gate is one SLO check: recorded always, enforced per Report.GateEnforced.
+type Gate struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Budget float64 `json:"budget"`
+	Pass   bool    `json:"pass"`
+}
+
+// opAgg accumulates one (class, op) cell during the build.
+type opAgg struct {
+	rep  OpReport
+	lat  Histogram
+	ttfe Histogram
+}
+
+func (a *opAgg) add(s *Sample) {
+	a.rep.Count++
+	switch {
+	case s.ok():
+		a.rep.OK++
+	case s.Err != "":
+		a.rep.Errors++
+	case s.Status == 429:
+		a.rep.Status429++
+	case s.Status == 503:
+		a.rep.Status503++
+	default:
+		a.rep.StatusOther++
+	}
+	a.lat.Record(s.LatencyUS)
+	if s.Stream && s.TTFEUS >= 0 {
+		a.ttfe.Record(s.TTFEUS)
+	}
+}
+
+func (a *opAgg) finish(windowSec float64) OpReport {
+	r := a.rep
+	r.Latency = summarize(&a.lat)
+	if a.ttfe.Count() > 0 {
+		t := summarize(&a.ttfe)
+		r.TTFE = &t
+	}
+	if windowSec > 0 {
+		r.ThroughputRPS = float64(r.Count) / windowSec
+		r.GoodputRPS = float64(r.OK) / windowSec
+	}
+	if r.Count > 0 {
+		r.Rate429 = float64(r.Status429) / float64(r.Count)
+		r.Rate503 = float64(r.Status503) / float64(r.Count)
+	}
+	return r
+}
+
+// BuildReport reduces a replay run to its report: warmup samples dropped,
+// rates normalized to the measured window, classes and ops in sorted order
+// so the JSON is deterministic for a given run.
+func BuildReport(spec *Spec, res *RunResult) *Report {
+	warmupUS := spec.WarmupMS * 1000
+	windowSec := float64(spec.DurationMS) / 1000
+
+	total := &opAgg{}
+	classes := make(map[string]map[string]*opAgg)
+	var measured int64
+	for i := range res.Samples {
+		s := &res.Samples[i]
+		if s.StartUS < warmupUS {
+			continue
+		}
+		measured++
+		total.add(s)
+		byOp := classes[s.Class]
+		if byOp == nil {
+			byOp = make(map[string]*opAgg)
+			classes[s.Class] = byOp
+		}
+		agg := byOp[s.Op]
+		if agg == nil {
+			agg = &opAgg{}
+			agg.rep.Op = s.Op
+			byOp[s.Op] = agg
+		}
+		agg.add(s)
+	}
+
+	rep := &Report{
+		Schema:     ReportSchema,
+		Spec:       spec.Name,
+		Seed:       spec.Seed,
+		WarmupMS:   spec.WarmupMS,
+		DurationMS: spec.DurationMS,
+		ElapsedMS:  res.Elapsed.Milliseconds(),
+		Dispatched: res.Dispatched,
+		Measured:   measured,
+		Total:      total.finish(windowSec),
+		Stats:      res.Stats,
+	}
+
+	classNames := make([]string, 0, len(classes))
+	for name := range classes {
+		classNames = append(classNames, name)
+	}
+	sort.Strings(classNames)
+	for _, name := range classNames {
+		byOp := classes[name]
+		cr := ClassReport{Class: name}
+		classTotal := &opAgg{}
+		opNames := make([]string, 0, len(byOp))
+		for op := range byOp {
+			opNames = append(opNames, op)
+		}
+		sort.Strings(opNames)
+		for _, op := range opNames {
+			agg := byOp[op]
+			classTotal.rep.Count += agg.rep.Count
+			classTotal.rep.OK += agg.rep.OK
+			classTotal.rep.Errors += agg.rep.Errors
+			classTotal.rep.Status429 += agg.rep.Status429
+			classTotal.rep.Status503 += agg.rep.Status503
+			classTotal.rep.StatusOther += agg.rep.StatusOther
+			classTotal.lat.Merge(&agg.lat)
+			classTotal.ttfe.Merge(&agg.ttfe)
+			cr.Ops = append(cr.Ops, agg.finish(windowSec))
+		}
+		cr.Total = classTotal.finish(windowSec)
+		rep.Classes = append(rep.Classes, cr)
+	}
+
+	if len(res.Stats) >= 2 {
+		first, last := res.Stats[0], res.Stats[len(res.Stats)-1]
+		sr := &ServerReport{
+			CacheHits:      last.Cache.Hits - first.Cache.Hits,
+			CacheMisses:    last.Cache.Misses - first.Cache.Misses,
+			CacheEvictions: last.Cache.Evictions - first.Cache.Evictions,
+			CacheHitRate:   last.Cache.HitRate,
+			CacheOccupancy: last.Cache.Occupancy,
+			Served:         last.Admission.Served - first.Admission.Served,
+			Overflow429:    last.Admission.Overflow429 - first.Admission.Overflow429,
+			QueueTimeouts:  last.Admission.QueueTimeout503 - first.Admission.QueueTimeout503,
+			Draining503:    last.Admission.Draining503 - first.Admission.Draining503,
+			ClientGone:     last.Admission.ClientGone - first.Admission.ClientGone,
+			ScrapePoints:   len(res.Stats),
+		}
+		if sr.Served > 0 {
+			sr.QueueWaitMeanMS = (last.Admission.QueueWaitMS - first.Admission.QueueWaitMS) / float64(sr.Served)
+		}
+		rep.Server = sr
+	}
+	return rep
+}

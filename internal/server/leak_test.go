@@ -1,0 +1,296 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	mctsui "repro"
+)
+
+// TestSSEDisconnectReleasesSlot is the regression test for the
+// mid-stream-disconnect leak: a streaming client that goes away while its
+// search is running must release its search slot promptly (so a follow-up
+// request is admitted) and leave no goroutine behind.
+func TestSSEDisconnectReleasesSlot(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1, QueueWait: 30 * time.Second})
+
+	before := runtime.NumGoroutine()
+
+	// Open a streaming generate with a long budget, read until the first
+	// progress event proves the search is running, then slam the connection.
+	req := GenerateRequest{
+		SearchParams: SearchParams{BudgetMS: 30000, Seed: 1},
+		Queries:      figure1,
+		Stream:       true,
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A private transport so the dead connection is not returned to a shared
+	// pool (and Close below really closes the TCP stream).
+	tr := &http.Transport{DisableKeepAlives: true}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		if strings.HasPrefix(line, "event: progress") {
+			break
+		}
+	}
+	waitFor(t, func() bool { return len(s.sem) == 1 })
+	resp.Body.Close() // disconnect mid-stream, search still running
+	tr.CloseIdleConnections()
+
+	// The slot must come back promptly — far sooner than the 30s budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.sem) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("search slot not released within 5s of the disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A follow-up request is admitted and served.
+	status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: fastParams, Queries: figure1})
+	if status != http.StatusOK {
+		t.Fatalf("follow-up after disconnect: %d %s", status, body)
+	}
+
+	// No goroutine left behind: the handler, the search, and the SSE pump
+	// must all have unwound. Allow a little slack for runtime/net pollers.
+	waitForGoroutines(t, before+3)
+}
+
+// failingWriter is a ResponseWriter whose writes start failing after
+// `allow` successful writes — the deterministic stand-in for a client that
+// disconnected or stalled mid-stream (with the write deadline, a stalled
+// socket surfaces exactly like this: as a write error).
+type failingWriter struct {
+	header http.Header
+	allow  int
+	writes int
+}
+
+func (f *failingWriter) Header() http.Header { return f.header }
+func (f *failingWriter) WriteHeader(int)     {}
+func (f *failingWriter) Flush()              {}
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.allow {
+		return 0, fmt.Errorf("connection reset by peer")
+	}
+	return len(p), nil
+}
+
+// TestStreamWriteFailureCancelsSearch pins the hardened SSE pump: the first
+// failed frame write must cancel the search context (releasing the slot as
+// soon as the anytime engine returns) and the pump must still wait for the
+// search goroutine before returning — no goroutine left behind, no slot
+// freed while a search is running.
+func TestStreamWriteFailureCancelsSearch(t *testing.T) {
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	searchExited := make(chan struct{})
+	work := func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error) {
+		defer close(searchExited)
+		// Emit snapshots until cancelled, like a long-budget search would.
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return &GenerateResponse{Valid: true}, 0, nil
+			case <-time.After(time.Millisecond):
+				progress(mctsui.Progress{Iterations: i})
+			}
+		}
+	}
+
+	w := &failingWriter{header: make(http.Header), allow: 1} // headers flush ok, first frame fails
+	pumpDone := make(chan struct{})
+	go func() {
+		s.streamSearch(w, ctx, cancel, work)
+		close(pumpDone)
+	}()
+
+	select {
+	case <-searchExited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("search not cancelled within 5s of the write failure")
+	}
+	select {
+	case <-pumpDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream pump did not return after the search exited")
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops to at most want.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), want, buf[:n])
+		}
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStatsShape pins the /v1/stats JSON contract the load harness scrapes:
+// the cache section (hits/misses/entries/evictions/capacity/hit_rate/
+// occupancy), the per-outcome admission section, and the top-level gauges.
+func TestStatsShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
+		t.Fatalf("generate: %d %s", status, body)
+	}
+	status, body := get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	sections := map[string][]string{
+		"cache":     {"hits", "misses", "entries", "evictions", "capacity", "hit_rate", "occupancy"},
+		"admission": {"served", "overflow_429", "queue_timeout_503", "draining_503", "client_gone", "queue_wait_total_ms"},
+	}
+	for section, keys := range sections {
+		blob, ok := raw[section]
+		if !ok {
+			t.Fatalf("stats body missing %q section: %s", section, body)
+		}
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(blob, &fields); err != nil {
+			t.Fatalf("%s section: %v", section, err)
+		}
+		for _, key := range keys {
+			if _, ok := fields[key]; !ok {
+				t.Errorf("stats %s section missing %q: %s", section, key, blob)
+			}
+		}
+	}
+	for _, key := range []string{"sessions", "inflight", "queued", "requests", "rejected", "draining"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("stats body missing %q: %s", key, body)
+		}
+	}
+
+	// The counters carry real values: the generate above was served, its
+	// evaluations populated the cache, and nothing waited long enough to be
+	// refused.
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Served != 1 {
+		t.Errorf("admission.served = %d, want 1", st.Admission.Served)
+	}
+	if st.Admission.Overflow429 != 0 || st.Admission.QueueTimeout503 != 0 || st.Admission.Draining503 != 0 {
+		t.Errorf("unexpected refusals: %+v", st.Admission)
+	}
+	if st.Cache.Entries == 0 || st.Cache.Occupancy <= 0 {
+		t.Errorf("cache never populated: %+v", st.Cache)
+	}
+	if st.Admission.QueueWaitMS < 0 {
+		t.Errorf("negative queue wait: %+v", st.Admission)
+	}
+}
+
+// TestAdmissionOutcomeCounters drives one of each refusal outcome and
+// checks the per-outcome totals line up.
+func TestAdmissionOutcomeCounters(t *testing.T) {
+	// QueueWait is long enough that the overflow probe reliably lands while
+	// the queued request still holds its queue position, yet short enough
+	// that its timeout fires well inside the slot holder's 3s budget.
+	s, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		QueueDepth:    1,
+		QueueWait:     500 * time.Millisecond,
+	})
+	// Hold the only slot.
+	slow := GenerateRequest{SearchParams: SearchParams{BudgetMS: 3000, Seed: 1}, Queries: figure1}
+	done := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL+"/v1/generate", slow)
+		done <- status
+	}()
+	waitFor(t, func() bool { return len(s.sem) == 1 })
+
+	// One queued request that times out (503), then — while the queue
+	// position is still held — one overflow (429).
+	queued := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL+"/v1/generate", slow)
+		queued <- status
+	}()
+	waitFor(t, func() bool { return s.queued.Load() >= 2 })
+	if status, _ := post(t, ts.URL+"/v1/generate", slow); status != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", status)
+	}
+	if got := <-queued; got != http.StatusServiceUnavailable {
+		t.Fatalf("queued status %d, want 503", got)
+	}
+	s.Drain()
+	if got := <-done; got != http.StatusOK {
+		t.Fatalf("slot holder status %d, want 200", got)
+	}
+	// Post-drain refusal.
+	if status, _ := post(t, ts.URL+"/v1/generate", slow); status != http.StatusServiceUnavailable {
+		t.Fatal("post-drain request not refused")
+	}
+
+	status, body := get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Served != 1 {
+		t.Errorf("served = %d, want 1", st.Admission.Served)
+	}
+	if st.Admission.Overflow429 != 1 {
+		t.Errorf("overflow_429 = %d, want 1", st.Admission.Overflow429)
+	}
+	if st.Admission.QueueTimeout503 != 1 {
+		t.Errorf("queue_timeout_503 = %d, want 1", st.Admission.QueueTimeout503)
+	}
+	if st.Admission.Draining503 != 1 {
+		t.Errorf("draining_503 = %d, want 1", st.Admission.Draining503)
+	}
+	if st.Admission.QueueWaitMS <= 0 {
+		t.Errorf("queue_wait_total_ms = %v, want > 0 (a request waited out its 50ms)", st.Admission.QueueWaitMS)
+	}
+	if sum := st.Admission.Overflow429 + st.Admission.QueueTimeout503 + st.Admission.Draining503; sum != st.Rejected {
+		t.Errorf("outcome refusals sum %d != rejected %d", sum, st.Rejected)
+	}
+}

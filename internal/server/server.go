@@ -151,6 +151,16 @@ type Server struct {
 	requests atomic.Int64 // searches admitted
 	rejected atomic.Int64 // requests refused by admission control
 
+	// Per-outcome admission totals, the counters the load harness
+	// (internal/load) turns into 429/503 rates. rejected above stays their
+	// aggregate; clientGone is *not* part of it (a vanished client is not an
+	// admission-control refusal).
+	overflow429   atomic.Int64 // refused immediately: queue full
+	queueTimeouts atomic.Int64 // 503: QueueWait expired before a slot freed
+	drainRefusals atomic.Int64 // 503: refused because the daemon is draining
+	clientGone    atomic.Int64 // client disconnected while waiting for a slot
+	queueWaitUS   atomic.Int64 // cumulative microseconds spent waiting for a slot
+
 	mu       sync.Mutex
 	sessions map[string]*session
 }
@@ -235,6 +245,8 @@ func (s *Server) acquire(ctx context.Context) error {
 	if err := s.admit(); err != nil {
 		return err
 	}
+	start := time.Now()
+	defer func() { s.queueWaitUS.Add(time.Since(start).Microseconds()) }()
 	wait := time.NewTimer(s.cfg.QueueWait)
 	defer wait.Stop()
 	select {
@@ -245,6 +257,7 @@ func (s *Server) acquire(ctx context.Context) error {
 			<-s.sem
 			s.unadmit()
 			s.rejected.Add(1)
+			s.drainRefusals.Add(1)
 			return errDraining
 		}
 		s.requests.Add(1)
@@ -253,14 +266,17 @@ func (s *Server) acquire(ctx context.Context) error {
 		// Client went away while queued: not an admission-control refusal,
 		// so the rejected counter is not bumped.
 		s.unadmit()
+		s.clientGone.Add(1)
 		return ctx.Err()
 	case <-s.baseCtx.Done():
 		s.unadmit()
 		s.rejected.Add(1)
+		s.drainRefusals.Add(1)
 		return errDraining
 	case <-wait.C:
 		s.unadmit()
 		s.rejected.Add(1)
+		s.queueTimeouts.Add(1)
 		return errQueueTimeout
 	}
 }
@@ -272,11 +288,13 @@ func (s *Server) admit() error {
 	defer s.admitMu.RUnlock()
 	if s.draining.Load() {
 		s.rejected.Add(1)
+		s.drainRefusals.Add(1)
 		return errDraining
 	}
 	if s.queued.Add(1) > int64(s.cfg.MaxConcurrent+s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		s.rejected.Add(1)
+		s.overflow429.Add(1)
 		return errQueueFull
 	}
 	s.inflight.Add(1)
@@ -460,7 +478,7 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, stream bool,
 	defer stopAfter()
 
 	if stream {
-		s.streamSearch(w, ctx, work)
+		s.streamSearch(w, ctx, cancel, work)
 		return
 	}
 	resp, status, err := work(ctx, nil)
@@ -584,22 +602,44 @@ func (s *Server) response(iface *mctsui.Interface, session string, queryCount in
 	}, nil
 }
 
+// CacheStats is the /v1/stats cache section: the shared transposition
+// cache's counters plus its occupancy ratio (entries/capacity) — the number
+// the load harness plots as the cache fill/eviction curve.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Entries   int64   `json:"entries"`
+	Evictions int64   `json:"evictions"`
+	Capacity  int64   `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+	Occupancy float64 `json:"occupancy"`
+}
+
+// AdmissionStats is the /v1/stats admission section: cumulative per-outcome
+// totals for every request that passed through the admission gate, plus the
+// total time requests spent waiting for a search slot. served counts
+// admissions (a slot was granted); overflow/timeout/draining are the
+// refusals aggregated in the top-level rejected counter; client_gone counts
+// clients that disconnected while queued (not an admission refusal).
+type AdmissionStats struct {
+	Served          int64   `json:"served"`
+	Overflow429     int64   `json:"overflow_429"`
+	QueueTimeout503 int64   `json:"queue_timeout_503"`
+	Draining503     int64   `json:"draining_503"`
+	ClientGone      int64   `json:"client_gone"`
+	QueueWaitMS     float64 `json:"queue_wait_total_ms"`
+}
+
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
-	Cache struct {
-		Hits      int64   `json:"hits"`
-		Misses    int64   `json:"misses"`
-		Entries   int64   `json:"entries"`
-		Evictions int64   `json:"evictions"`
-		Capacity  int64   `json:"capacity"`
-		HitRate   float64 `json:"hit_rate"`
-	} `json:"cache"`
-	Sessions int   `json:"sessions"`
-	Inflight int   `json:"inflight"`
-	Queued   int64 `json:"queued"` // waiting for a slot (excludes inflight)
-	Requests int64 `json:"requests"`
-	Rejected int64 `json:"rejected"`
-	Draining bool  `json:"draining"`
+	Cache     CacheStats     `json:"cache"`
+	Admission AdmissionStats `json:"admission"`
+	Sessions  int            `json:"sessions"`
+	Inflight  int            `json:"inflight"`
+	Queued    int64          `json:"queued"` // waiting for a slot (excludes inflight)
+	Requests  int64          `json:"requests"`
+	Rejected  int64          `json:"rejected"`
+	Draining  bool           `json:"draining"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -611,6 +651,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Evictions = cs.Evictions
 	resp.Cache.Capacity = cs.Capacity
 	resp.Cache.HitRate = cs.HitRate()
+	if cs.Capacity > 0 {
+		resp.Cache.Occupancy = float64(cs.Entries) / float64(cs.Capacity)
+	}
+	resp.Admission = AdmissionStats{
+		Served:          s.requests.Load(),
+		Overflow429:     s.overflow429.Load(),
+		QueueTimeout503: s.queueTimeouts.Load(),
+		Draining503:     s.drainRefusals.Load(),
+		ClientGone:      s.clientGone.Load(),
+		QueueWaitMS:     float64(s.queueWaitUS.Load()) / 1000,
+	}
 	s.mu.Lock()
 	resp.Sessions = len(s.sessions)
 	s.mu.Unlock()
