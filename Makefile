@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test test-fast bench bench-json bench-serving load-smoke race-tree golden fuzz-smoke serve join-scenarios staticcheck
+.PHONY: verify build vet fmt test test-fast bench bench-allocs bench-json bench-serving load-smoke race-tree golden fuzz-smoke serve join-scenarios staticcheck
 
 # verify is the tier-1 gate: build, vet, formatting, and the full test suite.
 verify: build vet fmt test
@@ -32,16 +32,28 @@ test-fast:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# bench-allocs measures allocations on the search hot path: one sequential
+# MCTS Generate over the SDSS log in each cache mode (uncached / cold /
+# warm), with allocs/op and B/op from -benchmem. CI runs the same command
+# and archives the output next to BENCH_search.json's allocs_per_iter
+# section.
+bench-allocs:
+	$(GO) test -run '^$$' -bench 'BenchmarkGenerate$$' -benchmem .
+
 # bench-json regenerates BENCH_search.json: iterations/sec with the
 # transposition cache cold, warm, and disabled — one section per workload
-# (sdss and sdss-join) — plus the cache hit rate, best cost, and the first
-# workload's tree_parallel section (4 workers on one tree vs sequential,
-# both cold). Fails if any workload's warm-cache speedup drops below 3x, if
-# caching changes a result, or — on machines with >= 4 CPUs — if
-# tree-parallel misses 2x iters/sec or worsens the best cost. Pass
-# COMPARE=old.json to print per-metric deltas before the gates.
+# (sdss and sdss-join) — plus the cache hit rate, best cost,
+# allocations-per-iteration for every mode, and the first workload's
+# tree_parallel section (4 workers on one tree vs sequential, both cold).
+# Fails if any workload's warm-cache speedup drops below 3x, if a cold
+# first search is slower than uncached (speedup_cold < 1.0 — every mode is
+# timed fastest-of-N, cold with a fresh cache per repetition), if a warm
+# run allocates more than 300k/iteration, if caching changes a result, or —
+# on machines with >= 4 CPUs — if tree-parallel misses 2x iters/sec or
+# worsens the best cost. Pass COMPARE=old.json to print per-metric deltas
+# (including allocs/iter) before the gates.
 bench-json:
-	$(GO) run ./cmd/searchbench -out BENCH_search.json $(if $(COMPARE),-compare $(COMPARE))
+	$(GO) run ./cmd/searchbench -out BENCH_search.json -max-allocs-per-iter 300000 $(if $(COMPARE),-compare $(COMPARE))
 
 # bench-serving regenerates BENCH_serving.json: the open-loop load harness
 # (cmd/mctsload) drives an in-process daemon with the built-in two-class

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/difftree"
+	"repro/internal/eval"
 	"repro/internal/layout"
 	"repro/internal/rules"
 	"repro/internal/search"
@@ -320,6 +321,55 @@ func BenchmarkScalingLogSize(b *testing.B) {
 			reportCost(b, last)
 		})
 	}
+}
+
+// BenchmarkGenerate is the canonical allocation benchmark for the search hot
+// path: one sequential MCTS Generate over the full SDSS log, in the three
+// cache modes the searchbench harness times. CI runs it with -benchmem and
+// records allocs/op; the uncached mode is the no-memoization reference, cold
+// pays first-search cache fills, warm is the steady state an interactive
+// session lives in.
+func BenchmarkGenerate(b *testing.B) {
+	log := workload.SDSSLog()
+	run := func(b *testing.B, opt core.Options) {
+		var last float64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Generate(context.Background(), log, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.Cost.Total()
+		}
+		reportCost(b, last)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		opt := benchOpts(layout.Wide)
+		opt.DisableMemo = true
+		run(b, opt)
+	})
+	b.Run("cold", func(b *testing.B) {
+		// A fresh cache every op: every measured run pays the full
+		// first-search miss/insert path.
+		for i := 0; i < b.N; i++ {
+			opt := benchOpts(layout.Wide)
+			opt.Cache = eval.NewCache(0)
+			res, err := core.Generate(context.Background(), log, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportCost(b, res.Cost.Total())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opt := benchOpts(layout.Wide)
+		opt.Cache = eval.NewCache(0)
+		// Prime outside the timed region.
+		if _, err := core.Generate(context.Background(), log, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		run(b, opt)
+	})
 }
 
 // BenchmarkGenerateWorkers measures root-parallelization scaling: the same

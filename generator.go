@@ -9,6 +9,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/mcts"
 	"repro/internal/sqlparser"
 )
 
@@ -225,6 +226,39 @@ func WithWarmStart(f *Interface) Option {
 	return func(g *Generator) {
 		if f != nil {
 			g.opt.WarmStart = f.res.DiffTree
+		}
+	}
+}
+
+// SearchTree is an opaque persisted MCTS search tree, obtained from
+// Interface.SearchTree after a sequential (TreeWorkers <= 1) MCTS search and
+// fed back through WithSearchTree on the next Generate over an appended log.
+// It retains every state the search materialized, so holders should keep
+// only the latest tree per session rather than accumulate generations.
+type SearchTree struct {
+	t *mcts.Tree
+}
+
+// WithSearchTree seeds the MCTS search with a tree persisted by a previous
+// generation — the second half of the incremental hook for long-lived
+// sessions, alongside WithWarmStart: WithWarmStart reuses the previous
+// *interface* as the starting state, WithSearchTree reuses the previous
+// *search statistics* around it. When the search's starting state occurs
+// anywhere in the reused tree, the search re-roots on that subtree — visit
+// counts and expanded children included — instead of rediscovering it;
+// children that already carry visits skip their simulation pass, which is
+// where the evaluation savings come from. Stats().ReRooted reports whether
+// re-rooting happened. Reused nodes are reconciled against the current
+// (appended) log before being descended through, so a stale tree can never
+// smuggle in states that are no longer legal — results remain bit-identical
+// to what a search over the current log could produce. Only the sequential
+// MCTS search persists and accepts trees: with WithTreeWorkers(n > 1) or a
+// non-MCTS strategy the option is ignored and SearchTree() returns nil. A
+// nil tree is ignored.
+func WithSearchTree(t *SearchTree) Option {
+	return func(g *Generator) {
+		if t != nil && t.t != nil {
+			g.opt.SearchTree = t.t
 		}
 	}
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+// TestMCTSIterationAllocsBounded pins the search hot path's allocation
+// behavior: a cache-warm sequential MCTS run must stay under a fixed
+// allocations-per-iteration budget. The budget is ~2x the measured steady
+// state (~1.8k/iter on the Figure 1 log), so it tolerates noise but fails
+// loudly if an allocation regression lands on the hot path — a per-rehash
+// hasher, an unpooled matcher, or per-candidate COW spines would each
+// multiply the number by 10x or more.
+func TestMCTSIterationAllocsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const iters = 30
+	log := workload.PaperFigure1Log()
+	cache := eval.NewCache(0)
+	opt := Options{Iterations: iters, RolloutDepth: 6, Seed: 7, Cache: cache, SkipInitialRef: true}
+	// Warm the shared cache so the measured runs are the steady state.
+	if _, err := Generate(context.Background(), log, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Generate(context.Background(), log, opt); err != nil {
+			t.Error(err)
+		}
+	})
+	perIter := allocs / iters
+	t.Logf("allocs/run=%.0f allocs/iteration=%.1f", allocs, perIter)
+	if perIter > 4000 {
+		t.Errorf("allocations per MCTS iteration = %.1f, budget 4000; an allocation regression landed on the search hot path", perIter)
+	}
+}

@@ -79,6 +79,15 @@ type Options struct {
 	// keeps its other roles either way (size cap, Stats.InitialFan, the
 	// Initial cost reference).
 	WarmStart *difftree.Node
+	// SearchTree, when non-nil, seeds the MCTS strategy with the search tree
+	// persisted by a previous sequential run (Result.SearchTree), typically
+	// alongside WarmStart on a session append: if the warm root occurs in
+	// the reused tree, the search re-roots there and keeps the subtree's
+	// visit statistics instead of rebuilding the tree from scratch
+	// (Stats.ReRooted reports it; reconciliation semantics in mcts.Config).
+	// Only the sequential MCTS strategy consults it — tree-parallel and
+	// non-MCTS strategies ignore it and persist nothing.
+	SearchTree *mcts.Tree
 	// SkipInitialRef leaves Result.Initial zero and Stats.InitialFan
 	// unset, skipping the extraction pass and move enumeration that exist
 	// only to report the unsearched initial state's quality. Serving hot
@@ -120,6 +129,12 @@ type Result struct {
 	Initial  cost.Breakdown // cost of the initial state's best interface
 	Stats    Stats          // search statistics
 	Log      []*ast.Node    // the input log (parsed)
+	// SearchTree is the MCTS tree this search built (sequential MCTS only,
+	// nil otherwise). Feed it back through Options.SearchTree on the next
+	// warm-started call over the same session to re-root instead of
+	// rebuilding. It retains every state the search materialized; keep only
+	// the latest.
+	SearchTree *mcts.Tree
 }
 
 // Stats summarizes the search.
@@ -135,6 +150,7 @@ type Stats struct {
 	SpaceExhausted bool // StrategyExhaustive swept the entire space
 	Interrupted    bool // the context ended the search before its budget
 	WarmStarted    bool // the search was seeded from Options.WarmStart
+	ReRooted       bool // the MCTS tree was reused via Options.SearchTree
 	Workers        int  // root-parallel workers that contributed
 	TreeWorkers    int  // goroutines sharing each search tree (1 = sequential)
 	Elapsed        time.Duration
@@ -229,12 +245,13 @@ func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*R
 	stats.Trajectory = p.traj
 
 	out := &Result{
-		DiffTree: best,
-		UI:       ui,
-		Cost:     bd,
-		Initial:  initBD,
-		Log:      log,
-		Stats:    stats,
+		DiffTree:   best,
+		UI:         ui,
+		Cost:       bd,
+		Initial:    initBD,
+		Log:        log,
+		Stats:      stats,
+		SearchTree: res.tree,
 	}
 	return out, nil
 }
@@ -320,22 +337,24 @@ func (s state) Hash() uint64 { return s.h }
 
 // domain adapts the difftree space to mcts.Domain + mcts.Sampler, backed by
 // the shared evaluation engine. Beyond the engine's transposition cache it
-// keeps one run-local layer: materialized neighbor *states* per hash (the
-// engine caches move sets, which are shareable across workers; the trees
-// they produce are cheap to rebuild but cheaper to keep).
+// keeps one run-local layer: the reward memo, which dedupes the onCost
+// bookkeeping. Neighbor *states* are deliberately not memoized: the engine
+// caches the move sets (the expensive part), and rebuilding the successor
+// trees on demand is cheap — a previous per-run neighbor-state memo retained
+// tens of thousands of materialized trees, and the GC mark cost of that
+// pointer-dense heap was a large share of the cold-cache slowdown.
 //
-// With concurrent set (tree-parallel MCTS), the run-local maps are guarded
+// With concurrent set (tree-parallel MCTS), the run-local map is guarded
 // by mu; the engine underneath is already concurrency-safe. The sequential
 // path never touches the lock.
 type domain struct {
 	eng        *eval.Engine
 	ruleSet    []rules.Rule
 	scale      float64 // reward normalization: the initial state's cost
-	concurrent bool    // guard the run-local memos for tree-parallel workers
+	concurrent bool    // guard the run-local memo for tree-parallel workers
 	mu         sync.RWMutex
-	rewards    map[uint64]float64      // run-local reward memo (nil when memoization is off)
-	seen       map[uint64][]mcts.State // run-local neighbor-state memo (nil when memoization is off)
-	onCost     func(float64)           // observes each newly computed state cost
+	rewards    map[uint64]float64 // run-local reward memo (nil when memoization is off)
+	onCost     func(float64)      // observes each newly computed state cost
 }
 
 // cachedReward reads the run-local reward memo.
@@ -372,39 +391,10 @@ func (d *domain) storeReward(h uint64, r float64) bool {
 	return true
 }
 
-// cachedNeighbors reads the run-local neighbor-state memo.
-func (d *domain) cachedNeighbors(h uint64) ([]mcts.State, bool) {
-	if d.seen == nil {
-		return nil, false
-	}
-	if d.concurrent {
-		d.mu.RLock()
-		defer d.mu.RUnlock()
-	}
-	ns, ok := d.seen[h]
-	return ns, ok
-}
-
-// storeNeighbors writes the run-local neighbor-state memo, bounded so a
-// pathological run cannot hoard every materialized state forever.
-func (d *domain) storeNeighbors(h uint64, ns []mcts.State) {
-	if d.seen == nil {
-		return
-	}
-	if d.concurrent {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-	}
-	if len(d.seen) < 1<<14 {
-		d.seen[h] = ns
-	}
-}
-
 func newDomain(log []*ast.Node, opt Options, eng *eval.Engine) *domain {
 	d := &domain{eng: eng, ruleSet: opt.Rules}
 	if eng.Enabled() {
 		d.rewards = make(map[uint64]float64)
-		d.seen = make(map[uint64][]mcts.State)
 	}
 	init, err := difftree.Initial(log)
 	if err == nil {
@@ -420,21 +410,22 @@ func newDomain(log []*ast.Node, opt Options, eng *eval.Engine) *domain {
 }
 
 // Neighbors implements mcts.Domain: the engine's (memoized) legal move set,
-// applied. Materialized successor states are kept per run — rollouts and
-// expansion revisit popular states constantly.
+// applied. Successor trees are rebuilt on demand — content-identical each
+// time (states are keyed by structural hash everywhere), so not retaining
+// them trades a little rebuild work for a much smaller retained heap.
 func (d *domain) Neighbors(s mcts.State) []mcts.State {
 	st := s.(state)
-	if ns, ok := d.cachedNeighbors(st.h); ok {
-		return ns
-	}
 	ts := d.eng.Neighbors(st.d)
 	out := make([]mcts.State, 0, len(ts))
 	for _, t := range ts {
 		out = append(out, state{d: t, h: difftree.Hash(t)})
 	}
-	d.storeNeighbors(st.h, out)
 	return out
 }
+
+// spinePool recycles copy-on-write spine arenas for rollout candidates,
+// almost all of which fail the legality probe and are discarded.
+var spinePool = sync.Pool{New: func() any { return new(difftree.SpineArena) }}
 
 // RandomNeighbor implements mcts.Sampler: it draws random (rule, node)
 // candidates — restricted to node kinds the rule can match — and returns the
@@ -444,10 +435,18 @@ func (d *domain) Neighbors(s mcts.State) []mcts.State {
 // consults the memoization state, so the sampled walk is a pure function of
 // (state, rng stream): cached and uncached runs take identical
 // trajectories, the cache only answers the legality probes faster.
+// Candidates are built on a pooled spine arena; the accepted one is rebuilt
+// on the heap (consuming no rng draws), since arena trees must not become
+// retained search states.
 func (d *domain) RandomNeighbor(s mcts.State, rng *rand.Rand) (mcts.State, bool) {
 	st := s.(state)
 	cur := st.d
 	byKind := d.eng.PathPools(cur)
+	arena := spinePool.Get().(*difftree.SpineArena)
+	defer func() {
+		arena.Reset()
+		spinePool.Put(arena)
+	}()
 	const tries = 48
 	for i := 0; i < tries; i++ {
 		r := d.ruleSet[rng.Intn(len(d.ruleSet))]
@@ -476,14 +475,19 @@ func (d *domain) RandomNeighbor(s mcts.State, rng *rand.Rand) (mcts.State, bool)
 			}
 			idx -= len(byKind[k])
 		}
-		next, ok := rules.Candidate(cur, p, r)
+		arena.Reset()
+		next, ok := rules.CandidateArena(cur, p, r, arena)
 		if !ok {
 			continue
 		}
 		if !d.eng.LegalState(next) {
 			continue
 		}
-		return state{d: next, h: difftree.Hash(next)}, true
+		kept, ok := rules.Candidate(cur, p, r)
+		if !ok {
+			continue
+		}
+		return state{d: kept, h: difftree.Hash(kept)}, true
 	}
 	ns := d.Neighbors(s)
 	if len(ns) == 0 {
@@ -535,7 +539,6 @@ func RandomWalk(log []*ast.Node, steps int, seed int64) (*difftree.Node, error) 
 		eng:     eng,
 		ruleSet: rules.All(),
 		rewards: map[uint64]float64{},
-		seen:    map[uint64][]mcts.State{},
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cur := state{d: init, h: difftree.Hash(init)}

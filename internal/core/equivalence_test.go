@@ -109,6 +109,67 @@ func TestCachedUncachedEquivalence(t *testing.T) {
 	}
 }
 
+// TestReRootedDeltaEvalEquivalence extends the equivalence gate over the two
+// incremental-search features: delta cost evaluation (enabled whenever a
+// cache is present — the engine then shares widget M/U terms across states)
+// and MCTS tree re-rooting (Options.SearchTree). A warm-started, re-rooted
+// regeneration with memoization on must be bit-identical — best cost and
+// best difftree — to the same regeneration with memoization off, whose
+// engine recomputes everything from scratch. A reused tree is mutated by the
+// search that consumes it, so each follow-up gets its own tree, produced by
+// deterministic (and themselves equivalent) previous runs.
+func TestReRootedDeltaEvalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	log := workload.PaperFigure1Log()
+	base := Options{Iterations: 8, RolloutDepth: 6, Seed: 7}
+
+	prevCached, err := Generate(context.Background(), log, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncachedOpt := base
+	uncachedOpt.DisableMemo = true
+	prevUncached, err := Generate(context.Background(), log, uncachedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if difftree.Hash(prevCached.DiffTree) != difftree.Hash(prevUncached.DiffTree) {
+		t.Fatal("previous runs diverged; re-rooted comparison is meaningless")
+	}
+
+	reCached := base
+	reCached.WarmStart = prevCached.DiffTree
+	reCached.SearchTree = prevCached.SearchTree
+	cached, err := Generate(context.Background(), log, reCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reUncached := uncachedOpt
+	reUncached.WarmStart = prevUncached.DiffTree
+	reUncached.SearchTree = prevUncached.SearchTree
+	uncached, err := Generate(context.Background(), log, reUncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !cached.Stats.ReRooted || !uncached.Stats.ReRooted {
+		t.Fatalf("re-rooting did not engage: cached=%v uncached=%v",
+			cached.Stats.ReRooted, uncached.Stats.ReRooted)
+	}
+	if got, want := cached.Cost.Total(), uncached.Cost.Total(); got != want {
+		t.Errorf("delta-evaluated re-rooted cost %v != full-recompute cost %v", got, want)
+	}
+	if difftree.Hash(cached.DiffTree) != difftree.Hash(uncached.DiffTree) {
+		t.Errorf("re-rooted best difftree diverged:\n got %s\nwant %s",
+			cached.DiffTree, uncached.DiffTree)
+	}
+	// Note: Stats.Evals is not compared — the memoized run counts unique
+	// cost evaluations (the run-local reward memo dedupes the counter),
+	// the uncached reference counts every Reward call.
+}
+
 // TestParallelSharedCacheDeterministic: 8 root-parallel workers hammer one
 // shared transposition cache; the result must be deterministic across runs
 // and identical to the memoization-off run. Under `go test -race` (CI) this

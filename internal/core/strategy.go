@@ -32,10 +32,12 @@ type Strategy interface {
 }
 
 // searchOutcome is what a strategy hands back to Generate: the best
-// difftree plus the search-phase half of the final Stats.
+// difftree plus the search-phase half of the final Stats, and — for
+// sequential MCTS — the search tree for warm reuse.
 type searchOutcome struct {
 	best  *difftree.Node
 	stats Stats
+	tree  *mcts.Tree
 }
 
 // Progress is an anytime snapshot of a running search, delivered through
@@ -242,6 +244,10 @@ func (mctsStrategy) search(ctx context.Context, p *problem) searchOutcome {
 			inner(r)
 		}
 	}
+	var reuse *mcts.Tree
+	if tw == 1 {
+		reuse = p.opt.SearchTree // re-rooting is a sequential-search feature
+	}
 	res := mcts.Search(ctx, dom, state{d: p.root, h: difftree.Hash(p.root)}, mcts.Config{
 		C:                p.opt.ExplorationC,
 		MaxRolloutDepth:  p.opt.RolloutDepth,
@@ -250,10 +256,12 @@ func (mctsStrategy) search(ctx context.Context, p *problem) searchOutcome {
 		Seed:             p.opt.Seed,
 		TreeWorkers:      tw,
 		EvaluateChildren: true,
+		Reuse:            reuse,
 		Progress:         progress,
 	})
 	return searchOutcome{
 		best: res.Best.(state).d,
+		tree: res.Tree,
 		stats: Stats{
 			Strategy:    "mcts",
 			Iterations:  res.Iterations,
@@ -262,6 +270,7 @@ func (mctsStrategy) search(ctx context.Context, p *problem) searchOutcome {
 			Evals:       p.evals, // unique cost evaluations, the scale Progress/Trajectory use
 			BestReward:  res.BestReward,
 			Interrupted: res.Interrupted,
+			ReRooted:    res.ReRooted,
 			TreeWorkers: tw,
 		},
 	}

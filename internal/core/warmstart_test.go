@@ -118,3 +118,68 @@ func TestWarmStartIncrementalAppend(t *testing.T) {
 		t.Error("WarmStarted flapped across identical runs")
 	}
 }
+
+// TestSearchTreeReRootOnAppend is the serving-path regression test for tree
+// re-use: a warm-started append that also passes the previous search's tree
+// (Options.SearchTree) must re-root on it and spend fewer cost evaluations
+// than the identical append without the tree, at an equal final cost.
+func TestSearchTreeReRootOnAppend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search test")
+	}
+	log := workload.PaperFigure1Log()
+	if len(log) < 3 {
+		t.Skip("log too small to split")
+	}
+	base := Options{Iterations: 8, RolloutDepth: 6, Seed: 7}
+
+	// A pure re-generation (the session path's empty append) keeps the warm
+	// state legal by construction, so the runs differ only in tree reuse.
+	prev, err := Generate(context.Background(), log, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.SearchTree == nil {
+		t.Fatal("sequential MCTS generation persisted no search tree")
+	}
+
+	warmOpt := base
+	warmOpt.WarmStart = prev.DiffTree
+	scratch, err := Generate(context.Background(), log, warmOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Stats.ReRooted {
+		t.Fatal("append without Options.SearchTree claims re-rooting")
+	}
+
+	reOpt := warmOpt
+	reOpt.SearchTree = prev.SearchTree
+	rerooted, err := Generate(context.Background(), log, reOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rerooted.Stats.WarmStarted {
+		t.Fatal("warm state not reused — the re-root premise is gone")
+	}
+	if !rerooted.Stats.ReRooted {
+		t.Fatal("previous tree contains the warm root but the append did not re-root")
+	}
+	if rerooted.Stats.Evals >= scratch.Stats.Evals {
+		t.Errorf("re-rooted append used %d evals, from-scratch append %d; tree reuse must be cheaper",
+			rerooted.Stats.Evals, scratch.Stats.Evals)
+	}
+	if rerooted.Cost.Total() != scratch.Cost.Total() {
+		t.Errorf("re-rooted append cost %v != from-scratch append cost %v",
+			rerooted.Cost.Total(), scratch.Cost.Total())
+	}
+	for i, q := range log {
+		if !difftree.Expressible(rerooted.DiffTree, q) {
+			t.Errorf("query %d not expressible after re-rooted regeneration", i)
+		}
+	}
+	// The re-rooted run persists a tree of its own for the next append.
+	if rerooted.SearchTree == nil {
+		t.Error("re-rooted generation persisted no tree for the next append")
+	}
+}

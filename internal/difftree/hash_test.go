@@ -1,6 +1,8 @@
 package difftree
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -131,6 +133,77 @@ func TestHashNoDelimiterCollision(t *testing.T) {
 	}
 	if Hash(a) == Hash(b) {
 		t.Errorf("delimiter-emulating Value collides: %x", Hash(a))
+	}
+}
+
+// stdlibHash is the reference implementation of Hash's byte stream using the
+// hash/fnv hasher the production code used before the allocation-free inline
+// loop: header (Kind, Label, value length, child count), Value bytes, then
+// each child hash in little-endian.
+func stdlibHash(n *Node) uint64 {
+	if n == nil {
+		return nilHash
+	}
+	h := fnv.New64a()
+	var hdr [2 + 4 + 4]byte
+	hdr[0] = byte(n.Kind)
+	hdr[1] = byte(n.Label)
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(n.Value)))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(n.Children)))
+	h.Write(hdr[:])
+	h.Write([]byte(n.Value))
+	var cb [8]byte
+	for _, c := range n.Children {
+		binary.LittleEndian.PutUint64(cb[:], stdlibHash(c))
+		h.Write(cb[:])
+	}
+	s := h.Sum64()
+	if s == 0 {
+		s = nilHash
+	}
+	return s
+}
+
+// TestHashMatchesStdlibFNV pins the inlined allocation-free FNV-1a loop to
+// the stdlib hasher it replaced: per-state reward RNGs are seeded from these
+// values, so any drift in the byte stream would silently change search
+// trajectories and break the golden fixtures.
+func TestHashMatchesStdlibFNV(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := genDiff(rng, 4)
+		if got, want := Hash(rebuild(n)), stdlibHash(n); got != want {
+			t.Logf("inline hash %x != stdlib fnv %x for %s", got, want, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, testutil.QuickConfig(67, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if Hash(nil) != stdlibHash(nil) {
+		t.Error("nil hash drifted")
+	}
+}
+
+// TestHashMemoizedZeroAlloc pins the cold-cache fix: hashing a tree whose
+// hashes are already memoized performs no allocations at all, and even the
+// first hash of a fresh tree allocates nothing (the stdlib hasher used to
+// cost one heap object per node).
+func TestHashMemoizedZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := genDiff(rng, 5)
+	Hash(n)
+	if avg := testing.AllocsPerRun(100, func() { Hash(n) }); avg != 0 {
+		t.Errorf("memoized Hash allocates %v per call, want 0", avg)
+	}
+	fresh := make([]*Node, 101)
+	for i := range fresh {
+		fresh[i] = rebuild(n)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(100, func() { Hash(fresh[i]); i++ }); avg != 0 {
+		t.Errorf("first Hash of a fresh tree allocates %v per call, want 0", avg)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 )
@@ -36,16 +37,26 @@ func (a Assignment) Changed(b Assignment) []*Node {
 // reject the state).
 const matchBudget = 1 << 20
 
-// Expressible reports whether the difftree can generate the query.
+// Expressible reports whether the difftree can generate the query. Unlike
+// Express it records no trail and builds no assignment, so the common
+// legality-check path allocates nothing after the matcher pool warms up.
 func Expressible(root *Node, q *ast.Node) bool {
-	_, ok := Express(root, q)
+	m := acquireMatcher(false)
+	ok := m.matchQuery(root, q)
+	releaseMatcher(m)
 	return ok
 }
 
-// ExpressibleAll reports whether every query is expressible.
+// ExpressibleAll reports whether every query is expressible. One pooled
+// matcher (and its cons-cell arena) is reused across all queries; the
+// backtracking budget is per query, matching repeated Expressible calls.
 func ExpressibleAll(root *Node, qs []*ast.Node) bool {
+	m := acquireMatcher(false)
+	defer releaseMatcher(m)
 	for _, q := range qs {
-		if !Expressible(root, q) {
+		m.budget = matchBudget
+		m.chunk, m.used = 0, 0
+		if !m.matchQuery(root, q) {
 			return false
 		}
 	}
@@ -55,11 +66,12 @@ func ExpressibleAll(root *Node, qs []*ast.Node) bool {
 // Express finds choice assignments under which the difftree generates q.
 // The witness is deterministic (first found in a fixed alternative order).
 func Express(root *Node, q *ast.Node) (Assignment, bool) {
-	m := &matcher{budget: matchBudget}
-	if !m.match(&dlist{head: root}, []*ast.Node{q}) {
+	m := acquireMatcher(true)
+	if !m.matchQuery(root, q) {
+		releaseMatcher(m)
 		return nil, false
 	}
-	asg := make(Assignment)
+	asg := make(Assignment, len(m.trail))
 	for _, e := range m.trail {
 		if prev, ok := asg[e.node]; ok {
 			asg[e.node] = prev + "|" + e.choice
@@ -67,6 +79,7 @@ func Express(root *Node, q *ast.Node) (Assignment, bool) {
 			asg[e.node] = e.choice
 		}
 	}
+	releaseMatcher(m)
 	return asg, true
 }
 
@@ -76,13 +89,48 @@ type trailEvent struct {
 }
 
 type matcher struct {
-	trail  []trailEvent
-	budget int
+	trail     []trailEvent
+	budget    int
+	needTrail bool
+	qbuf      [1]*ast.Node
+
+	// Cons-cell arena: dlist cells live only for the duration of one match
+	// (match returns bool; nothing downstream holds a cell), so they are
+	// bump-allocated from reusable chunks instead of the heap.
+	chunks [][]dlist
+	chunk  int // index of the chunk being filled
+	used   int // cells used in chunks[chunk]
+}
+
+const dlistChunkSize = 512
+
+var matcherPool = sync.Pool{New: func() any { return &matcher{} }}
+
+func acquireMatcher(needTrail bool) *matcher {
+	m := matcherPool.Get().(*matcher)
+	m.budget = matchBudget
+	m.needTrail = needTrail
+	m.trail = m.trail[:0]
+	m.chunk, m.used = 0, 0
+	return m
+}
+
+func releaseMatcher(m *matcher) {
+	m.qbuf[0] = nil
+	matcherPool.Put(m)
+}
+
+func (m *matcher) matchQuery(root *Node, q *ast.Node) bool {
+	m.qbuf[0] = q
+	return m.match(m.cons(root, nil), m.qbuf[:1])
 }
 
 func (m *matcher) mark() int     { return len(m.trail) }
 func (m *matcher) undo(mark int) { m.trail = m.trail[:mark] }
 func (m *matcher) record(n *Node, choice string) {
+	if !m.needTrail {
+		return
+	}
 	m.trail = append(m.trail, trailEvent{n, choice})
 }
 
@@ -94,11 +142,30 @@ type dlist struct {
 	tail *dlist
 }
 
+// cons bump-allocates a cell from the matcher's arena. Cells abandoned by
+// backtracking are not reclaimed within a match (the budget bounds the
+// total); the whole arena is recycled when the matcher is released.
+func (m *matcher) cons(head *Node, tail *dlist) *dlist {
+	for m.chunk < len(m.chunks) && m.used == len(m.chunks[m.chunk]) {
+		m.chunk++
+		m.used = 0
+	}
+	if m.chunk == len(m.chunks) {
+		m.chunks = append(m.chunks, make([]dlist, dlistChunkSize))
+		m.used = 0
+	}
+	c := &m.chunks[m.chunk][m.used]
+	m.used++
+	c.head = head
+	c.tail = tail
+	return c
+}
+
 // consChildren pushes children onto rest, preserving order.
-func consChildren(children []*Node, rest *dlist) *dlist {
+func (m *matcher) consChildren(children []*Node, rest *dlist) *dlist {
 	out := rest
 	for i := len(children) - 1; i >= 0; i-- {
-		out = &dlist{head: children[i], tail: out}
+		out = m.cons(children[i], out)
 	}
 	return out
 }
@@ -127,7 +194,7 @@ func (m *matcher) match(ds *dlist, as []*ast.Node) bool {
 		case ast.KindEmpty:
 			return m.match(rest, as)
 		case ast.KindSeq:
-			return m.match(consChildren(d.Children, rest), as)
+			return m.match(m.consChildren(d.Children, rest), as)
 		default:
 			if len(as) == 0 {
 				return false
@@ -137,7 +204,7 @@ func (m *matcher) match(ds *dlist, as []*ast.Node) bool {
 				return false
 			}
 			mk := m.mark()
-			if !m.match(consChildren(d.Children, nil), a.Children) {
+			if !m.match(m.consChildren(d.Children, nil), a.Children) {
 				m.undo(mk)
 				return false
 			}
@@ -155,7 +222,7 @@ func (m *matcher) match(ds *dlist, as []*ast.Node) bool {
 			}
 			mk := m.mark()
 			m.record(d, choiceLabels.get(i))
-			if m.match(&dlist{head: c, tail: rest}, as) {
+			if m.match(m.cons(c, rest), as) {
 				return true
 			}
 			m.undo(mk)
@@ -167,7 +234,7 @@ func (m *matcher) match(ds *dlist, as []*ast.Node) bool {
 		mk := m.mark()
 		if headCanMatch(d.Children[0], as) {
 			m.record(d, "on")
-			if m.match(&dlist{head: d.Children[0], tail: rest}, as) {
+			if m.match(m.cons(d.Children[0], rest), as) {
 				return true
 			}
 			m.undo(mk)
@@ -186,7 +253,7 @@ func (m *matcher) match(ds *dlist, as []*ast.Node) bool {
 		mk := m.mark()
 		if headCanMatch(d.Children[0], as) {
 			m.record(d, "+")
-			if m.match(&dlist{head: d.Children[0], tail: &dlist{head: d, tail: rest}}, as) {
+			if m.match(m.cons(d.Children[0], m.cons(d, rest)), as) {
 				return true
 			}
 			m.undo(mk)

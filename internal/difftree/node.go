@@ -18,9 +18,7 @@
 package difftree
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"sync/atomic"
 
@@ -233,6 +231,30 @@ func Equal(a, b *Node) bool {
 // "not computed" sentinel of the per-node cache.
 const nilHash uint64 = 0x9ae16a3b2f90404f
 
+// FNV-1a 64-bit parameters (hash/fnv's, inlined so the hot path allocates
+// nothing — the stdlib hasher costs one heap object per rehash).
+const (
+	fnvOffset64 uint64 = 0xcbf29ce484222325
+	fnvPrime64  uint64 = 0x100000001b3
+)
+
+// fnvByte folds one byte into an FNV-1a state.
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvUint32 folds a uint32 in little-endian byte order.
+func fnvUint32(h uint64, v uint32) uint64 {
+	h = fnvByte(h, byte(v))
+	h = fnvByte(h, byte(v>>8))
+	h = fnvByte(h, byte(v>>16))
+	return fnvByte(h, byte(v>>24))
+}
+
+// fnvUint64 folds a uint64 in little-endian byte order.
+func fnvUint64(h uint64, v uint64) uint64 {
+	h = fnvUint32(h, uint32(v))
+	return fnvUint32(h, uint32(v>>32))
+}
+
 // Hash returns a structural hash of the subtree; used to deduplicate search
 // states and as the key of the evaluation engine's transposition cache.
 //
@@ -242,6 +264,12 @@ const nilHash uint64 = 0x9ae16a3b2f90404f
 // cached values. Value strings and child lists are length-prefixed, so no
 // crafted Value can emulate node boundaries (see TestHashNoDelimiterCollision
 // for the ambiguity the previous delimiter-based scheme allowed).
+//
+// The digest is FNV-1a over the same byte stream as always — header (Kind,
+// Label, value length, child count), Value bytes, then each child hash in
+// little-endian — inlined allocation-free. Per-state reward RNGs are seeded
+// from these values, so the byte stream (and therefore every hash) must stay
+// exactly stable; TestHashMatchesStdlibFNV pins the equivalence.
 func Hash(n *Node) uint64 {
 	if n == nil {
 		return nilHash
@@ -249,20 +277,17 @@ func Hash(n *Node) uint64 {
 	if h := n.h.Load(); h != 0 {
 		return h
 	}
-	hw := fnv.New64a()
-	var hdr [10]byte
-	hdr[0] = byte(n.Kind)
-	hdr[1] = byte(n.Label)
-	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(n.Value)))
-	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(n.Children)))
-	hw.Write(hdr[:])
-	hw.Write([]byte(n.Value))
-	var child [8]byte
-	for _, c := range n.Children {
-		binary.LittleEndian.PutUint64(child[:], Hash(c))
-		hw.Write(child[:])
+	h := fnvOffset64
+	h = fnvByte(h, byte(n.Kind))
+	h = fnvByte(h, byte(n.Label))
+	h = fnvUint32(h, uint32(len(n.Value)))
+	h = fnvUint32(h, uint32(len(n.Children)))
+	for i := 0; i < len(n.Value); i++ {
+		h = fnvByte(h, n.Value[i])
 	}
-	h := hw.Sum64()
+	for _, c := range n.Children {
+		h = fnvUint64(h, Hash(c))
+	}
 	if h == 0 {
 		h = nilHash
 	}
@@ -336,18 +361,24 @@ func At(root *Node, p Path) *Node {
 }
 
 // WalkPath visits every node with its path in pre-order; returning false
-// from fn prunes the node's subtree.
+// from fn prunes the node's subtree. The Path handed to fn shares one
+// backing buffer across the whole walk and is valid only for the duration
+// of the call: callers that retain it must Clone.
 func WalkPath(root *Node, fn func(*Node, Path) bool) {
-	var rec func(n *Node, p Path)
-	rec = func(n *Node, p Path) {
+	var buf [16]int
+	p := Path(buf[:0])
+	var rec func(n *Node)
+	rec = func(n *Node) {
 		if n == nil || !fn(n, p) {
 			return
 		}
 		for i, c := range n.Children {
-			rec(c, append(p, i))
+			p = append(p, i)
+			rec(c)
+			p = p[:len(p)-1]
 		}
 	}
-	rec(root, nil)
+	rec(root)
 }
 
 // ChoicePaths returns the paths of all choice nodes in pre-order.

@@ -159,110 +159,137 @@ func (c *Cache) insert(s *shard, key uint64) int {
 	}
 }
 
-// update applies fn to key's entry under the shard lock, creating the entry
-// (evicting a cold one when the shard is at capacity) if absent. New
-// entries are admitted with a clear reference bit, so a pure scan workload
-// evicts its own one-shot states before touching entries that have been
-// hit since the hand last passed.
-func (c *Cache) update(key uint64, fn func(*entry)) {
+// lockFor returns key's entry slot under the shard lock, creating the entry
+// (evicting a cold one when the shard is at capacity) if absent. New entries
+// are admitted with a clear reference bit, so a pure scan workload evicts
+// its own one-shot states before touching entries that have been hit since
+// the hand last passed. The caller must s.mu.Unlock after writing.
+func (c *Cache) lockFor(key uint64) (*shard, *entry) {
 	s := c.shard(key)
 	s.mu.Lock()
 	i, ok := s.m[key]
 	if !ok {
 		i = c.insert(s, key)
 	}
-	fn(&s.ring[i].e)
-	s.mu.Unlock()
+	return s, &s.ring[i].e
 }
 
-// Cost returns the memoized state cost.
-func (c *Cache) Cost(key uint64) (float64, bool) {
+// CachedState is a read-only snapshot of one state's full memo record — every
+// aspect the engine tracks, retrieved by a single keyed shard probe. The
+// Moves and Pools slices are shared with the cache: callers must not modify
+// them.
+type CachedState struct {
+	Cost     float64
+	HasCost  bool
+	Legal    bool
+	HasLegal bool
+	Moves    []rules.Move
+	HasMoves bool
+	Pools    [4][]difftree.Path
+	HasPools bool
+}
+
+// Probe returns key's full memo record in one shard lookup, marking the
+// CLOCK reference bit. It does not touch the hit/miss counters; callers
+// account per aspect with Count. The engine's hot path derives the mixed key
+// once and probes once, instead of re-keying around per-aspect getters.
+func (c *Cache) Probe(key uint64) (CachedState, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	e, found := s.get(key)
 	s.mu.Unlock()
-	ok := found && e.hasCost
+	if !found {
+		return CachedState{}, false
+	}
+	return CachedState{
+		Cost: e.cost, HasCost: e.hasCost,
+		Legal: e.legal == 1, HasLegal: e.legal != 0,
+		Moves: e.moves, HasMoves: e.hasMoves,
+		Pools: e.pools, HasPools: e.hasPools,
+	}, true
+}
+
+// Count records one aspect lookup outcome; pairs with Probe.
+func (c *Cache) Count(hit bool) { c.count(hit) }
+
+// Cost returns the memoized state cost.
+func (c *Cache) Cost(key uint64) (float64, bool) {
+	e, ok := c.Probe(key)
+	ok = ok && e.HasCost
 	c.count(ok)
 	if !ok {
 		return 0, false
 	}
-	return e.cost, true
+	return e.Cost, true
 }
 
 // SetCost records a state cost.
 func (c *Cache) SetCost(key uint64, v float64) {
-	c.update(key, func(e *entry) { e.cost, e.hasCost = v, true })
+	s, e := c.lockFor(key)
+	e.cost, e.hasCost = v, true
+	s.mu.Unlock()
 }
 
 // Legal returns the memoized legality verdict.
 func (c *Cache) Legal(key uint64) (legal, ok bool) {
-	s := c.shard(key)
-	s.mu.Lock()
-	e, found := s.get(key)
-	s.mu.Unlock()
-	ok = found && e.legal != 0
-	legal = ok && e.legal == 1
+	e, found := c.Probe(key)
+	ok = found && e.HasLegal
+	legal = ok && e.Legal
 	c.count(ok)
 	return legal, ok
 }
 
 // SetLegal records a legality verdict.
 func (c *Cache) SetLegal(key uint64, legal bool) {
-	c.update(key, func(e *entry) {
-		if legal {
-			e.legal = 1
-		} else {
-			e.legal = 2
-		}
-	})
+	s, e := c.lockFor(key)
+	if legal {
+		e.legal = 1
+	} else {
+		e.legal = 2
+	}
+	s.mu.Unlock()
 }
 
 // Moves returns the memoized legal move set. The returned slice is shared:
 // callers must not modify it.
 func (c *Cache) Moves(key uint64) ([]rules.Move, bool) {
-	s := c.shard(key)
-	s.mu.Lock()
-	e, found := s.get(key)
-	s.mu.Unlock()
-	ok := found && e.hasMoves
+	e, found := c.Probe(key)
+	ok := found && e.HasMoves
 	c.count(ok)
 	if !ok {
 		return nil, false
 	}
-	return e.moves, true
+	return e.Moves, true
 }
 
 // SetMoves records a legal move set. The cache takes ownership of ms.
 func (c *Cache) SetMoves(key uint64, ms []rules.Move) {
-	c.update(key, func(e *entry) {
-		if !e.hasMoves {
-			e.moves, e.hasMoves = ms, true
-		}
-	})
+	s, e := c.lockFor(key)
+	if !e.hasMoves {
+		e.moves, e.hasMoves = ms, true
+	}
+	s.mu.Unlock()
 }
 
 // Pools returns the memoized per-kind node path pools. The returned slices
 // are shared: callers must not modify them.
 func (c *Cache) Pools(key uint64) ([4][]difftree.Path, bool) {
-	s := c.shard(key)
-	s.mu.Lock()
-	e, found := s.get(key)
-	s.mu.Unlock()
-	ok := found && e.hasPools
+	e, found := c.Probe(key)
+	ok := found && e.HasPools
 	c.count(ok)
 	if !ok {
 		return [4][]difftree.Path{}, false
 	}
-	return e.pools, true
+	return e.Pools, true
 }
 
 // SetPools records per-kind node path pools. The cache takes ownership.
 func (c *Cache) SetPools(key uint64, pools [4][]difftree.Path) {
-	c.update(key, func(e *entry) {
-		if !e.hasPools {
-			e.pools, e.hasPools = pools, true
-		}
-	})
+	s, e := c.lockFor(key)
+	if !e.hasPools {
+		e.pools, e.hasPools = pools, true
+	}
+	s.mu.Unlock()
 }
 
 // Reset drops every memoized state (all fingerprints) and zeroes the

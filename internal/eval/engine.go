@@ -2,9 +2,11 @@ package eval
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/assign"
 	"repro/internal/ast"
@@ -30,21 +32,32 @@ type Config struct {
 // optional shared Cache. A nil cache disables memoization entirely — every
 // call recomputes — which is the reference baseline the bench harness
 // compares against. The Engine itself is stateless beyond the cache and
-// safe for concurrent use.
+// the delta-evaluation term memo, and safe for concurrent use.
 type Engine struct {
 	cfg   Config
 	cache *Cache
 	fp    uint64 // configuration fingerprint, mixed into every cache key
+
+	// terms is the cross-state widget term memo behind delta cost
+	// evaluation; nil when memoization is off, so the uncached engine stays
+	// the pure recompute-everything reference.
+	terms *cost.TermMemo
 }
 
 // New builds an engine over cfg, memoizing into cache (nil = uncached).
 func New(cfg Config, cache *Cache) *Engine {
-	return &Engine{cfg: cfg, cache: cache, fp: fingerprint(cfg)}
+	e := &Engine{cfg: cfg, cache: cache, fp: fingerprint(cfg)}
+	if cache != nil {
+		e.terms = cost.NewTermMemo()
+	}
+	return e
 }
 
 // fingerprint digests every config field a state's evaluation depends on,
 // so one Cache can back engines with different configurations without
-// cross-talk.
+// cross-talk. Rules are digested by full identity — dynamic type plus field
+// values — not just Name(): two rule sets that share names but differ in
+// parameterization must not share cache entries.
 func fingerprint(cfg Config) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -64,6 +77,8 @@ func fingerprint(cfg Config) uint64 {
 	w(uint64(cfg.Seed))
 	for _, r := range cfg.Rules {
 		h.Write([]byte(r.Name()))
+		h.Write([]byte{0})
+		fmt.Fprintf(h, "%T|%+v", r, r)
 		h.Write([]byte{0})
 	}
 	return h.Sum64()
@@ -104,18 +119,24 @@ func (e *Engine) SizeCap() int { return e.cfg.SizeCap }
 // function of (config, state): the sampling RNG is seeded from the state's
 // structural hash mixed with the base seed, never from a shared stream — so
 // every worker, cached or not, computes bit-identical values, and a cache
-// hit is indistinguishable from a recompute.
+// hit is indistinguishable from a recompute. With memoization on, widget
+// cost terms additionally flow through the cross-state delta memo — also
+// bit-identical by construction (see cost.TermMemo).
 func (e *Engine) StateCost(d *difftree.Node) float64 {
 	h := difftree.Hash(d)
+	var k uint64
 	if e.cache != nil {
-		if c, ok := e.cache.Cost(e.key(h)); ok {
-			return c
+		k = e.key(h)
+		if v, ok := e.cache.Probe(k); ok && v.HasCost {
+			e.cache.Count(true)
+			return v.Cost
 		}
+		e.cache.Count(false)
 	}
 	rng := rand.New(rand.NewSource(int64(mix64(h ^ uint64(e.cfg.Seed)))))
-	c := SampledCost(d, e.cfg.Log, e.cfg.Model, e.cfg.Samples, rng)
+	c := sampledCost(d, e.cfg.Log, e.cfg.Model, e.cfg.Samples, rng, e.terms)
 	if e.cache != nil {
-		e.cache.SetCost(e.key(h), c)
+		e.cache.SetCost(k, c)
 	}
 	return c
 }
@@ -124,11 +145,20 @@ func (e *Engine) StateCost(d *difftree.Node) float64 {
 // k random widget assignments drawn from rng; +Inf when no widget tree
 // expresses the log on the screen.
 func SampledCost(d *difftree.Node, log []*ast.Node, model cost.Model, k int, rng *rand.Rand) float64 {
+	return sampledCost(d, log, model, k, rng, nil)
+}
+
+func sampledCost(d *difftree.Node, log []*ast.Node, model cost.Model, k int, rng *rand.Rand, memo *cost.TermMemo) float64 {
 	plan, err := assign.BuildPlan(d)
 	if err != nil {
 		return math.Inf(1)
 	}
-	ev := model.NewEvaluator(d, log)
+	var ev *cost.Evaluator
+	if memo != nil {
+		ev = model.NewEvaluatorShared(d, log, memo)
+	} else {
+		ev = model.NewEvaluator(d, log)
+	}
 	if !d.HasChoice() {
 		return ev.Evaluate(nil).Total()
 	}
@@ -147,36 +177,52 @@ func SampledCost(d *difftree.Node, log []*ast.Node, model cost.Model, k int, rng
 // (itself amortized by per-node hash caching) and one shard lookup.
 func (e *Engine) LegalState(d *difftree.Node) bool {
 	h := difftree.Hash(d)
+	var k uint64
 	if e.cache != nil {
-		if v, ok := e.cache.Legal(e.key(h)); ok {
-			return v
+		k = e.key(h)
+		if v, ok := e.cache.Probe(k); ok && v.HasLegal {
+			e.cache.Count(true)
+			return v.Legal
 		}
+		e.cache.Count(false)
 	}
 	v := (e.cfg.SizeCap <= 0 || d.Size() <= e.cfg.SizeCap) && rules.LegalState(d, e.cfg.Log)
 	if e.cache != nil {
-		e.cache.SetLegal(e.key(h), v)
+		e.cache.SetLegal(k, v)
 	}
 	return v
 }
 
+// spinePool recycles the copy-on-write spine arenas used for candidate
+// trees that exist only long enough to be legality-checked.
+var spinePool = sync.Pool{New: func() any { return new(difftree.SpineArena) }}
+
 // Moves enumerates d's legal moves — rule pattern matches, the rewrite is
 // within the size cap, and every query stays expressible — in deterministic
 // order (pre-order paths, rule order), memoized per state. The returned
-// slice is shared with the cache; callers must not modify it.
+// slice is shared with the cache; callers must not modify it. Candidate
+// trees are spine-allocated from a pooled arena: only the (rule, path)
+// pair survives the legality check, never the tree.
 func (e *Engine) Moves(d *difftree.Node) []rules.Move {
 	h := difftree.Hash(d)
+	var k uint64
 	if e.cache != nil {
-		if ms, ok := e.cache.Moves(e.key(h)); ok {
-			return ms
+		k = e.key(h)
+		if v, ok := e.cache.Probe(k); ok && v.HasMoves {
+			e.cache.Count(true)
+			return v.Moves
 		}
+		e.cache.Count(false)
 	}
+	arena := spinePool.Get().(*difftree.SpineArena)
 	var out []rules.Move
 	difftree.WalkPath(d, func(n *difftree.Node, p difftree.Path) bool {
 		for _, r := range e.cfg.Rules {
 			if kinds, ok := rules.MatchKinds[r.Name()]; ok && !kinds[n.Kind] {
 				continue
 			}
-			next, ok := rules.Candidate(d, p, r)
+			arena.Reset()
+			next, ok := rules.CandidateArena(d, p, r, arena)
 			if !ok {
 				continue
 			}
@@ -187,8 +233,10 @@ func (e *Engine) Moves(d *difftree.Node) []rules.Move {
 		}
 		return true
 	})
+	arena.Reset()
+	spinePool.Put(arena)
 	if e.cache != nil {
-		e.cache.SetMoves(e.key(h), out)
+		e.cache.SetMoves(k, out)
 	}
 	return out
 }
@@ -196,21 +244,41 @@ func (e *Engine) Moves(d *difftree.Node) []rules.Move {
 // PathPools returns d's node paths grouped by node kind, memoized per
 // state. Rollout samplers draw (rule, node) candidates from these pools on
 // every walk step; without memoization each step re-walks the tree and
-// re-allocates every path.
+// re-allocates every path. All paths share one exactly-sized backing array,
+// so building the pools costs a handful of allocations, not one per node.
 func (e *Engine) PathPools(d *difftree.Node) [4][]difftree.Path {
 	h := difftree.Hash(d)
+	var k uint64
 	if e.cache != nil {
-		if pools, ok := e.cache.Pools(e.key(h)); ok {
-			return pools
+		k = e.key(h)
+		if v, ok := e.cache.Probe(k); ok && v.HasPools {
+			e.cache.Count(true)
+			return v.Pools
+		}
+		e.cache.Count(false)
+	}
+	var counts [4]int
+	total := 0
+	difftree.WalkPath(d, func(n *difftree.Node, p difftree.Path) bool {
+		counts[n.Kind]++
+		total += len(p)
+		return true
+	})
+	var pools [4][]difftree.Path
+	for kind, c := range counts {
+		if c > 0 {
+			pools[kind] = make([]difftree.Path, 0, c)
 		}
 	}
-	var pools [4][]difftree.Path
+	flat := make([]int, 0, total) // exact capacity: subslices stay valid
 	difftree.WalkPath(d, func(n *difftree.Node, p difftree.Path) bool {
-		pools[n.Kind] = append(pools[n.Kind], p.Clone())
+		off := len(flat)
+		flat = append(flat, p...)
+		pools[n.Kind] = append(pools[n.Kind], difftree.Path(flat[off:len(flat):len(flat)]))
 		return true
 	})
 	if e.cache != nil {
-		e.cache.SetPools(e.key(h), pools)
+		e.cache.SetPools(k, pools)
 	}
 	return pools
 }

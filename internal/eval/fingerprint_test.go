@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/difftree"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+// toggleRule is a parameterized rule: same Name for every instance, but the
+// parameter decides whether it applies at all. Two rule sets built from
+// different parameterizations must not share cache entries.
+type toggleRule struct{ on bool }
+
+func (r toggleRule) Name() string { return "Toggle" }
+
+func (r toggleRule) Apply(n *difftree.Node) (*difftree.Node, bool) {
+	if !r.on {
+		return nil, false
+	}
+	return &difftree.Node{Kind: n.Kind, Label: n.Label, Value: n.Value, Children: n.Children}, true
+}
+
+// TestFingerprintCoversRuleParameters pins the cross-config isolation fix:
+// the config fingerprint used to digest rules by Name() only, so two engines
+// whose rule sets shared names but differed in parameterization mapped to
+// the same cache keys — and the second engine served the first engine's
+// memoized move sets. The fingerprint must cover full rule identity.
+func TestFingerprintCoversRuleParameters(t *testing.T) {
+	log := workload.PaperFigure1Log()
+	base := Config{Log: log, Samples: 1, Seed: 1}
+
+	on, off := base, base
+	on.Rules = []rules.Rule{toggleRule{on: true}}
+	off.Rules = []rules.Rule{toggleRule{on: false}}
+
+	if fingerprint(on) == fingerprint(off) {
+		t.Fatal("configs differing only in rule parameterization fingerprint equally")
+	}
+
+	init, err := difftree.Initial(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewCache(0)
+	engOn := New(on, shared)
+	engOff := New(off, shared)
+
+	// Order matters for the regression: the enabled engine memoizes its
+	// (non-empty) move set first; with colliding keys the disabled engine
+	// would then serve that entry instead of its own empty answer.
+	if ms := engOn.Moves(init); len(ms) == 0 {
+		t.Fatal("enabled toggle rule produced no moves; the collision is not exercised")
+	}
+	if ms := engOff.Moves(init); len(ms) != 0 {
+		t.Errorf("disabled-rule engine served %d moves from the enabled engine's cache entry", len(ms))
+	}
+}

@@ -74,6 +74,19 @@ type Config struct {
 	// EvaluateChildren also scores each expanded child directly, so good
 	// intermediate states are never missed; costs one Reward call per child.
 	EvaluateChildren bool
+	// Reuse, when non-nil, seeds the search with a tree persisted by a
+	// previous sequential Search (Result.Tree). If the new root state occurs
+	// anywhere in the reused tree, that subtree — visit counts, totals, and
+	// children included — becomes the new search tree (Result.ReRooted
+	// reports it); otherwise the search starts fresh. Reused nodes carry an
+	// older epoch: selection treats them as unexpanded, and expansion
+	// re-derives their neighbor set under the *current* domain, merging by
+	// state hash so surviving children keep their statistics while vanished
+	// states drop and new ones appear. Children that kept visits skip their
+	// simulation pass, which is where a warm-started session append saves
+	// evaluations. Ignored when TreeWorkers > 1 (the tree-parallel searcher
+	// builds its own tree and persists none).
+	Reuse *Tree
 	// Progress, when non-nil, is invoked after every iteration with the
 	// running result (anytime observability). It runs on the search
 	// goroutine and must be fast. With TreeWorkers > 1 it may be invoked
@@ -103,6 +116,50 @@ type Result struct {
 	Rollouts    int     // total random walks
 	Evals       int     // total Reward calls
 	Interrupted bool    // the context ended the search before its budget
+	Tree        *Tree   // the search tree, reusable via Config.Reuse (nil when tree-parallel)
+	ReRooted    bool    // the search started from a subtree of Config.Reuse
+}
+
+// Tree is an opaque persisted search tree, handed back by a sequential
+// Search and accepted by Config.Reuse. It retains every state the search
+// materialized, so holders should replace it with each newer Result.Tree
+// rather than accumulate generations.
+type Tree struct {
+	root  *node
+	epoch uint32
+}
+
+// Nodes counts the tree's nodes (stats and tests).
+func (t *Tree) Nodes() int {
+	if t == nil || t.root == nil {
+		return 0
+	}
+	n := 0
+	stack := []*node{t.root}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n++
+		stack = append(stack, c.children...)
+	}
+	return n
+}
+
+// find returns the first node (pre-order) whose state hash is h, or nil.
+func (t *Tree) find(h uint64) *node {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	stack := []*node{t.root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.state.Hash() == h {
+			return n
+		}
+		stack = append(stack, n.children...)
+	}
+	return nil
 }
 
 type node struct {
@@ -112,6 +169,10 @@ type node struct {
 	visits   int
 	total    float64
 	expanded bool
+	// epoch stamps which Search run last expanded this node. A reused node
+	// from an older run fails the selection-time epoch check and is
+	// reconciled against the current domain before being descended through.
+	epoch uint32
 }
 
 // uct computes the node's UCT score given its parent's visit count.
@@ -156,8 +217,20 @@ func Search(ctx context.Context, d Domain, root State, cfg Config) Result {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	s := &searcher{d: d, cfg: cfg, rng: rng, ctx: ctx, deadline: deadline}
+	s := &searcher{d: d, cfg: cfg, rng: rng, ctx: ctx, deadline: deadline, epoch: 1}
 	rootNode := &node{state: root}
+	if cfg.Reuse != nil {
+		s.epoch = cfg.Reuse.epoch + 1
+		if n := cfg.Reuse.find(root.Hash()); n != nil {
+			// Re-root: the reused subtree keeps its statistics; its parent
+			// link is severed so backprop stops here and the abandoned
+			// ancestors become garbage.
+			n.parent = nil
+			rootNode = n
+			s.res.ReRooted = true
+		}
+	}
+	s.res.Tree = &Tree{root: rootNode, epoch: s.epoch}
 	s.res.Best = root
 	s.res.BestReward = s.eval(root)
 
@@ -182,7 +255,41 @@ func Search(ctx context.Context, d Domain, root State, cfg Config) Result {
 			}
 		}
 	}
+	s.primeBest()
 	return s.res
+}
+
+// primeBest prepares the persisted tree for reuse. A warm-started follow-up
+// search re-roots at this search's best state, but the best state is almost
+// always an unexpanded frontier leaf — a subtree with no statistics to
+// reuse. Expanding it here gives that follow-up visited children to skip.
+// Only tree statistics change: the Result counters, the incumbent best, and
+// the search rng stream are untouched (child rewards are deterministic per
+// state and not counted in Evals), so the search outcome stays bit-identical
+// with or without priming. Skipped when the search was cut short — the
+// budget is spent — and when the best state never became a tree node (e.g.
+// it was only ever a rollout endpoint).
+func (s *searcher) primeBest() {
+	if s.res.Interrupted || s.expired() {
+		return
+	}
+	n := s.res.Tree.find(s.res.Best.Hash())
+	if n == nil || n.expanded {
+		return
+	}
+	seen := map[uint64]bool{n.state.Hash(): true}
+	for _, st := range s.d.Neighbors(n.state) {
+		h := st.Hash()
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		c := &node{state: st, parent: n}
+		backprop(c, s.d.Reward(st))
+		n.children = append(n.children, c)
+	}
+	n.expanded = true
+	n.epoch = s.epoch
 }
 
 type searcher struct {
@@ -191,6 +298,7 @@ type searcher struct {
 	rng      *rand.Rand
 	ctx      context.Context
 	deadline time.Time
+	epoch    uint32
 	res      Result
 }
 
@@ -230,9 +338,11 @@ func (s *searcher) eval(st State) float64 {
 // the cycle ran to completion (false when cancellation or the wall-clock
 // deadline cut the simulation pass short).
 func (s *searcher) iterate(root *node) bool {
-	// Selection: descend by UCT until an unexpanded node.
+	// Selection: descend by UCT until an unexpanded node — or a node last
+	// expanded by a previous search run (stale epoch), which must be
+	// reconciled against the current domain before descending through it.
 	n := root
-	for n.expanded && len(n.children) > 0 {
+	for n.expanded && n.epoch == s.epoch && len(n.children) > 0 {
 		best := n.children[0]
 		bestScore := uct(best, s.cfg.C)
 		for _, c := range n.children[1:] {
@@ -244,18 +354,36 @@ func (s *searcher) iterate(root *node) bool {
 	}
 
 	// Expansion: materialize all immediate neighbors, dropping duplicates.
-	if !n.expanded {
+	// For a reused stale node this is a reconciliation: the neighbor set is
+	// re-derived under the current domain and merged by state hash, so
+	// surviving children keep their visit statistics, states that are no
+	// longer reachable drop out, and newly legal states join fresh.
+	if !n.expanded || n.epoch != s.epoch {
+		var old map[uint64]*node
+		if n.expanded && len(n.children) > 0 {
+			old = make(map[uint64]*node, len(n.children))
+			for _, c := range n.children {
+				old[c.state.Hash()] = c
+			}
+		}
 		n.expanded = true
+		n.epoch = s.epoch
 		s.res.Expanded++
 		seen := map[uint64]bool{n.state.Hash(): true}
+		var kids []*node
 		for _, st := range s.d.Neighbors(n.state) {
 			h := st.Hash()
 			if seen[h] {
 				continue
 			}
 			seen[h] = true
-			n.children = append(n.children, &node{state: st, parent: n})
+			if oc := old[h]; oc != nil {
+				kids = append(kids, oc)
+			} else {
+				kids = append(kids, &node{state: st, parent: n})
+			}
 		}
+		n.children = kids
 	}
 
 	if len(n.children) == 0 {

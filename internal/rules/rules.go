@@ -133,6 +133,35 @@ func Candidate(root *difftree.Node, p difftree.Path, r Rule) (*difftree.Node, bo
 	return next, true
 }
 
+// CandidateArena is Candidate with the copy-on-write spine bump-allocated
+// from a. The returned tree obeys difftree.SpineArena's lifetime contract: it
+// is valid only until a.Reset and must not be retained as a search state —
+// callers that keep a candidate rebuild it with Candidate.
+func CandidateArena(root *difftree.Node, p difftree.Path, r Rule, a *difftree.SpineArena) (*difftree.Node, bool) {
+	n := difftree.At(root, p)
+	if n == nil {
+		return nil, false
+	}
+	if pa, ok := r.(parentAware); ok {
+		var parent *difftree.Node
+		if len(p) > 0 {
+			parent = difftree.At(root, p[:len(p)-1])
+		}
+		if !pa.AllowedUnder(parent) {
+			return nil, false
+		}
+	}
+	sub, ok := r.Apply(n)
+	if !ok {
+		return nil, false
+	}
+	next := a.ReplaceAt(root, p, sub)
+	if next == nil {
+		return nil, false
+	}
+	return next, true
+}
+
 // Moves enumerates all legal moves on root using the given rule set: the
 // rule pattern matches, the resulting tree validates, and every query stays
 // expressible. The result order is deterministic (pre-order paths, rule

@@ -380,6 +380,9 @@ type SearchStats struct {
 	TreeWorkers int    `json:"tree_workers"`
 	Interrupted bool   `json:"interrupted"`
 	WarmStarted bool   `json:"warm_started"`
+	// ReRooted reports that this search reused the session's previous MCTS
+	// tree, re-rooted at its best state (sequential session appends only).
+	ReRooted bool `json:"re_rooted"`
 }
 
 // GenerateResponse is the result of a generation (one-shot or session).
@@ -440,7 +443,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := req.Stream || acceptsSSE(r)
 	s.runSearch(w, r, stream, func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error) {
-		iface, err := mctsui.New(searchOpts(baseOpts, nil, progress)...).Generate(ctx, req.Queries)
+		iface, err := mctsui.New(searchOpts(baseOpts, nil, nil, progress)...).Generate(ctx, req.Queries)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -559,10 +562,13 @@ func (s *Server) options(p SearchParams) ([]mctsui.Option, error) {
 
 // searchOpts extends resolved base options with the per-search extras,
 // without aliasing the base slice's backing array across searches.
-func searchOpts(base []mctsui.Option, warm *mctsui.Interface, progress func(mctsui.Progress)) []mctsui.Option {
+func searchOpts(base []mctsui.Option, warm *mctsui.Interface, tree *mctsui.SearchTree, progress func(mctsui.Progress)) []mctsui.Option {
 	opts := base[:len(base):len(base)]
 	if warm != nil {
 		opts = append(opts, mctsui.WithWarmStart(warm))
+	}
+	if tree != nil {
+		opts = append(opts, mctsui.WithSearchTree(tree))
 	}
 	if progress != nil {
 		opts = append(opts, mctsui.WithProgress(progress))
@@ -598,6 +604,7 @@ func (s *Server) response(iface *mctsui.Interface, session string, queryCount in
 			TreeWorkers: st.TreeWorkers,
 			Interrupted: st.Interrupted,
 			WarmStarted: st.WarmStarted,
+			ReRooted:    st.ReRooted,
 		},
 	}, nil
 }

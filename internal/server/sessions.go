@@ -29,6 +29,11 @@ type session struct {
 	// reachable as sess.Interface(). nil until the first successful
 	// generation or import. Guarded by lockc.
 	sess *mctsui.Session
+	// tree is the MCTS search tree persisted by the session's latest
+	// generation, re-rooted into the next append's search (nil for
+	// tree-parallel or non-MCTS searches, and for imported interfaces).
+	// Only the latest tree is kept. Guarded by lockc.
+	tree *mctsui.SearchTree
 	// lastUsed, refs, and populated are guarded by the *server* mutex:
 	// refs counts requests between lookup and done — eviction skips
 	// refs > 0, so a session handed to a handler can never be discarded
@@ -211,7 +216,7 @@ func (s *Server) handleSessionQueries(w http.ResponseWriter, r *http.Request) {
 		if sess.sess != nil {
 			warm = sess.sess.Interface()
 		}
-		iface, err := mctsui.New(searchOpts(baseOpts, warm, progress)...).Generate(ctx, queries)
+		iface, err := mctsui.New(searchOpts(baseOpts, warm, sess.tree, progress)...).Generate(ctx, queries)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
 		}
@@ -234,7 +239,7 @@ func (s *Server) handleSessionQueries(w http.ResponseWriter, r *http.Request) {
 		if prevSQL != "" {
 			_ = ui.LoadQuery(prevSQL)
 		}
-		sess.queries, sess.sess = queries, ui
+		sess.queries, sess.sess, sess.tree = queries, ui, iface.SearchTree()
 		s.markPopulated(sess)
 		resp, err := s.response(iface, id, len(queries))
 		if err != nil {
@@ -399,7 +404,9 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	created := sess.sess == nil
-	sess.queries, sess.sess = queries, iface.NewSession()
+	// An import replaces the session's state wholesale; any search tree from
+	// a previous generation described the replaced interface, so drop it.
+	sess.queries, sess.sess, sess.tree = queries, iface.NewSession(), nil
 	sess.unlock()
 	s.markPopulated(sess)
 	resp, err := s.response(iface, id, len(queries))

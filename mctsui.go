@@ -190,6 +190,18 @@ func (f *Interface) Stats() Stats { return f.res.Stats }
 // Deprecated: use Stats.
 func (f *Interface) SearchStats() Stats { return f.res.Stats }
 
+// SearchTree returns the MCTS search tree this generation persisted, for
+// feeding back through WithSearchTree on the next generation over an
+// appended log (see that option for the re-rooting contract). It is nil
+// unless the interface came from a sequential (TreeWorkers <= 1) MCTS
+// search.
+func (f *Interface) SearchTree() *SearchTree {
+	if f.res.SearchTree == nil {
+		return nil
+	}
+	return &SearchTree{t: f.res.SearchTree}
+}
+
 // InitialCost returns the best cost achievable at the unsearched initial
 // state (the paper's Figure 2(a)-style interface); the gap to Cost()
 // measures what the search bought.
