@@ -43,13 +43,16 @@ bench-allocs:
 # bench-json regenerates BENCH_search.json: iterations/sec with the
 # transposition cache cold, warm, and disabled — one section per workload
 # (sdss and sdss-join) — plus the cache hit rate, best cost,
-# allocations-per-iteration for every mode, and the first workload's
+# allocations-per-iteration for every mode, each workload's snapshot
+# section (restart-from-snapshot: warm cache exported through the codec and
+# imported into a fresh cache before searching), and the first workload's
 # tree_parallel section (4 workers on one tree vs sequential, both cold).
 # Fails if any workload's warm-cache speedup drops below 3x, if a cold
 # first search is slower than uncached (speedup_cold < 1.0 — every mode is
 # timed fastest-of-N, cold with a fresh cache per repetition), if a warm
-# run allocates more than 300k/iteration, if caching changes a result, or —
-# on machines with >= 4 CPUs — if tree-parallel misses 2x iters/sec or
+# run allocates more than 300k/iteration, if restart-from-snapshot misses
+# 3x over cold or changes a result, if caching changes a result, or — on
+# machines with >= 4 CPUs — if tree-parallel misses 2x iters/sec or
 # worsens the best cost. Pass COMPARE=old.json to print per-metric deltas
 # (including allocs/iter) before the gates.
 bench-json:
@@ -89,6 +92,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParseRenderRoundTrip -fuzztime 10s
 	$(GO) test ./internal/sqlparser -run '^$$' -fuzz FuzzParseRenderMultiTable -fuzztime 10s
 	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
+	$(GO) test ./internal/eval -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 10s
 
 # join-scenarios mirrors the CI acceptance step for the multi-table grammar:
 # end-to-end join/union/subquery generation, golden fixtures, and a

@@ -1,0 +1,84 @@
+package mctsui
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestCacheSnapshotRestartWarmStart is the restart story end to end through
+// the public API: generate with cache A, save A to disk, load into a fresh
+// cache B (a "restarted process"), and regenerate. The second run must
+// return the byte-identical interface and be warm from the first request.
+func TestCacheSnapshotRestartWarmStart(t *testing.T) {
+	warm := NewCache(0)
+	ifaceA, err := fastGen(WithCache(warm)).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	saved, err := warm.SaveSnapshot(path)
+	if err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if saved <= 0 {
+		t.Fatalf("saved %d entries", saved)
+	}
+
+	restored := NewCache(0)
+	loaded, err := restored.LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if loaded != saved {
+		t.Fatalf("loaded %d entries, saved %d", loaded, saved)
+	}
+
+	ifaceB, err := fastGen(WithCache(restored)).Generate(context.Background(), paperLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifaceA.Cost() != ifaceB.Cost() {
+		t.Errorf("restart changed best cost: %v != %v", ifaceA.Cost(), ifaceB.Cost())
+	}
+	if ifaceA.DiffTree() != ifaceB.DiffTree() {
+		t.Error("restart changed the best difftree")
+	}
+
+	// Warm from the first request: every cost/legality lookup the restored
+	// run made must have hit (moves/pools rebuild against warm verdicts, so
+	// misses there are expected — but the hit rate must be clearly warm, not
+	// the near-zero of a cold start).
+	st := restored.Stats()
+	if st.Hits == 0 {
+		t.Fatal("restored cache saw no hits")
+	}
+	if rate := st.HitRate(); rate < 0.5 {
+		t.Errorf("restored hit rate %.2f, want warm (>= 0.5); stats %+v", rate, st)
+	}
+}
+
+// TestCacheWriteToReadFrom exercises the streaming pair directly.
+func TestCacheWriteToReadFrom(t *testing.T) {
+	warm := NewCache(0)
+	if _, err := fastGen(WithCache(warm)).Generate(context.Background(), paperLog); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := warm.WriteTo(&buf)
+	if err != nil || n <= 0 {
+		t.Fatalf("WriteTo: n=%d err=%v", n, err)
+	}
+	fresh := NewCache(0)
+	m, err := fresh.ReadFrom(&buf)
+	if err != nil || m != n {
+		t.Fatalf("ReadFrom: m=%d (want %d) err=%v", m, n, err)
+	}
+	// Garbage through the public surface maps to the exported sentinel.
+	if _, err := fresh.ReadFrom(bytes.NewReader([]byte("not a snapshot"))); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("garbage import: got %v, want ErrSnapshotFormat", err)
+	}
+}

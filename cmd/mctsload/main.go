@@ -126,21 +126,7 @@ func main() {
 
 	rep := load.BuildReport(spec, res)
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
-	cpus, qualified := benchutil.GateEnforced(*gateCPUs)
-	rep.CPUs = cpus
-	rep.GateEnforced = qualified
-	if *maxP99 > 0 {
-		rep.Gates = append(rep.Gates, load.Gate{
-			Name: "total_p99_ms", Value: rep.Total.Latency.P99, Budget: *maxP99,
-			Pass: rep.Total.Latency.P99 <= *maxP99,
-		})
-	}
-	if *minGoodput > 0 {
-		rep.Gates = append(rep.Gates, load.Gate{
-			Name: "goodput_rps", Value: rep.Total.GoodputRPS, Budget: *minGoodput,
-			Pass: rep.Total.GoodputRPS >= *minGoodput,
-		})
-	}
+	failed := rep.ApplyGates(load.GateSpec{MaxP99MS: *maxP99, MinGoodputRPS: *minGoodput}, *gateCPUs)
 
 	if err := benchutil.WriteJSON(*out, rep); err != nil {
 		fatalf("%v", err)
@@ -153,13 +139,10 @@ func main() {
 		printComparison(*comparePath, rep)
 	}
 
-	for _, g := range rep.Gates {
-		if g.Pass {
-			continue
-		}
+	for _, g := range failed {
 		if !rep.GateEnforced {
 			fmt.Printf("gate %s: %.2f vs budget %.2f — FAILED but not enforced (cpus=%d < %d)\n",
-				g.Name, g.Value, g.Budget, cpus, *gateCPUs)
+				g.Name, g.Value, g.Budget, rep.CPUs, *gateCPUs)
 			continue
 		}
 		fatalf("gate %s: %.2f vs budget %.2f", g.Name, g.Value, g.Budget)

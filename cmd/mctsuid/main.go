@@ -8,6 +8,7 @@
 //	        [-max-workers N] [-queue-depth N] [-queue-wait 10s]
 //	        [-max-budget 1m] [-default-budget 0] [-max-sessions 1024]
 //	        [-max-queries 500] [-shutdown-grace 10s]
+//	        [-cache-snapshot PATH] [-snapshot-interval 5m]
 //
 // Endpoints (all JSON; see internal/server):
 //
@@ -16,7 +17,16 @@
 //	POST /v1/sessions/{id}/interact drive the session's widgets
 //	POST /v1/sessions/{id}/import   load a persisted interface as a session
 //	GET  /v1/sessions/{id}/export   persisted JSON or interactive HTML
+//	GET  /v1/cache/export           warm-cache snapshot (binary)
+//	POST /v1/cache/import           merge a snapshot into the cache
 //	GET  /v1/stats, GET /healthz    observability
+//
+// With -cache-snapshot PATH the daemon loads the snapshot at boot (a
+// missing or stale file logs a warning and starts cold — never fails the
+// boot), rewrites it every -snapshot-interval (atomic temp-file+rename, so
+// a crash mid-write keeps the previous snapshot), and persists a final
+// snapshot on graceful shutdown. Restarts therefore serve warm from the
+// first request.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight searches are cancelled and
 // return their best-so-far interfaces (the daemon analogue of cmd/mctsui's
@@ -49,6 +59,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "max resident sessions before LRU eviction (0 = 1024)")
 	maxQueries := flag.Int("max-queries", 0, "max queries per session/request log (0 = 500)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	snapshotPath := flag.String("cache-snapshot", "", "cache snapshot file: loaded at boot, rewritten periodically and on graceful shutdown (empty = no persistence)")
+	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Minute, "how often to persist the cache snapshot (with -cache-snapshot)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -70,6 +82,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *snapshotPath != "" {
+		// Boot warm when a snapshot exists; a missing, stale, or corrupt file
+		// is a cold start, never a failed one — the snapshot codec fully
+		// verifies before merging, so a bad file cannot poison the cache.
+		if n, err := srv.Cache().LoadSnapshot(*snapshotPath); err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				fmt.Fprintf(os.Stderr, "mctsuid: starting cold, cache snapshot unusable: %v\n", err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "mctsuid: warm start, %d cache entries from %s\n", n, *snapshotPath)
+		}
+		go persistLoop(ctx, srv, *snapshotPath, *snapshotInterval)
+	}
 	shutdownDone := make(chan struct{})
 	go func() {
 		defer close(shutdownDone)
@@ -84,6 +110,11 @@ func main() {
 		defer cancel()
 		_ = srv.Shutdown(shutCtx)
 		_ = httpSrv.Shutdown(shutCtx)
+		if *snapshotPath != "" {
+			// Final persist after the drain: the warm set the next boot (or a
+			// replacement replica) starts from.
+			persist(srv, *snapshotPath)
+		}
 	}()
 
 	fmt.Fprintf(os.Stderr, "mctsuid: serving on %s\n", *addr)
@@ -97,4 +128,33 @@ func main() {
 	// response. stop() unblocks it when the listener failed on its own.
 	stop()
 	<-shutdownDone
+}
+
+// persistLoop rewrites the cache snapshot every interval until ctx is done;
+// the shutdown goroutine writes the final one after the drain.
+func persistLoop(ctx context.Context, srv *server.Server, path string, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			persist(srv, path)
+		}
+	}
+}
+
+// persist writes one crash-safe snapshot (temp file + rename); failures are
+// logged and retried at the next tick — the previous snapshot stays intact.
+func persist(srv *server.Server, path string) {
+	n, err := srv.Cache().SaveSnapshot(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mctsuid: cache snapshot failed: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mctsuid: cache snapshot: %d entries -> %s\n", n, path)
 }

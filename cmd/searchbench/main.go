@@ -32,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -87,21 +88,38 @@ type treeSection struct {
 	GateEnforced bool       `json:"gate_enforced"`
 }
 
+// snapshotSection reports the restart-from-snapshot story: the warm cache
+// left by the cached runs is exported to a byte buffer, and each "restored"
+// repetition imports it into a fresh cache before searching — a faithful
+// model of a daemon restart (cost/legality entries warm, moves/pools cold,
+// codec round trip included). Speedup is restored/cold iters-per-sec and is
+// gated unconditionally: the measurement is single-threaded, so it holds on
+// a 1-CPU container as well as a big box. EqualBestCost re-checks the
+// portability contract end to end — a snapshot can change only speed.
+type snapshotSection struct {
+	Entries       int64      `json:"entries"`
+	Bytes         int        `json:"bytes"`
+	Restored      modeResult `json:"restored"`
+	Speedup       float64    `json:"speedup"` // restored vs cached_cold
+	EqualBestCost bool       `json:"equal_best_cost"`
+}
+
 // workloadReport is one workload's section of the file.
 type workloadReport struct {
-	Workload      string       `json:"workload"`
-	Strategy      string       `json:"strategy"`
-	Iterations    int          `json:"iterations"`
-	RolloutDepth  int          `json:"rollout_depth"`
-	Seed          int64        `json:"seed"`
-	Repeats       int          `json:"repeats"`
-	Uncached      modeResult   `json:"uncached"`
-	CachedCold    modeResult   `json:"cached_cold"`
-	CachedWarm    modeResult   `json:"cached_warm"`
-	SpeedupCold   float64      `json:"speedup_cold"`
-	SpeedupWarm   float64      `json:"speedup_warm"`
-	EqualBestCost bool         `json:"equal_best_cost"`
-	TreeParallel  *treeSection `json:"tree_parallel,omitempty"`
+	Workload      string           `json:"workload"`
+	Strategy      string           `json:"strategy"`
+	Iterations    int              `json:"iterations"`
+	RolloutDepth  int              `json:"rollout_depth"`
+	Seed          int64            `json:"seed"`
+	Repeats       int              `json:"repeats"`
+	Uncached      modeResult       `json:"uncached"`
+	CachedCold    modeResult       `json:"cached_cold"`
+	CachedWarm    modeResult       `json:"cached_warm"`
+	SpeedupCold   float64          `json:"speedup_cold"`
+	SpeedupWarm   float64          `json:"speedup_warm"`
+	EqualBestCost bool             `json:"equal_best_cost"`
+	TreeParallel  *treeSection     `json:"tree_parallel,omitempty"`
+	Snapshot      *snapshotSection `json:"snapshot,omitempty"`
 }
 
 // fileReport is the on-disk shape: one section per workload.
@@ -146,6 +164,7 @@ func main() {
 	maxAllocsPerIter := flag.Float64("max-allocs-per-iter", 0, "fail if any warm-cache run allocates more than this per iteration (0 disables)")
 	treeWorkers := flag.Int("tree-workers", 4, "tree-parallel worker count for the first workload's tree_parallel section (0 disables the section)")
 	minTreeSpeedup := flag.Float64("min-tree-speedup", 2, "fail unless tree-parallel/sequential iters-per-sec reaches this — enforced only when NumCPU >= tree-workers (0 disables)")
+	minSnapshotSpeedup := flag.Float64("min-snapshot-speedup", 3, "fail unless restart-from-snapshot/cold iters-per-sec reaches this on every workload (0 disables)")
 	comparePath := flag.String("compare", "", "previous BENCH_search.json to diff against (per-metric deltas printed before gates)")
 	flag.Parse()
 
@@ -185,6 +204,11 @@ func main() {
 		fmt.Printf("%s allocs/iter: %.0f warm / %.0f cold / %.0f uncached (%.0f KiB/iter warm)\n",
 			rep.Workload, rep.CachedWarm.AllocsPerIter, rep.CachedCold.AllocsPerIter,
 			rep.Uncached.AllocsPerIter, rep.CachedWarm.BytesPerIter/1024)
+		if snap := rep.Snapshot; snap != nil {
+			fmt.Printf("%s restart-from-snapshot: %.1f iters/sec vs %.1f cold (%.1fx), %d entries in %d bytes, hit rate %.1f%%\n",
+				rep.Workload, snap.Restored.ItersPerSec, rep.CachedCold.ItersPerSec, snap.Speedup,
+				snap.Entries, snap.Bytes, snap.Restored.CacheHitRate*100)
+		}
 		if tree := rep.TreeParallel; tree != nil {
 			fmt.Printf("%s tree-parallel x%d: %.1f iters/sec vs %.1f sequential (%.2fx, cpus=%d, gate %s), best cost %.2f vs %.2f\n",
 				rep.Workload, tree.Workers, tree.Parallel.ItersPerSec, tree.Sequential.ItersPerSec, tree.Speedup,
@@ -215,6 +239,16 @@ func main() {
 		if *maxAllocsPerIter > 0 && rep.CachedWarm.AllocsPerIter > *maxAllocsPerIter {
 			fatalf("%s: %.0f allocs per iteration warm-cached, above the %.0f gate",
 				name, rep.CachedWarm.AllocsPerIter, *maxAllocsPerIter)
+		}
+		if snap := rep.Snapshot; snap != nil {
+			if !snap.EqualBestCost {
+				fatalf("%s: restart-from-snapshot best cost %v != cold %v — a snapshot changed a result",
+					name, snap.Restored.BestCost, rep.CachedCold.BestCost)
+			}
+			if *minSnapshotSpeedup > 0 && snap.Speedup < *minSnapshotSpeedup {
+				fatalf("%s: restart-from-snapshot speedup %.2fx below the %.1fx gate",
+					name, snap.Speedup, *minSnapshotSpeedup)
+			}
 		}
 		if tree := rep.TreeParallel; tree != nil && tree.GateEnforced {
 			if !tree.CostNoWorse {
@@ -307,6 +341,31 @@ func benchWorkload(name string, log []*ast.Node, strategy core.Strategy, strateg
 	}
 	warm := fastest(sharedOpt, repeats)
 
+	// Restart-from-snapshot: export the warm cache through the codec, then
+	// time searches that import it into a fresh cache first — the cost and
+	// legality entries arrive warm, moves/pools rebuild, exactly what a
+	// restarted daemon pays.
+	var snapBuf bytes.Buffer
+	snapEntries, err := sharedOpt.Cache.Snapshot(&snapBuf)
+	if err != nil {
+		fatalf("cache snapshot: %v", err)
+	}
+	snap := &snapshotSection{Entries: snapEntries, Bytes: snapBuf.Len()}
+	restoredOpt := base
+	restored := modeResult{ElapsedMS: -1}
+	for r := 0; r < repeats; r++ {
+		restoredOpt.Cache = eval.NewCache(0)
+		if _, err := restoredOpt.Cache.LoadSnapshot(bytes.NewReader(snapBuf.Bytes())); err != nil {
+			fatalf("cache snapshot import: %v", err)
+		}
+		if m := once(restoredOpt); restored.ElapsedMS < 0 || m.ElapsedMS < restored.ElapsedMS {
+			restored = m
+		}
+	}
+	snap.Restored = restored
+	snap.Speedup = restored.ItersPerSec / cold.ItersPerSec
+	snap.EqualBestCost = restored.BestCost == cold.BestCost
+
 	rep := workloadReport{
 		Workload:      name,
 		Strategy:      strategySpec,
@@ -320,6 +379,7 @@ func benchWorkload(name string, log []*ast.Node, strategy core.Strategy, strateg
 		SpeedupCold:   cold.ItersPerSec / uncached.ItersPerSec,
 		SpeedupWarm:   warm.ItersPerSec / uncached.ItersPerSec,
 		EqualBestCost: cold.BestCost == uncached.BestCost && warm.BestCost == uncached.BestCost,
+		Snapshot:      snap,
 	}
 
 	// Tree-parallel section: N goroutines on one tree vs the sequential
@@ -427,6 +487,10 @@ func printComparison(path string, fresh fileReport) {
 		}
 		if was.TreeParallel != nil && now.TreeParallel != nil {
 			delta("tree speedup", was.TreeParallel.Speedup, now.TreeParallel.Speedup, "x")
+		}
+		if was.Snapshot != nil && now.Snapshot != nil {
+			delta("snapshot speedup", was.Snapshot.Speedup, now.Snapshot.Speedup, "x")
+			delta("snapshot entries", float64(was.Snapshot.Entries), float64(now.Snapshot.Entries), "")
 		}
 	}
 }

@@ -110,6 +110,20 @@ var kindNames = [...]string{
 	KindSubquery: "Subquery",
 }
 
+// KindNames returns the name of every defined kind indexed by its numeric
+// value (index 0 is "Invalid"). It is the grammar's numbering table: persisted
+// artifacts keyed on structural hashes (cache snapshots in particular) embed
+// it so a consumer can verify that each kind it was built against still maps
+// to the same number — appending new kinds keeps old artifacts valid, while
+// renumbering or renaming invalidates them loudly instead of silently.
+func KindNames() []string {
+	names := make([]string, int(kindMax))
+	for i := range names {
+		names[i] = Kind(i).String()
+	}
+	return names
+}
+
 // String returns the grammar rule name for k.
 func (k Kind) String() string {
 	if int(k) < len(kindNames) && kindNames[k] != "" {

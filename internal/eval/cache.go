@@ -19,6 +19,7 @@
 package eval
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -61,6 +62,14 @@ type Cache struct {
 	hits        atomic.Int64
 	misses      atomic.Int64
 	evictions   atomic.Int64
+
+	// fps is the config-fingerprint inventory: every engine fingerprint that
+	// has attached to this cache (see Engine), plus any carried in by an
+	// imported snapshot. Purely descriptive — keys already mix the
+	// fingerprint in, so isolation never depends on it — but snapshots embed
+	// it so an operator can see which configurations a warm cache covers.
+	fpMu sync.Mutex
+	fps  map[uint64]struct{}
 }
 
 // shard is one CLOCK ring: the map resolves a key to its ring slot, the
@@ -111,11 +120,32 @@ func NewCache(maxEntries int) *Cache {
 		maxEntries = DefaultMaxEntries
 	}
 	perShard := (maxEntries + shardCount - 1) / shardCount
-	c := &Cache{maxPerShard: perShard}
+	c := &Cache{maxPerShard: perShard, fps: make(map[uint64]struct{})}
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64]int)
 	}
 	return c
+}
+
+// noteFingerprint records one configuration fingerprint in the inventory.
+func (c *Cache) noteFingerprint(fp uint64) {
+	c.fpMu.Lock()
+	c.fps[fp] = struct{}{}
+	c.fpMu.Unlock()
+}
+
+// Fingerprints returns the config-fingerprint inventory in sorted order:
+// every engine configuration that has attached to this cache, plus any
+// inventory merged in by LoadSnapshot.
+func (c *Cache) Fingerprints() []uint64 {
+	c.fpMu.Lock()
+	out := make([]uint64, 0, len(c.fps))
+	for fp := range c.fps {
+		out = append(out, fp)
+	}
+	c.fpMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (c *Cache) shard(key uint64) *shard { return &c.shards[key&(shardCount-1)] }
@@ -223,10 +253,16 @@ func (c *Cache) Cost(key uint64) (float64, bool) {
 	return e.Cost, true
 }
 
-// SetCost records a state cost.
+// SetCost records a state cost. Like every setter, the first write wins:
+// evaluation is a pure function of (config, state), so two writers for one
+// key computed the same value and there is nothing to overwrite — and a
+// snapshot import (which reuses these semantics) can never clobber an entry
+// a live search populated.
 func (c *Cache) SetCost(key uint64, v float64) {
 	s, e := c.lockFor(key)
-	e.cost, e.hasCost = v, true
+	if !e.hasCost {
+		e.cost, e.hasCost = v, true
+	}
 	s.mu.Unlock()
 }
 
@@ -239,13 +275,30 @@ func (c *Cache) Legal(key uint64) (legal, ok bool) {
 	return legal, ok
 }
 
-// SetLegal records a legality verdict.
+// SetLegal records a legality verdict (first write wins, see SetCost).
 func (c *Cache) SetLegal(key uint64, legal bool) {
 	s, e := c.lockFor(key)
-	if legal {
-		e.legal = 1
-	} else {
-		e.legal = 2
+	if e.legal == 0 {
+		if legal {
+			e.legal = 1
+		} else {
+			e.legal = 2
+		}
+	}
+	s.mu.Unlock()
+}
+
+// importEntry merges one snapshot entry's value aspects, first-write-wins
+// per aspect: an import is idempotent, and never clobbers anything a live
+// search has already computed. legal uses the entry encoding (0 unknown,
+// 1 legal, 2 illegal).
+func (c *Cache) importEntry(key uint64, cost float64, hasCost bool, legal uint8) {
+	s, e := c.lockFor(key)
+	if hasCost && !e.hasCost {
+		e.cost, e.hasCost = cost, true
+	}
+	if legal != 0 && e.legal == 0 {
+		e.legal = legal
 	}
 	s.mu.Unlock()
 }
@@ -293,9 +346,11 @@ func (c *Cache) SetPools(key uint64, pools [4][]difftree.Path) {
 }
 
 // Reset drops every memoized state (all fingerprints) and zeroes the
-// counters, returning the cache to its freshly constructed state. Safe to
-// call concurrently with readers: in-flight lookups simply miss and
-// recompute — by construction a recompute equals the dropped value.
+// counters, returning the cache to its freshly constructed state. The
+// fingerprint inventory is kept: it describes the engines attached over the
+// cache's lifetime (they register once, at construction), not the resident
+// entries. Safe to call concurrently with readers: in-flight lookups simply
+// miss and recompute — by construction a recompute equals the dropped value.
 func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]

@@ -49,6 +49,7 @@ func New(cfg Config, cache *Cache) *Engine {
 	e := &Engine{cfg: cfg, cache: cache, fp: fingerprint(cfg)}
 	if cache != nil {
 		e.terms = cost.NewTermMemo()
+		cache.noteFingerprint(e.fp)
 	}
 	return e
 }

@@ -1,0 +1,365 @@
+package eval
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/ast"
+)
+
+// Cache snapshots make the warm transposition cache portable: because state
+// evaluation is a pure function of (config, state) and every key mixes the
+// configuration fingerprint, a cost or legality entry computed by one
+// process is bit-identical to what any other process running the same code
+// would compute — so a snapshot shipped to a fresh replica, or reloaded
+// after a restart, answers from the first request at warm speed without
+// ever being able to change a result.
+//
+// Only the *value* aspects travel: cost and legality. Move sets and path
+// pools hold process-local pointers (rule closures, shared path arenas) and
+// are recomputed on first visit — cheaply, since the legality verdicts the
+// move enumeration drains through are already warm.
+//
+// Binary format, version 1 (all integers little-endian):
+//
+//	magic   [8]byte "mcuisnp1"        version is part of the magic
+//	─ the region below is covered by the trailing checksum ─
+//	kinds   u16 count, then per kind: u8 len + name bytes
+//	fps     u32 count, then u64 per fingerprint (sorted inventory)
+//	blocks  u32 count, then per block: u32 entries, then per entry:
+//	          key u64, flags u8, cost f64 (present iff flags&snapHasCost)
+//	─ end of checksummed region ─
+//	sum     u64 FNV-64a of the checksummed region
+//
+// The kind table is the ast.Kind-numbering guard: LoadSnapshot verifies
+// that every kind the snapshot was built against still maps to the same
+// number and name. Appending new kinds keeps old snapshots loadable (the
+// hashes they embed are unchanged); renumbering, renaming, or loading a
+// snapshot from a *newer* grammar is rejected with ErrSnapshotSchema
+// instead of importing entries whose keys silently mean something else.
+const snapMagic = "mcuisnp1"
+
+// Entry flag bits. An exported entry always carries at least one aspect.
+const (
+	snapHasCost  = 1 << 0 // cost field present and valid
+	snapHasLegal = 1 << 1 // legality verdict known
+	snapLegal    = 1 << 2 // the verdict (meaningful only with snapHasLegal)
+
+	snapFlagsMask = snapHasCost | snapHasLegal | snapLegal
+)
+
+// Sanity bounds on header counts: far above anything a real snapshot
+// carries, low enough that corrupt headers fail fast instead of looping.
+const (
+	snapMaxKinds        = 1 << 8
+	snapMaxFingerprints = 1 << 20
+	snapMaxBlocks       = 1 << 16
+)
+
+var (
+	// ErrSnapshotFormat reports bytes that are not a well-formed snapshot:
+	// wrong magic, truncation, checksum mismatch, or corrupt structure.
+	ErrSnapshotFormat = errors.New("malformed cache snapshot")
+	// ErrSnapshotSchema reports a well-formed snapshot this build cannot
+	// honor: its ast.Kind numbering (or grammar generation) differs, so its
+	// keys would not mean what they meant when it was written.
+	ErrSnapshotSchema = errors.New("incompatible cache snapshot")
+)
+
+// snapEntry is one exported entry, also the scratch row for the
+// verify-before-insert import path.
+type snapEntry struct {
+	key   uint64
+	cost  float64
+	flags uint8
+}
+
+// Snapshot writes the cache's persistable aspects (cost + legality) to w
+// and returns the number of entries exported. Safe to call concurrently
+// with searches: shards are copied out one at a time under their own locks,
+// so the snapshot is a consistent-per-entry view of a moving cache — which
+// is all determinism requires, since every entry is independently correct.
+func (c *Cache) Snapshot(w io.Writer) (entries int64, err error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	mw := io.MultiWriter(bw, h)
+	var scratch [8]byte
+	writeU := func(v uint64, n int) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := mw.Write(scratch[:n])
+		return err
+	}
+
+	names := ast.KindNames()
+	if err := writeU(uint64(len(names)), 2); err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		if err := writeU(uint64(len(name)), 1); err != nil {
+			return 0, err
+		}
+		if _, err := io.WriteString(mw, name); err != nil {
+			return 0, err
+		}
+	}
+
+	fps := c.Fingerprints()
+	if err := writeU(uint64(len(fps)), 4); err != nil {
+		return 0, err
+	}
+	for _, fp := range fps {
+		if err := writeU(fp, 8); err != nil {
+			return 0, err
+		}
+	}
+
+	if err := writeU(shardCount, 4); err != nil {
+		return 0, err
+	}
+	var rows []snapEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		rows = rows[:0]
+		s.mu.Lock()
+		for j := range s.ring {
+			sl := &s.ring[j]
+			var flags uint8
+			if sl.e.hasCost {
+				flags |= snapHasCost
+			}
+			if sl.e.legal != 0 {
+				flags |= snapHasLegal
+				if sl.e.legal == 1 {
+					flags |= snapLegal
+				}
+			}
+			if flags == 0 {
+				continue // moves/pools-only entry: nothing portable
+			}
+			rows = append(rows, snapEntry{key: sl.key, cost: sl.e.cost, flags: flags})
+		}
+		s.mu.Unlock()
+		// Written after the shard unlocks: a stalled writer (slow disk, slow
+		// HTTP client) must not hold up searches using this shard.
+		if err := writeU(uint64(len(rows)), 4); err != nil {
+			return 0, err
+		}
+		for _, r := range rows {
+			if err := writeU(r.key, 8); err != nil {
+				return 0, err
+			}
+			if err := writeU(uint64(r.flags), 1); err != nil {
+				return 0, err
+			}
+			if r.flags&snapHasCost != 0 {
+				if err := writeU(math.Float64bits(r.cost), 8); err != nil {
+					return 0, err
+				}
+			}
+		}
+		entries += int64(len(rows))
+	}
+
+	binary.LittleEndian.PutUint64(scratch[:], h.Sum64())
+	if _, err := bw.Write(scratch[:]); err != nil { // trailer, not hashed
+		return 0, err
+	}
+	return entries, bw.Flush()
+}
+
+// LoadSnapshot reads a snapshot from r and merges its entries into the
+// cache, returning the number of entries imported. The whole stream is
+// parsed and checksum-verified *before* the first insert, so a truncated or
+// corrupt snapshot can never plant garbage in a live cache — it returns
+// ErrSnapshotFormat (or ErrSnapshotSchema for a kind-numbering mismatch)
+// and leaves the cache untouched. Importing merges first-write-wins per
+// aspect: importing twice is a no-op, and entries a live search has already
+// populated are never clobbered. Importing into a cache smaller than the
+// snapshot admits entries through the normal CLOCK eviction path, so
+// occupancy never exceeds capacity.
+func (c *Cache) LoadSnapshot(r io.Reader) (int64, error) {
+	rows, fps, err := parseSnapshot(r)
+	if err != nil {
+		return 0, err
+	}
+	for _, fp := range fps {
+		c.noteFingerprint(fp)
+	}
+	for _, row := range rows {
+		var legal uint8
+		if row.flags&snapHasLegal != 0 {
+			legal = 2
+			if row.flags&snapLegal != 0 {
+				legal = 1
+			}
+		}
+		c.importEntry(row.key, row.cost, row.flags&snapHasCost != 0, legal)
+	}
+	return int64(len(rows)), nil
+}
+
+// parseSnapshot decodes and fully validates a snapshot stream without
+// touching any cache state.
+func parseSnapshot(r io.Reader) ([]snapEntry, []uint64, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: reading magic: %w", ErrSnapshotFormat, err)
+	}
+	if string(magic[:]) != snapMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrSnapshotFormat, magic[:], snapMagic)
+	}
+
+	h := fnv.New64a()
+	hr := io.TeeReader(br, h)
+	var scratch [8]byte
+	readU := func(n int) (uint64, error) {
+		scratch = [8]byte{}
+		if _, err := io.ReadFull(hr, scratch[:n]); err != nil {
+			return 0, fmt.Errorf("%w: truncated: %w", ErrSnapshotFormat, err)
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+
+	kindCount, err := readU(2)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kindCount == 0 || kindCount > snapMaxKinds {
+		return nil, nil, fmt.Errorf("%w: implausible kind count %d", ErrSnapshotFormat, kindCount)
+	}
+	names := ast.KindNames()
+	if int(kindCount) > len(names) {
+		return nil, nil, fmt.Errorf("%w: snapshot knows %d grammar kinds, this build %d — written by a newer grammar",
+			ErrSnapshotSchema, kindCount, len(names))
+	}
+	for i := 0; i < int(kindCount); i++ {
+		nameLen, err := readU(1)
+		if err != nil {
+			return nil, nil, err
+		}
+		buf := make([]byte, nameLen)
+		if _, err := io.ReadFull(hr, buf); err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated kind table: %w", ErrSnapshotFormat, err)
+		}
+		if string(buf) != names[i] {
+			return nil, nil, fmt.Errorf("%w: grammar kind %d is %q in the snapshot but %q in this build — kind numbering changed",
+				ErrSnapshotSchema, i, buf, names[i])
+		}
+	}
+
+	fpCount, err := readU(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fpCount > snapMaxFingerprints {
+		return nil, nil, fmt.Errorf("%w: implausible fingerprint count %d", ErrSnapshotFormat, fpCount)
+	}
+	fps := make([]uint64, fpCount)
+	for i := range fps {
+		if fps[i], err = readU(8); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	blockCount, err := readU(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if blockCount > snapMaxBlocks {
+		return nil, nil, fmt.Errorf("%w: implausible block count %d", ErrSnapshotFormat, blockCount)
+	}
+	var rows []snapEntry
+	for b := uint64(0); b < blockCount; b++ {
+		n, err := readU(4)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := uint64(0); i < n; i++ {
+			key, err := readU(8)
+			if err != nil {
+				return nil, nil, err
+			}
+			fl, err := readU(1)
+			if err != nil {
+				return nil, nil, err
+			}
+			flags := uint8(fl)
+			if flags&^uint8(snapFlagsMask) != 0 {
+				return nil, nil, fmt.Errorf("%w: unknown entry flags %#x", ErrSnapshotFormat, flags)
+			}
+			if flags&(snapHasCost|snapHasLegal) == 0 {
+				return nil, nil, fmt.Errorf("%w: entry carries no aspect", ErrSnapshotFormat)
+			}
+			if flags&snapLegal != 0 && flags&snapHasLegal == 0 {
+				return nil, nil, fmt.Errorf("%w: legal bit without a verdict", ErrSnapshotFormat)
+			}
+			var cost float64
+			if flags&snapHasCost != 0 {
+				bits, err := readU(8)
+				if err != nil {
+					return nil, nil, err
+				}
+				cost = math.Float64frombits(bits)
+			}
+			rows = append(rows, snapEntry{key: key, cost: cost, flags: flags})
+		}
+	}
+
+	want := h.Sum64()
+	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+		return nil, nil, fmt.Errorf("%w: truncated checksum: %w", ErrSnapshotFormat, err)
+	}
+	if got := binary.LittleEndian.Uint64(scratch[:8]); got != want {
+		return nil, nil, fmt.Errorf("%w: checksum mismatch (%#x != %#x)", ErrSnapshotFormat, got, want)
+	}
+	return rows, fps, nil
+}
+
+// SaveSnapshotFile writes the cache snapshot to path crash-safely: the
+// bytes land in a temporary sibling file which is fsynced and then renamed
+// over path, so a crash mid-write leaves the previous snapshot intact and a
+// reader can never observe a half-written file.
+func SaveSnapshotFile(c *Cache, path string) (entries int64, err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	entries, err = c.Snapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return entries, nil
+}
+
+// LoadSnapshotFile merges the snapshot at path into the cache; see
+// Cache.LoadSnapshot for the validation and merge semantics.
+func LoadSnapshotFile(c *Cache, path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return c.LoadSnapshot(f)
+}

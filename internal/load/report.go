@@ -2,6 +2,8 @@ package load
 
 import (
 	"sort"
+
+	"repro/internal/benchutil"
 )
 
 // ReportSchema versions BENCH_serving.json; bump on breaking shape changes
@@ -88,19 +90,32 @@ type Report struct {
 	DurationMS  int64  `json:"duration_ms"`
 	ElapsedMS   int64  `json:"elapsed_ms"`
 	Dispatched  int    `json:"dispatched"`
-	// Measured counts samples inside the measured window (dispatch at or
-	// after warmup end); warmup samples are replayed but not reported.
-	Measured int64         `json:"measured"`
-	Total    OpReport      `json:"total"`
-	Classes  []ClassReport `json:"classes"`
-	Server   *ServerReport `json:"server,omitempty"`
-	Stats    []StatsPoint  `json:"stats_curve,omitempty"`
-	Gates    []Gate        `json:"gates,omitempty"`
-	CPUs     int           `json:"cpus"`
+	// Measured and WarmupSamples partition the completed samples by
+	// *dispatch time*: an op dispatched before the warmup window ends is a
+	// warmup sample even if its response arrives deep inside the measured
+	// window, and an op dispatched exactly at the boundary is measured.
+	// Dispatch-time attribution is the policy an open-loop harness needs —
+	// the arrival schedule decides a request's window once, independent of
+	// how long the daemon takes to answer, so an overload that stretches
+	// warmup-era latencies can neither leak into nor hide from the measured
+	// numbers. Dispatched − Measured − WarmupSamples is then the run's
+	// in-flight remainder (events issued but not completed, e.g. on
+	// interrupt), not a silent attribution gap.
+	Measured      int64         `json:"measured"`
+	WarmupSamples int64         `json:"warmup_samples"`
+	Total         OpReport      `json:"total"`
+	Classes       []ClassReport `json:"classes"`
+	Server        *ServerReport `json:"server,omitempty"`
+	Stats         []StatsPoint  `json:"stats_curve,omitempty"`
+	Gates         []Gate        `json:"gates,omitempty"`
+	CPUs          int           `json:"cpus"`
 	// GateEnforced mirrors searchbench's convention: gates are always
 	// recorded, but only fail the run on machines with enough parallelism
-	// for the numbers to mean anything.
+	// for the numbers to mean anything (see ApplyGates).
 	GateEnforced bool `json:"gate_enforced"`
+	// GateCPUs is the enforcement threshold GateEnforced was computed
+	// against, recorded so a stored report explains its own gating.
+	GateCPUs int `json:"gate_cpus,omitempty"`
 }
 
 // Gate is one SLO check: recorded always, enforced per Report.GateEnforced.
@@ -109,6 +124,51 @@ type Gate struct {
 	Value  float64 `json:"value"`
 	Budget float64 `json:"budget"`
 	Pass   bool    `json:"pass"`
+}
+
+// GateSpec is the SLO budget set ApplyGates evaluates; a zero budget
+// disables that gate.
+type GateSpec struct {
+	// MaxP99MS bounds total p99 latency in milliseconds.
+	MaxP99MS float64
+	// MinGoodputRPS floors overall goodput in requests per second.
+	MinGoodputRPS float64
+}
+
+// ApplyGates evaluates spec against the report and records the verdicts,
+// plus the CPU-aware enforcement decision: gates are always *recorded*, but
+// GateEnforced is true only on machines with at least minCPUs CPUs (cpus is
+// runtime.NumCPU; minCPUs <= 0 always enforces). Latency SLOs measured on a
+// 1-CPU container mostly measure the container — BENCH_serving.json's
+// p95 ≈ 400ms-vs-p50 ≈ 0.7ms spread on such a box is scheduler contention
+// between the daemon and the load generator, not daemon behavior — so an
+// under-provisioned runner records its numbers without failing a build.
+// Returns the gates that failed; the caller decides whether GateEnforced
+// turns those into a non-zero exit.
+func (r *Report) ApplyGates(spec GateSpec, minCPUs int) []Gate {
+	cpus, enforced := benchutil.GateEnforced(minCPUs)
+	r.CPUs = cpus
+	r.GateEnforced = enforced
+	r.GateCPUs = minCPUs
+	if spec.MaxP99MS > 0 {
+		r.Gates = append(r.Gates, Gate{
+			Name: "total_p99_ms", Value: r.Total.Latency.P99, Budget: spec.MaxP99MS,
+			Pass: r.Total.Latency.P99 <= spec.MaxP99MS,
+		})
+	}
+	if spec.MinGoodputRPS > 0 {
+		r.Gates = append(r.Gates, Gate{
+			Name: "goodput_rps", Value: r.Total.GoodputRPS, Budget: spec.MinGoodputRPS,
+			Pass: r.Total.GoodputRPS >= spec.MinGoodputRPS,
+		})
+	}
+	var failed []Gate
+	for _, g := range r.Gates {
+		if !g.Pass {
+			failed = append(failed, g)
+		}
+	}
+	return failed
 }
 
 // opAgg accumulates one (class, op) cell during the build.
@@ -165,10 +225,14 @@ func BuildReport(spec *Spec, res *RunResult) *Report {
 
 	total := &opAgg{}
 	classes := make(map[string]map[string]*opAgg)
-	var measured int64
+	var measured, warmupSamples int64
 	for i := range res.Samples {
 		s := &res.Samples[i]
+		// Dispatch-time attribution (see the Report field docs): strictly
+		// before the boundary is warmup, at or after is measured —
+		// completion time never matters.
 		if s.StartUS < warmupUS {
+			warmupSamples++
 			continue
 		}
 		measured++
@@ -188,16 +252,17 @@ func BuildReport(spec *Spec, res *RunResult) *Report {
 	}
 
 	rep := &Report{
-		Schema:     ReportSchema,
-		Spec:       spec.Name,
-		Seed:       spec.Seed,
-		WarmupMS:   spec.WarmupMS,
-		DurationMS: spec.DurationMS,
-		ElapsedMS:  res.Elapsed.Milliseconds(),
-		Dispatched: res.Dispatched,
-		Measured:   measured,
-		Total:      total.finish(windowSec),
-		Stats:      res.Stats,
+		Schema:        ReportSchema,
+		Spec:          spec.Name,
+		Seed:          spec.Seed,
+		WarmupMS:      spec.WarmupMS,
+		DurationMS:    spec.DurationMS,
+		ElapsedMS:     res.Elapsed.Milliseconds(),
+		Dispatched:    res.Dispatched,
+		Measured:      measured,
+		WarmupSamples: warmupSamples,
+		Total:         total.finish(windowSec),
+		Stats:         res.Stats,
 	}
 
 	classNames := make([]string, 0, len(classes))

@@ -1,0 +1,133 @@
+package load
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// sample builds a completed OK sample dispatched at startUS with the given
+// latency.
+func sample(class, op string, startUS, latencyUS int64) Sample {
+	return Sample{Class: class, Op: op, Status: 200, StartUS: startUS, LatencyUS: latencyUS}
+}
+
+// TestReportWarmupBoundaryAttribution pins the dispatch-time attribution
+// policy: a sample's window is decided by when it was *dispatched*, never by
+// when it completed. The op dispatched one microsecond before the warmup
+// boundary — completing long after it — is a warmup sample; the op
+// dispatched exactly at the boundary is measured.
+func TestReportWarmupBoundaryAttribution(t *testing.T) {
+	spec := &Spec{Name: "boundary", WarmupMS: 100, DurationMS: 1000}
+	warmupUS := spec.WarmupMS * 1000
+	res := &RunResult{
+		Samples: []Sample{
+			// Dispatched during warmup, completing well inside the measured
+			// window (latency crosses the boundary): still warmup.
+			sample("a", "gen", warmupUS-1, 500_000),
+			// Dispatched exactly at the boundary: measured.
+			sample("a", "gen", warmupUS, 10),
+			// Plainly warmup and plainly measured, for the arithmetic.
+			sample("a", "gen", 0, 5),
+			sample("a", "gen", warmupUS+1000, 5),
+		},
+		Dispatched: 5, // one event still in flight at run end
+		Elapsed:    time.Second,
+	}
+	rep := BuildReport(spec, res)
+	if rep.WarmupSamples != 2 {
+		t.Errorf("warmup_samples = %d, want 2 (dispatch-before-boundary ops, including the one completing after it)", rep.WarmupSamples)
+	}
+	if rep.Measured != 2 {
+		t.Errorf("measured = %d, want 2 (boundary dispatch is measured)", rep.Measured)
+	}
+	if rep.Total.Count != rep.Measured {
+		t.Errorf("total.count = %d, want %d", rep.Total.Count, rep.Measured)
+	}
+	// The partition accounts for every completed sample; the remainder
+	// against Dispatched is in-flight work, not an attribution gap.
+	if got := rep.WarmupSamples + rep.Measured; got != int64(len(res.Samples)) {
+		t.Errorf("warmup+measured = %d, want %d", got, len(res.Samples))
+	}
+	if inflight := int64(rep.Dispatched) - rep.WarmupSamples - rep.Measured; inflight != 1 {
+		t.Errorf("in-flight remainder = %d, want 1", inflight)
+	}
+	// The boundary-crossing warmup sample's half-second latency must not
+	// leak into the measured distribution.
+	if rep.Total.Latency.Max > 1 {
+		t.Errorf("measured max latency %.3fms includes a warmup-dispatched sample", rep.Total.Latency.Max)
+	}
+}
+
+func TestReportZeroWarmupMeasuresEverything(t *testing.T) {
+	spec := &Spec{Name: "nowarmup", WarmupMS: 0, DurationMS: 1000}
+	res := &RunResult{
+		Samples:    []Sample{sample("a", "gen", 0, 5), sample("a", "gen", 10, 5)},
+		Dispatched: 2,
+	}
+	rep := BuildReport(spec, res)
+	if rep.WarmupSamples != 0 || rep.Measured != 2 {
+		t.Errorf("warmup=%d measured=%d, want 0/2", rep.WarmupSamples, rep.Measured)
+	}
+}
+
+func TestApplyGatesVerdicts(t *testing.T) {
+	build := func() *Report {
+		spec := &Spec{Name: "g", DurationMS: 1000}
+		res := &RunResult{
+			Samples:    []Sample{sample("a", "gen", 0, 2000), sample("a", "gen", 10, 3000)},
+			Dispatched: 2,
+		}
+		return BuildReport(spec, res)
+	}
+
+	// Both gates pass: generous budgets. minCPUs 0 always enforces.
+	rep := build()
+	if failed := rep.ApplyGates(GateSpec{MaxP99MS: 1000, MinGoodputRPS: 0.5}, 0); len(failed) != 0 {
+		t.Fatalf("unexpected failures: %+v", failed)
+	}
+	if !rep.GateEnforced {
+		t.Error("minCPUs 0 must always enforce")
+	}
+	if len(rep.Gates) != 2 {
+		t.Fatalf("recorded %d gates, want 2", len(rep.Gates))
+	}
+
+	// p99 over budget: exactly that gate fails, and it is still recorded.
+	rep = build()
+	failed := rep.ApplyGates(GateSpec{MaxP99MS: 0.001, MinGoodputRPS: 0.5}, 0)
+	if len(failed) != 1 || failed[0].Name != "total_p99_ms" {
+		t.Fatalf("failed = %+v, want total_p99_ms only", failed)
+	}
+
+	// Zero budgets disable their gates entirely.
+	rep = build()
+	if rep.ApplyGates(GateSpec{}, 0); len(rep.Gates) != 0 {
+		t.Fatalf("zero budgets recorded gates: %+v", rep.Gates)
+	}
+}
+
+func TestApplyGatesCPUThreshold(t *testing.T) {
+	cpus := runtime.NumCPU()
+
+	// Threshold above this machine: gates are recorded, failures reported,
+	// but enforcement is off — the small-container guard.
+	rep := &Report{Total: OpReport{Latency: LatencySummary{P99: 5000}, GoodputRPS: 0.01}}
+	failed := rep.ApplyGates(GateSpec{MaxP99MS: 1, MinGoodputRPS: 100}, cpus+1)
+	if rep.GateEnforced {
+		t.Errorf("gate enforced with %d CPUs against a %d threshold", cpus, cpus+1)
+	}
+	if rep.GateCPUs != cpus+1 || rep.CPUs != cpus {
+		t.Errorf("recorded cpus=%d gate_cpus=%d, want %d/%d", rep.CPUs, rep.GateCPUs, cpus, cpus+1)
+	}
+	if len(failed) != 2 {
+		t.Errorf("failures must be reported even unenforced: %+v", failed)
+	}
+
+	// Threshold at or below this machine: enforced.
+	rep = &Report{Total: OpReport{Latency: LatencySummary{P99: 1}, GoodputRPS: 100}}
+	rep.ApplyGates(GateSpec{MaxP99MS: 10, MinGoodputRPS: 1}, cpus)
+	if !rep.GateEnforced {
+		t.Errorf("gate not enforced with %d CPUs against a %d threshold", cpus, cpus)
+	}
+}

@@ -91,6 +91,10 @@ type Config struct {
 	MaxQueries int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxSnapshotBytes bounds /v1/cache/import bodies (default 256 MiB) —
+	// cache snapshots are far larger than ordinary request bodies, so they
+	// get their own limit instead of MaxBodyBytes.
+	MaxSnapshotBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxSnapshotBytes <= 0 {
+		c.MaxSnapshotBytes = 256 << 20
+	}
 	return c
 }
 
@@ -136,6 +143,11 @@ type Server struct {
 
 	sem    chan struct{} // MaxConcurrent search slots
 	queued atomic.Int64  // requests holding or waiting for a slot
+
+	// snapSem serializes cache snapshot transfers (one export or import at a
+	// time, never holding a search slot): a second concurrent transfer gets
+	// 409 instead of queueing behind a potentially large stream.
+	snapSem chan struct{}
 
 	baseCtx  context.Context // cancelled by Drain: searches return best-so-far
 	drain    context.CancelFunc
@@ -177,6 +189,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    cache,
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		snapSem:  make(chan struct{}, 1),
 		baseCtx:  ctx,
 		drain:    cancel,
 		sessions: make(map[string]*session),
@@ -194,6 +207,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/interact", s.handleInteract)
 	mux.HandleFunc("POST /v1/sessions/{id}/import", s.handleImport)
 	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("GET /v1/cache/export", s.handleCacheExport)
+	mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux

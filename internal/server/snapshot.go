@@ -1,0 +1,89 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	mctsui "repro"
+)
+
+// Cache snapshot transfer endpoints: the serving surface of the cache's
+// portability (see mctsui.Cache.WriteTo/ReadFrom). Export ships the
+// daemon's warm cost/legality entries to an operator or a fresh replica;
+// import warms a cold daemon from such a snapshot. Both are admission-aware
+// without consuming search slots — transfers serialize on their own
+// one-deep semaphore so a slow snapshot stream can neither starve searches
+// nor pile up.
+//
+// Drain semantics are asymmetric by design: export stays available while
+// draining — capturing the warm set on the way down is the whole point of a
+// graceful handoff — while import is refused with 503, since a daemon that
+// is shutting down has no use for new warmth.
+
+// ImportResponse is the /v1/cache/import success body.
+type ImportResponse struct {
+	// Entries is the number of snapshot entries merged into the cache.
+	Entries int64 `json:"entries"`
+}
+
+// acquireSnapshot claims the one-at-a-time snapshot transfer slot; false
+// means the response (409) has been written.
+func (s *Server) acquireSnapshot(w http.ResponseWriter) bool {
+	select {
+	case s.snapSem <- struct{}{}:
+		return true
+	default:
+		s.fail(w, http.StatusConflict, errors.New("another cache snapshot transfer is in progress"))
+		return false
+	}
+}
+
+func (s *Server) releaseSnapshot() { <-s.snapSem }
+
+func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	if !s.acquireSnapshot(w) {
+		return
+	}
+	defer s.releaseSnapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="cache.snap"`)
+	// The snapshot streams straight to the client; the cache stays live (per
+	// shard locking), so exports don't pause searches. A mid-stream write
+	// error just means the client went away — nothing to clean up.
+	_, _ = s.cache.WriteTo(w)
+}
+
+func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
+	// admitMu interlock mirrors admit(): once Drain returns, no import can
+	// slip in late and mutate the cache mid-handoff.
+	s.admitMu.RLock()
+	draining := s.draining.Load()
+	s.admitMu.RUnlock()
+	if draining {
+		s.fail(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	if !s.acquireSnapshot(w) {
+		return
+	}
+	defer s.releaseSnapshot()
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSnapshotBytes)
+	n, err := s.cache.ReadFrom(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("snapshot exceeds %d bytes", s.cfg.MaxSnapshotBytes))
+		case errors.Is(err, mctsui.ErrSnapshotFormat), errors.Is(err, mctsui.ErrSnapshotSchema):
+			// The cache is untouched: snapshots are fully verified before the
+			// first entry is merged.
+			s.fail(w, http.StatusUnprocessableEntity, err)
+		default:
+			s.fail(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ImportResponse{Entries: n})
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	mctsui "repro"
+)
+
+// exportCache GETs /v1/cache/export and returns the raw snapshot bytes.
+func exportCache(t *testing.T, base string) []byte {
+	t.Helper()
+	status, body := get(t, base+"/v1/cache/export")
+	if status != http.StatusOK {
+		t.Fatalf("export: status %d: %s", status, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("export: empty snapshot")
+	}
+	return body
+}
+
+// importCache POSTs raw snapshot bytes to /v1/cache/import.
+func importCache(t *testing.T, base string, snap []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/cache/import", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatalf("POST import: %v", err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read import response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestCacheExportImportRoundTrip(t *testing.T) {
+	_, tsA := newTestServer(t, Config{})
+	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	if status, body := post(t, tsA.URL+"/v1/generate", req); status != http.StatusOK {
+		t.Fatalf("warm generate: status %d: %s", status, body)
+	}
+	snap := exportCache(t, tsA.URL)
+
+	_, tsB := newTestServer(t, Config{})
+	status, body := importCache(t, tsB.URL, snap)
+	if status != http.StatusOK {
+		t.Fatalf("import: status %d: %s", status, body)
+	}
+	var ir ImportResponse
+	if err := decodeInto(body, &ir); err != nil {
+		t.Fatalf("bad import response %s: %v", body, err)
+	}
+	if ir.Entries <= 0 {
+		t.Fatalf("import merged %d entries", ir.Entries)
+	}
+	// Re-import is idempotent and reports the same entry count.
+	status, body = importCache(t, tsB.URL, snap)
+	if status != http.StatusOK {
+		t.Fatalf("re-import: status %d: %s", status, body)
+	}
+	var ir2 ImportResponse
+	if err := decodeInto(body, &ir2); err != nil {
+		t.Fatal(err)
+	}
+	if ir2.Entries != ir.Entries {
+		t.Fatalf("re-import merged %d entries, first import %d", ir2.Entries, ir.Entries)
+	}
+}
+
+// TestCacheWarmShippingByteIdentity is the cross-process handoff story:
+// daemon A serves a workload and exports its cache; a fresh daemon B imports
+// it and serves the same trace. B's responses must be byte-identical to A's
+// — the determinism contract means shipped warmth can change only speed,
+// never answers — and B must be warm from its very first request.
+func TestCacheWarmShippingByteIdentity(t *testing.T) {
+	_, tsA := newTestServer(t, Config{})
+	// A small trace with distinct seeds/budgets so several responses exist.
+	trace := []GenerateRequest{
+		{SearchParams: SearchParams{Iterations: 8, Seed: 7}, Queries: figure1},
+		{SearchParams: SearchParams{Iterations: 12, Seed: 3}, Queries: figure1},
+		{SearchParams: SearchParams{Iterations: 8, Seed: 7, Strategy: "beam:4"}, Queries: figure1},
+	}
+	responsesA := make([][]byte, len(trace))
+	for i, req := range trace {
+		status, body := post(t, tsA.URL+"/v1/generate", req)
+		if status != http.StatusOK {
+			t.Fatalf("daemon A request %d: status %d: %s", i, status, body)
+		}
+		responsesA[i] = body
+	}
+	snap := exportCache(t, tsA.URL)
+
+	cacheB := mctsui.NewCache(0)
+	_, tsB := newTestServer(t, Config{Cache: cacheB})
+	if status, body := importCache(t, tsB.URL, snap); status != http.StatusOK {
+		t.Fatalf("daemon B import: status %d: %s", status, body)
+	}
+	for i, req := range trace {
+		status, body := post(t, tsB.URL+"/v1/generate", req)
+		if status != http.StatusOK {
+			t.Fatalf("daemon B request %d: status %d: %s", i, status, body)
+		}
+		if !bytes.Equal(body, responsesA[i]) {
+			t.Errorf("request %d: daemon B response differs from daemon A\nA: %s\nB: %s", i, responsesA[i], body)
+		}
+	}
+	// Warm from the first request: B recomputes only the non-portable
+	// aspects (moves/pools) against imported verdicts, so its cost/legality
+	// lookups hit. Cold-serving this trace yields a near-zero early hit
+	// rate; warm-shipped it must be solidly above half.
+	st := cacheB.Stats()
+	if st.Hits == 0 {
+		t.Fatal("daemon B cache saw no hits")
+	}
+	if rate := st.HitRate(); rate < 0.5 {
+		t.Errorf("daemon B hit rate %.3f, want >= 0.5 (warm from first request); stats %+v", rate, st)
+	}
+}
+
+func TestCacheImportRejectsGarbage(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	status, body := importCache(t, ts.URL, []byte("definitely not a snapshot"))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage import: status %d: %s", status, body)
+	}
+	if st := s.Cache().Stats(); st.Entries != 0 {
+		t.Fatalf("garbage import planted %d entries", st.Entries)
+	}
+
+	// Truncated real snapshot: same rejection, same untouched cache.
+	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	if st, b := post(t, ts.URL+"/v1/generate", req); st != http.StatusOK {
+		t.Fatalf("warm generate: status %d: %s", st, b)
+	}
+	snap := exportCache(t, ts.URL)
+	fresh, tsFresh := newTestServer(t, Config{})
+	if status, _ := importCache(t, tsFresh.URL, snap[:len(snap)/2]); status != http.StatusUnprocessableEntity {
+		t.Fatalf("truncated import: status %d", status)
+	}
+	if st := fresh.Cache().Stats(); st.Entries != 0 {
+		t.Fatalf("truncated import planted %d entries", st.Entries)
+	}
+}
+
+func TestCacheImportTooLarge(t *testing.T) {
+	// A real, well-formed snapshot that exceeds the receiver's byte limit:
+	// the decoder runs into the cap mid-parse and must answer 413, not 422.
+	_, warm := newTestServer(t, Config{})
+	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	if status, body := post(t, warm.URL+"/v1/generate", req); status != http.StatusOK {
+		t.Fatalf("warm generate: status %d: %s", status, body)
+	}
+	snap := exportCache(t, warm.URL)
+
+	small, ts := newTestServer(t, Config{MaxSnapshotBytes: 64})
+	if int64(len(snap)) <= 64 {
+		t.Fatalf("snapshot unexpectedly small: %d bytes", len(snap))
+	}
+	status, body := importCache(t, ts.URL, snap)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized import: status %d: %s", status, body)
+	}
+	if st := small.Cache().Stats(); st.Entries != 0 {
+		t.Fatalf("oversized import planted %d entries", st.Entries)
+	}
+}
+
+func TestCacheSnapshotDrainSemantics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	if status, body := post(t, ts.URL+"/v1/generate", req); status != http.StatusOK {
+		t.Fatalf("generate: status %d: %s", status, body)
+	}
+	snap := exportCache(t, ts.URL)
+
+	s.Drain()
+	// Export survives drain: capturing warmth on the way down is the point.
+	if got := exportCache(t, ts.URL); !bytes.Equal(got, snap) {
+		t.Error("export while draining returned different bytes than before drain")
+	}
+	// Import is refused: a daemon shutting down takes no new warmth.
+	if status, body := importCache(t, ts.URL, snap); status != http.StatusServiceUnavailable {
+		t.Fatalf("import while draining: status %d: %s", status, body)
+	}
+}
+
+func TestCacheExportConcurrencyConflict(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Hold the transfer slot directly; a concurrent export must 409, not queue.
+	s.snapSem <- struct{}{}
+	defer func() { <-s.snapSem }()
+	status, body := get(t, ts.URL+"/v1/cache/export")
+	if status != http.StatusConflict {
+		t.Fatalf("concurrent export: status %d: %s", status, body)
+	}
+	if status, _ := importCache(t, ts.URL, []byte("x")); status != http.StatusConflict {
+		t.Fatalf("concurrent import: status %d", status)
+	}
+}
+
+// decodeInto is a tiny JSON helper for snapshot responses.
+func decodeInto(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("decode %s: %w", data, err)
+	}
+	return nil
+}
