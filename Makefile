@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test test-fast bench bench-allocs bench-json bench-serving load-smoke race-tree golden fuzz-smoke serve join-scenarios staticcheck
+.PHONY: verify build vet fmt test test-fast bench bench-allocs bench-json bench-serving load-smoke race-tree golden fuzz-smoke serve join-scenarios staticcheck mctsvet lint govulncheck
 
-# verify is the tier-1 gate: build, vet, formatting, and the full test suite.
-verify: build vet fmt test
+# verify is the tier-1 gate: build, formatting, static analysis (go vet +
+# the custom mctsvet suite), and the full test suite. Everything in verify
+# works offline; lint adds the network-fetched checkers on top.
+verify: build fmt mctsvet test
 
 build:
 	$(GO) build ./...
@@ -103,9 +105,25 @@ join-scenarios:
 		./internal/sqlparser ./internal/engine ./internal/rules ./internal/cost ./internal/workload ./internal/core
 	$(GO) run ./cmd/searchbench -out /tmp/bench-join.json -workload sdss-join -tree-workers 0 -min-speedup 0
 
+# mctsvet runs the standard `go vet` passes plus the repo's custom
+# determinism/concurrency analyzers (detmap, wallclock, slicealias,
+# cachewrite, directive) — see README "Static analysis". Offline-capable:
+# it is part of verify, which subsumes the plain vet target.
+mctsvet:
+	$(GO) run ./cmd/mctsvet ./...
+
+# lint is the full static-analysis gate: mctsvet plus the network-fetched
+# checkers CI pins (staticcheck, govulncheck).
+lint: mctsvet staticcheck govulncheck
+
 # staticcheck runs the pinned version CI uses (installs on demand).
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+
+# govulncheck scans the module and its call graph against the Go
+# vulnerability database (pinned; installs on demand).
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@v1.1.4 ./...
 
 # serve runs the long-lived daemon locally (see README "Serving").
 serve:

@@ -1,0 +1,103 @@
+// Command mctsvet is the project's multichecker: it runs the standard `go
+// vet` passes and the custom internal/analysis suite that machine-checks
+// this repository's determinism and concurrency contracts (detmap,
+// wallclock, slicealias, cachewrite, directive — see `mctsvet -list` and
+// the README's "Static analysis" section).
+//
+// Usage:
+//
+//	go run ./cmd/mctsvet ./...         # vet + custom analyzers (CI mode)
+//	go run ./cmd/mctsvet -novet ./...  # custom analyzers only
+//	go run ./cmd/mctsvet -list         # describe the suite
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure. Suppressions use
+// in-source directives the suite itself validates:
+//
+//	//mctsvet:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// on the offending line or the line directly above. Unused suppressions are
+// reported too, so annotations track the code they excuse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		novet = flag.Bool("novet", false, "skip the standard `go vet` passes")
+		list  = flag.Bool("list", false, "list the custom analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = fmt.Sprintf("%d packages", len(a.Packages))
+			}
+			fmt.Printf("%-12s (%s)\n    %s\n", a.Name, scope, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings := 0
+
+	// The standard vet passes run first, on the same patterns: mctsvet is
+	// the one gate, not a second one next to vet.
+	if !*novet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintf(os.Stderr, "mctsvet: running go vet: %v\n", err)
+				return 2
+			}
+			findings++
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mctsvet: %v\n", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analysis.All(), analysis.RunOptions{
+			Scoped:       true,
+			ReportUnused: true,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mctsvet: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mctsvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,217 @@
+// Package analysis is the machinery behind cmd/mctsvet: a small,
+// self-contained reimplementation of the core of golang.org/x/tools'
+// go/analysis framework (Analyzer, Pass, diagnostics, an analysistest-style
+// harness under analysistest/) plus the project-specific analyzers that
+// machine-check this repository's determinism and concurrency contracts.
+//
+// The system's headline guarantee — byte-identical results across cached,
+// uncached, parallel, and snapshot-restored runs — has been re-broken and
+// hand-re-fixed three times: PR 2 (changed-set accumulated in map-iteration
+// order), PR 4 (in-place ms[:0] reuse of a slice a memoizing layer retained),
+// and PR 8 (cache setters clobbering entries a live search had populated).
+// Each fix added a regression test; none prevented the next instance. The
+// analyzers here turn those one-off fixes into standing invariants:
+//
+//   - detmap: no order-dependent effect may be driven by map-iteration order
+//     in determinism-critical packages (sort the keys first).
+//   - wallclock: the pure search/eval packages read no wall clock and use no
+//     process-global RNG; randomness derives from explicit seeds.
+//   - slicealias: a function must not reslice a parameter to length zero and
+//     refill it in place — the caller (or a memoizing layer) still aliases
+//     the backing array.
+//   - cachewrite: cache entry fields are written only under a first-write-wins
+//     guard, so snapshot imports can never clobber live entries.
+//   - directive: every //mctsvet:allow suppression is well-formed, names a
+//     known analyzer, and carries a justification.
+//
+// Deliberate violations are annotated in place:
+//
+//	//mctsvet:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// on the offending line or the line directly above it. The directive
+// analyzer rejects malformed or unknown suppressions, and the driver reports
+// allowances that no longer suppress anything, so annotations cannot rot.
+//
+// The framework is stdlib-only by necessity: this module has no external
+// dependencies and the build environment is offline, so golang.org/x/tools
+// cannot be imported. Import resolution during loading uses the compiler
+// export data that `go list -export` materializes in the local build cache
+// (see load.go), which keeps the whole checker hermetic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mctsvet:allow directives.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Packages restricts the analyzer to these import paths when the driver
+	// runs in scoped mode (cmd/mctsvet). Empty means every package. The
+	// analysistest harness ignores the restriction so testdata packages can
+	// exercise any analyzer.
+	Packages []string
+
+	// Run reports violations on one typechecked package.
+	Run func(*Pass) error
+}
+
+// appliesTo reports whether the analyzer is in scope for a package path.
+func (a *Analyzer) appliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns every analyzer in the mctsvet suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detmap, Wallclock, Slicealias, Cachewrite, Directive}
+}
+
+// A Package is one loaded, parsed, and typechecked package — the unit the
+// driver hands to analyzers. Loading happens in load.go (cmd/mctsvet) or in
+// the analysistest harness (testdata packages).
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed marks diagnostics matched by a valid //mctsvet:allow
+	// directive. The driver keeps them (they mark the allowance as used) but
+	// does not print them.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allow *allowSet
+	diags []Diagnostic
+}
+
+// Reportf records a violation at pos. If a valid allow directive covers the
+// position, the diagnostic is kept but marked Suppressed.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	d := Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	if p.allow != nil && p.allow.match(p.Analyzer.Name, position) {
+		d.Suppressed = true
+	}
+	p.diags = append(p.diags, d)
+}
+
+// RunOptions configures one RunPackage call.
+type RunOptions struct {
+	// Scoped honors each analyzer's Packages restriction (the cmd/mctsvet
+	// mode). The analysistest harness runs unscoped.
+	Scoped bool
+	// ReportUnused emits a "directive" diagnostic for every allowance that
+	// suppressed nothing, so stale annotations surface instead of rotting.
+	// Only meaningful when the full suite runs (a lone analyzer would see
+	// every other analyzer's allowances as unused).
+	ReportUnused bool
+}
+
+// RunPackage runs the analyzers over one package and returns all
+// diagnostics (including suppressed ones) in source order.
+func RunPackage(pkg *Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	allow := scanAllowances(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if opts.Scoped && !a.appliesTo(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			allow:    allow,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.ImportPath, a.Name, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	if opts.ReportUnused {
+		diags = append(diags, allow.unused()...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders diagnostics by (file, line, column, analyzer) so
+// output is stable regardless of analyzer execution order.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// inspectStack walks root like ast.Inspect but hands fn the stack of
+// enclosing nodes (outermost first, not including n itself). Returning false
+// prunes n's subtree.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// ast.Inspect skips both the children and the closing nil
+			// callback for a pruned node, so nothing is pushed here.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

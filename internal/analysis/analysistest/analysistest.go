@@ -1,0 +1,184 @@
+// Package analysistest runs one analyzer over a testdata package and checks
+// its diagnostics against `// want` expectations — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the standard
+// library because this module builds offline with no dependencies.
+//
+// Testdata layout mirrors the x/tools convention:
+//
+//	internal/analysis/testdata/src/<pkg>/*.go
+//
+// Each file line that should produce a diagnostic carries a trailing
+// comment of the form
+//
+//	// want `regexp`
+//	// want `regexp1` `regexp2`        (two diagnostics on the same line)
+//
+// Matching is exact per line: every want must be matched by a distinct
+// reported diagnostic on that line, and every reported diagnostic must
+// match a want. Diagnostics suppressed by a valid //mctsvet:allow directive
+// are treated as not reported, so testdata can also pin the suppression
+// behavior itself.
+//
+// Testdata packages import only the standard library; imports resolve
+// through the source importer (GOROOT source, no compiled artifacts
+// needed), keeping the harness hermetic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// srcImporter is shared across Run calls: typechecking the stdlib from
+// source is the slow part, and the importer memoizes per package.
+var srcImporter = importer.ForCompiler(token.NewFileSet(), "source", nil)
+
+// Run loads testdata/src/<pkg>, runs the analyzer (ignoring its package
+// scoping), and reports every mismatch between diagnostics and `// want`
+// expectations as a test error.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	loaded, err := LoadPackage(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(loaded, []*analysis.Analyzer{a}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+
+	wants, err := collectWants(loaded.Fset, loaded.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Match diagnostics to wants per (file, line).
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]*want)
+	for i := range wants {
+		w := &wants[i]
+		k := key{w.file, w.line}
+		unmatched[k] = append(unmatched[k], w)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		ws := unmatched[k]
+		matched := false
+		for i, w := range ws {
+			if w.re.MatchString(d.Message) {
+				unmatched[k] = append(ws[:i:i], ws[i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	var leftover []string
+	for _, ws := range unmatched {
+		for _, w := range ws {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re))
+		}
+	}
+	sort.Strings(leftover)
+	for _, msg := range leftover {
+		t.Errorf("%s", msg)
+	}
+}
+
+// LoadPackage parses and typechecks every .go file in dir as one package
+// whose imports are resolved from GOROOT source. Exported so tests that
+// need raw diagnostics (e.g. the unused-directive check, which only fires
+// when the whole suite runs) can load testdata without the want-matching.
+func LoadPackage(dir, pkgPath string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: srcImporter}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking: %w", err)
+	}
+	return &analysis.Package{
+		ImportPath: pkgPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// want is one expectation: a diagnostic on (file, line) matching re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE extracts the backquoted patterns of one `// want` comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// collectWants scans the files' comments for `// want` expectations.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]want, error) {
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats := wantRE.FindAllStringSubmatch(text[len("want "):], -1)
+				if len(pats) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment %q: patterns must be backquoted", pos, text)
+				}
+				for _, m := range pats {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,334 @@
+// The detmap analyzer: no order-dependent effect may be driven by Go's
+// randomized map-iteration order in determinism-critical packages.
+//
+// This is the PR 2 bug class. difftree.Assignment.Changed accumulated the
+// changed choice-node set with `for n := range assignment { out = append... }`,
+// so the transition-cost term summed Steiner-tree edges in a different order
+// per process — and equal states scored differently across runs, breaking the
+// cached == uncached == parallel equivalence the whole system is built on.
+//
+// Flagged effects inside a `for ... range m` body (m a map):
+//
+//   - appending to a slice declared outside the loop (the changed-set bug),
+//     unless every such slice is passed to a sort.*/slices.Sort* call later
+//     in the same function — the collect-keys-then-sort idiom is the
+//     sanctioned fix and must not itself be flagged;
+//   - writing to an outer hash/strings.Builder/bytes.Buffer/io.Writer via
+//     Write*/Fprint* (bytes fed to a hasher or stream in map order);
+//   - string concatenation onto an outer variable (order shows in the value);
+//   - floating-point accumulation onto an outer variable (addition of floats
+//     is not associative, so the sum depends on iteration order);
+//   - sending on a channel (observable ordering).
+//
+// Pure counting (ints), per-key writes into other maps, and reads are
+// order-independent and pass. Deliberate unordered accumulation — e.g. a
+// function documented to return an unordered set whose only caller sorts —
+// carries a //mctsvet:allow detmap -- <why> directive.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// detmapPackages is the determinism-critical set: every package on the path
+// from a query log to a served, exported, or persisted byte. The pure search
+// core (the seven packages the equivalence tests pin) plus the root package
+// and the serialization/serving surfaces whose outputs are compared
+// byte-for-byte in CI (golden fixtures, export/import round trips, the
+// eviction soak).
+var detmapPackages = []string{
+	"repro",
+	"repro/internal/mcts",
+	"repro/internal/eval",
+	"repro/internal/cost",
+	"repro/internal/difftree",
+	"repro/internal/rules",
+	"repro/internal/search",
+	"repro/internal/core",
+	"repro/internal/ast",
+	"repro/internal/sqlparser",
+	"repro/internal/codec",
+	"repro/internal/server",
+	"repro/internal/engine",
+	"repro/internal/layout",
+	"repro/internal/htmlpage",
+	"repro/internal/widgets",
+	"repro/internal/assign",
+	"repro/internal/workload",
+}
+
+// Detmap flags order-dependent effects driven by map iteration order.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc: "flag `for range` over a map whose body has order-dependent effects " +
+		"(append to an outer slice, stream/hash writes, string or float " +
+		"accumulation) in determinism-critical packages; sort the keys first",
+	Packages: detmapPackages,
+	Run:      runDetmap,
+}
+
+func runDetmap(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			detmapFunc(p, fd.Body)
+			return false
+		})
+	}
+	return nil
+}
+
+// detmapFunc checks every range-over-map inside one function body. The body
+// is also the search scope for the collect-then-sort exemption: a sort call
+// in a different function can't be seen, and such cases take a directive.
+func detmapFunc(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		effects := p.mapLoopEffects(rs)
+		if len(effects) == 0 {
+			return true
+		}
+		// Collect-then-sort exemption: every effect is an append whose
+		// destination is sorted after the loop in this same function.
+		exempt := true
+		for _, e := range effects {
+			if e.appendDest == nil || !sortedAfter(p, body, rs, e.appendDest) {
+				exempt = false
+				break
+			}
+		}
+		if exempt {
+			return true
+		}
+		first := effects[0]
+		for _, e := range effects {
+			if e.appendDest == nil || !sortedAfter(p, body, rs, e.appendDest) {
+				first = e
+				break
+			}
+		}
+		p.Reportf(rs.For, "map iteration order drives %s; iterate sorted keys instead (or annotate: //mctsvet:allow detmap -- <why>)", first.what)
+		return true
+	})
+}
+
+// mapEffect is one order-dependent effect found in a range-over-map body.
+type mapEffect struct {
+	what string
+	// appendDest is the outer slice variable appended to, when the effect is
+	// an append to an identifier (the collect-then-sort candidate).
+	appendDest types.Object
+}
+
+// mapLoopEffects collects the order-dependent effects in the loop body.
+func (p *Pass) mapLoopEffects(rs *ast.RangeStmt) []mapEffect {
+	var effects []mapEffect
+	outer := func(e ast.Expr) bool { return p.declaredOutside(e, rs.Body) }
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			effects = append(effects, p.assignEffects(st, outer)...)
+		case *ast.SendStmt:
+			if outer(st.Chan) {
+				effects = append(effects, mapEffect{what: "a channel send"})
+			}
+		case *ast.ExprStmt:
+			if eff, ok := p.callEffect(st.X, outer); ok {
+				effects = append(effects, eff)
+			}
+		}
+		return true
+	})
+	return effects
+}
+
+// assignEffects classifies one assignment inside the loop body.
+func (p *Pass) assignEffects(st *ast.AssignStmt, outer func(ast.Expr) bool) []mapEffect {
+	var effects []mapEffect
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		if !outer(lhs) {
+			return nil
+		}
+		switch {
+		case st.Tok == token.ADD_ASSIGN && p.isString(lhs):
+			effects = append(effects, mapEffect{what: "string concatenation onto an outer variable"})
+		case p.isFloat(lhs):
+			effects = append(effects, mapEffect{what: "floating-point accumulation onto an outer variable (float addition is not associative)"})
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) {
+				break
+			}
+			lhs := st.Lhs[i]
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p, call) && outer(lhs) {
+				eff := mapEffect{what: "an append to an outer slice"}
+				if id, ok := lhs.(*ast.Ident); ok {
+					eff.appendDest = p.Info.ObjectOf(id)
+				}
+				effects = append(effects, eff)
+				continue
+			}
+			// s = s + x string concatenation.
+			if bin, ok := rhs.(*ast.BinaryExpr); ok && bin.Op == token.ADD && outer(lhs) && p.isString(lhs) && sameExpr(lhs, bin.X) {
+				effects = append(effects, mapEffect{what: "string concatenation onto an outer variable"})
+			}
+		}
+	}
+	return effects
+}
+
+// callEffect reports stream/hash writes: method calls like Write/WriteString
+// on an outer receiver, and fmt.Fprint* with an outer writer argument.
+func (p *Pass) callEffect(x ast.Expr, outer func(ast.Expr) bool) (mapEffect, bool) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return mapEffect{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return mapEffect{}, false
+	}
+	name := sel.Sel.Name
+	if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 && outer(call.Args[0]) {
+			return mapEffect{what: "a fmt." + name + " to an outer writer"}, true
+		}
+		return mapEffect{}, false
+	}
+	if strings.HasPrefix(name, "Write") && outer(sel.X) {
+		return mapEffect{what: "a " + name + " to an outer stream or hasher"}, true
+	}
+	return mapEffect{}, false
+}
+
+// declaredOutside reports whether the assignable expression refers to state
+// living beyond one loop iteration: selectors and indexed locations always
+// do; identifiers do when their declaration is outside the body.
+func (p *Pass) declaredOutside(e ast.Expr, body *ast.BlockStmt) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	case *ast.SelectorExpr:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return p.declaredOutside(e.X, body)
+		}
+	case *ast.ParenExpr:
+		return p.declaredOutside(e.X, body)
+	}
+	return false
+}
+
+func (p *Pass) isString(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// sameExpr reports whether two expressions are the same identifier or the
+// same one-level selector (good enough for the s = s + x pattern).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		bid, ok := b.(*ast.Ident)
+		return ok && a.Name == bid.Name
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameExpr(a.X, bs.X)
+	}
+	return false
+}
+
+// sortedAfter reports whether dest is passed to a sort.* or slices.Sort*
+// call located after the range statement in the same function body.
+func sortedAfter(p *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, dest types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		pkgPath := fn.Pkg().Path()
+		isSort := pkgPath == "sort" || (pkgPath == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprUses(p, arg, dest) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprUses reports whether the expression references the object.
+func exprUses(p *Pass, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

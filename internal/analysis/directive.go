@@ -1,0 +1,190 @@
+// The //mctsvet:allow directive: syntax, scanning, suppression matching, and
+// the analyzer that keeps directives honest.
+//
+// A directive has the form
+//
+//	//mctsvet:allow detmap -- caller sorts the result by pre-order position
+//	//mctsvet:allow wallclock,detmap -- reason covering both analyzers
+//
+// and suppresses the named analyzers' findings on the directive's own line
+// (trailing-comment style) or on the line directly below it (comment-above
+// style). The reason after " -- " is mandatory: a suppression is a reviewed
+// exception to a correctness contract, and the justification belongs next to
+// the code, not in a PR description that history forgets.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "//mctsvet:"
+
+// An allowance is one parsed analyzer suppression: directives naming several
+// analyzers expand to one allowance each.
+type allowance struct {
+	analyzer string
+	pos      token.Position // directive position
+	uses     int
+}
+
+// allowSet indexes valid allowances by file and line for suppression checks.
+type allowSet struct {
+	byLine map[string]map[int][]*allowance // filename -> directive line -> allowances
+	all    []*allowance
+}
+
+// scanAllowances collects the valid allow directives in the files. Malformed
+// directives are ignored here — the Directive analyzer reports them — so a
+// broken suppression never silently suppresses.
+func scanAllowances(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{byLine: make(map[string]map[int][]*allowance)}
+	forEachDirective(fset, files, func(pos token.Position, names []string, reason string, parseErr string) {
+		if parseErr != "" || reason == "" {
+			return
+		}
+		for _, name := range names {
+			if !knownAnalyzer(name) {
+				continue
+			}
+			a := &allowance{analyzer: name, pos: pos}
+			byLine := s.byLine[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]*allowance)
+				s.byLine[pos.Filename] = byLine
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], a)
+			s.all = append(s.all, a)
+		}
+	})
+	return s
+}
+
+// match reports whether an allowance for the analyzer covers a diagnostic at
+// pos: a directive suppresses its own line and the line directly below it.
+func (s *allowSet) match(analyzer string, pos token.Position) bool {
+	byLine := s.byLine[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, a := range byLine[line] {
+			if a.analyzer == analyzer {
+				a.uses++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unused returns a diagnostic for every allowance that suppressed nothing —
+// the analyzer no longer fires there, so the annotation is stale and must be
+// deleted (or the regression it guarded has returned in a changed form).
+func (s *allowSet) unused() []Diagnostic {
+	var ds []Diagnostic
+	for _, a := range s.all {
+		if a.uses == 0 {
+			ds = append(ds, Diagnostic{
+				Pos:      a.pos,
+				Analyzer: Directive.Name,
+				Message:  "unused suppression: no " + a.analyzer + " finding on this or the next line; delete the directive",
+			})
+		}
+	}
+	return ds
+}
+
+// forEachDirective invokes fn for every comment carrying the mctsvet: prefix.
+// parseErr is non-empty for malformed directives (fn decides whether to
+// report or skip them).
+func forEachDirective(fset *token.FileSet, files []*ast.File, fn func(pos token.Position, names []string, reason string, parseErr string)) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "allow" {
+					fn(pos, nil, "", "unknown mctsvet directive "+verb+"; only mctsvet:allow exists")
+					continue
+				}
+				namesPart, reason, hasReason := strings.Cut(args, " -- ")
+				reason = strings.TrimSpace(reason)
+				if !hasReason || reason == "" {
+					fn(pos, nil, "", "missing justification: write //mctsvet:allow <analyzer> -- <reason>")
+					continue
+				}
+				var names []string
+				bad := ""
+				for _, name := range strings.Split(strings.TrimSpace(namesPart), ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						bad = "empty analyzer name in allow list"
+						break
+					}
+					if !knownAnalyzer(name) {
+						bad = "unknown analyzer " + name + " (have " + strings.Join(analyzerNames(), ", ") + ")"
+						break
+					}
+					names = append(names, name)
+				}
+				if bad != "" {
+					fn(pos, nil, "", bad)
+					continue
+				}
+				fn(pos, names, reason, "")
+			}
+		}
+	}
+}
+
+// analyzerNameList mirrors All()'s names as plain strings: the directive
+// validator needs them while the Analyzer vars are still initializing, so
+// reading All() here would be an initialization cycle. TestAnalyzerNameList
+// pins the two in sync.
+var analyzerNameList = []string{"detmap", "wallclock", "slicealias", "cachewrite", "directive"}
+
+func analyzerNames() []string { return analyzerNameList }
+
+// AnalyzerNames returns the suite's analyzer names; exported for the test
+// pinning the list to All().
+func AnalyzerNames() []string { return analyzerNameList }
+
+func knownAnalyzer(name string) bool {
+	for _, n := range analyzerNameList {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Directive validates every mctsvet: comment: only the allow verb exists,
+// analyzer names must be known, and the " -- reason" justification is
+// mandatory. Invalid directives suppress nothing (scanAllowances drops
+// them), so this analyzer is what turns a typo'd suppression into a build
+// failure instead of a silently re-opened invariant.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc: "report malformed //mctsvet:allow directives: unknown verbs, " +
+		"unknown analyzer names, or suppressions missing the mandatory " +
+		"' -- <reason>' justification",
+	Run: runDirective,
+}
+
+func runDirective(p *Pass) error {
+	forEachDirective(p.Fset, p.Files, func(pos token.Position, names []string, reason string, parseErr string) {
+		if parseErr != "" {
+			// Reportf resolves pos from a token.Pos; we already have the
+			// Position, so append directly to keep the exact location.
+			p.diags = append(p.diags, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: parseErr})
+		}
+	})
+	return nil
+}

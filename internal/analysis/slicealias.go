@@ -1,0 +1,119 @@
+// The slicealias analyzer: never reslice a function parameter to length
+// zero and refill it in place.
+//
+// This is the PR 4 bug class. search.Space.moves filtered the move list
+// with `out := ms[:0]` — compacting into the caller's backing array. The
+// moment a memoizing layer (the transposition cache) retained the slice the
+// enumerator returned, the in-place filter silently corrupted the cached
+// copy: a later cache hit replayed a half-overwritten move list, and move
+// enumeration — the thing every search trajectory hangs off — stopped being
+// a pure function of the state.
+//
+// The rule: a `p[:0]` (or `p[0:0]`) reslice whose base is a parameter of
+// the enclosing function (or of any enclosing closure) is flagged, because
+// appends through it write into memory the caller still aliases. The
+// full-slice form `p[:0:0]` caps capacity at zero, forcing append to
+// allocate fresh memory, and passes. Reusing a *local* buffer, or a field
+// on an owned receiver (pooled matchers, scratch arenas), is the normal
+// buffer-reuse idiom and is not flagged. Deliberate strconv.AppendInt-style
+// APIs — where writing into the caller's buffer is the documented contract —
+// carry a //mctsvet:allow slicealias -- <why> directive.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Slicealias flags in-place zero-reslices of function parameters.
+var Slicealias = &Analyzer{
+	Name: "slicealias",
+	Doc: "flag s[:0] reuse of a parameter slice: appends through it clobber " +
+		"the caller's (or a memoizing layer's) retained copy; filter into a " +
+		"fresh slice or use the capacity-zero full-slice form s[:0:0]",
+	Run: runSlicealias,
+}
+
+func runSlicealias(p *Pass) error {
+	for _, f := range p.Files {
+		// params accumulates the slice-typed parameter objects of every
+		// enclosing function, outermost first; closures inherit their
+		// parents' parameters (a captured parameter aliases just the same).
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			se, ok := n.(*ast.SliceExpr)
+			if !ok {
+				return true
+			}
+			if !isZeroReslice(p, se) {
+				return true
+			}
+			id, ok := se.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.ObjectOf(id)
+			if obj == nil || !isParamOfEnclosing(p, obj, stack) {
+				return true
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+				return true
+			}
+			p.Reportf(se.Pos(), "in-place reuse of parameter slice %s: %s[:0] aliases the caller's backing array, so appends clobber any retained copy; build a fresh slice, or %s[:0:0] to force reallocation (or annotate: //mctsvet:allow slicealias -- <why>)", id.Name, id.Name, id.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isZeroReslice matches s[:0] and s[0:0] but not the capacity-capped
+// s[:0:0], whose appends cannot touch the shared array.
+func isZeroReslice(p *Pass, se *ast.SliceExpr) bool {
+	if se.High == nil || !isConstZero(p, se.High) {
+		return false
+	}
+	if se.Low != nil && !isConstZero(p, se.Low) {
+		return false
+	}
+	if se.Slice3 && se.Max != nil && isConstZero(p, se.Max) {
+		return false // s[:0:0]: capacity 0, append reallocates
+	}
+	return true
+}
+
+func isConstZero(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == 0
+}
+
+// isParamOfEnclosing reports whether obj is declared in the parameter list
+// (not the body) of any function enclosing the expression.
+func isParamOfEnclosing(p *Pass, obj types.Object, stack []ast.Node) bool {
+	for _, n := range stack {
+		var ft *ast.FuncType
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if p.Info.ObjectOf(name) == obj {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// The four historical-bug analyzers, each against testdata reproducing the
+// original bug verbatim (modulo package-local stub types): PR 2's
+// map-ordered changed set, PR 4's in-place ms[:0] compaction, PR 8's
+// clobbering cache setters, and the wall-clock/global-RNG shapes wallclock
+// exists to keep out of the pure packages. If one of these tests fails, the
+// suite would no longer have caught the bug that motivated it.
+
+func TestDetmapHistoricalBug(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Detmap, "detmap")
+}
+
+func TestWallclockAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Wallclock, "wallclock")
+}
+
+func TestSlicealiasHistoricalBug(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Slicealias, "slicealias")
+}
+
+func TestCachewriteHistoricalBug(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Cachewrite, "cachewrite")
+}
+
+// TestDirectiveAnalyzer pins the directive validator's findings on the
+// malformed block in testdata/src/directive. Line comments cannot carry a
+// trailing `// want` comment, so expectations are asserted directly.
+func TestDirectiveAnalyzer(t *testing.T) {
+	pkg, err := analysistest.LoadPackage(filepath.Join("testdata", "src", "directive"), "directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{analysis.Directive}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"unknown mctsvet directive suppress",
+		"missing justification",
+		"unknown analyzer mapdet",
+		"empty analyzer name",
+		"missing justification",
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d directive diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want it to contain %q", i, diags[i].Message, w)
+		}
+		if diags[i].Analyzer != "directive" {
+			t.Errorf("diagnostic %d attributed to %q, want directive", i, diags[i].Analyzer)
+		}
+	}
+}
+
+// TestUnusedDirective: an allowance that suppresses nothing must be
+// reported when the driver runs with ReportUnused (the cmd/mctsvet mode),
+// so stale annotations cannot rot in the tree. The testdata carries one
+// detmap,wallclock directive over a map loop: the detmap half suppresses a
+// real finding, the wallclock half suppresses nothing and must surface.
+func TestUnusedDirective(t *testing.T) {
+	pkg, err := analysistest.LoadPackage(filepath.Join("testdata", "src", "unused"), "unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunPackage(pkg, analysis.All(), analysis.RunOptions{ReportUnused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unused, suppressed int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			continue
+		}
+		if d.Analyzer != "directive" || !strings.Contains(d.Message, "unused suppression") {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !strings.Contains(d.Message, "wallclock") {
+			t.Errorf("unused suppression should name wallclock: %s", d)
+		}
+		unused++
+	}
+	if unused != 1 {
+		t.Errorf("got %d unused-suppression findings, want 1", unused)
+	}
+	if suppressed != 1 {
+		t.Errorf("got %d suppressed findings, want 1 (the used detmap allowance)", suppressed)
+	}
+}
+
+// TestAnalyzerNameList pins the directive validator's name list to All():
+// the literal list exists only to break an initialization cycle, and a new
+// analyzer missing from it could never be allowed nor validated.
+func TestAnalyzerNameList(t *testing.T) {
+	all := analysis.All()
+	names := analysis.AnalyzerNames()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d analyzers, name list has %d", len(all), len(names))
+	}
+	for i, a := range all {
+		if a.Name != names[i] {
+			t.Errorf("All()[%d].Name = %q, name list has %q", i, a.Name, names[i])
+		}
+	}
+}
+
+// TestScopedRun: in scoped mode (cmd/mctsvet), an analyzer restricted to
+// other packages must not fire. The detmap testdata package is full of
+// violations, but its import path is not in Detmap.Packages.
+func TestScopedRun(t *testing.T) {
+	pkg, err := analysistest.LoadPackage(filepath.Join("testdata", "src", "detmap"), "example.com/not/critical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{analysis.Detmap}, analysis.RunOptions{Scoped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("scoped run on an out-of-scope package produced %d diagnostics, want 0; first: %s", len(diags), diags[0])
+	}
+	unscoped, err := analysis.RunPackage(pkg, []*analysis.Analyzer{analysis.Detmap}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unscoped) == 0 {
+		t.Error("unscoped run on the same package found nothing: scoping test is vacuous")
+	}
+}

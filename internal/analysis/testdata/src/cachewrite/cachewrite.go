@@ -1,0 +1,118 @@
+// Package cachewrite reproduces the PR 8 clobbering bug for the cachewrite
+// analyzer: the transposition cache's setters assigned entry fields
+// unconditionally, so a snapshot import racing a live search could
+// overwrite an entry the search had already populated and handed out. The
+// fix — and the contract this analyzer enforces — is that every entry-field
+// write is guarded by the aspect's presence flag: first write wins.
+package cachewrite
+
+import "sync"
+
+// entry mirrors internal/eval's cache entry: per-aspect values with
+// presence flags, guarded by the owning shard's mutex.
+type entry struct {
+	cost     float64
+	hasCost  bool
+	legal    uint8 // 0 unknown, 1 legal, 2 illegal
+	moves    []int
+	hasMoves bool
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[uint64]*entry
+}
+
+type cache struct{ s shard }
+
+func (c *cache) lockFor(key uint64) (*shard, *entry) {
+	c.s.mu.Lock()
+	e := c.s.m[key]
+	if e == nil {
+		e = new(entry)
+		c.s.m[key] = e
+	}
+	return &c.s, e
+}
+
+// setCostBuggy is the pre-PR 8 setter, verbatim modulo naming: the
+// unconditional write lets a second writer (snapshot import) clobber a
+// live entry.
+func (c *cache) setCostBuggy(key uint64, v float64) {
+	s, e := c.lockFor(key)
+	e.cost, e.hasCost = v, true // want `write to cache entry field "cost"` `write to cache entry field "hasCost"`
+	s.mu.Unlock()
+}
+
+// setLegalBuggy is the pre-PR 8 legality setter: branching on the value
+// is not a first-write guard.
+func (c *cache) setLegalBuggy(key uint64, legal bool) {
+	s, e := c.lockFor(key)
+	if legal {
+		e.legal = 1 // want `write to cache entry field "legal"`
+	} else {
+		e.legal = 2 // want `write to cache entry field "legal"`
+	}
+	s.mu.Unlock()
+}
+
+// setCostFixed is the PR 8 fix: first write wins. Not flagged.
+func (c *cache) setCostFixed(key uint64, v float64) {
+	s, e := c.lockFor(key)
+	if !e.hasCost {
+		e.cost, e.hasCost = v, true
+	}
+	s.mu.Unlock()
+}
+
+// setLegalFixed guards on the zero (unknown) encoding. Not flagged.
+func (c *cache) setLegalFixed(key uint64, legal bool) {
+	s, e := c.lockFor(key)
+	if e.legal == 0 {
+		if legal {
+			e.legal = 1
+		} else {
+			e.legal = 2
+		}
+	}
+	s.mu.Unlock()
+}
+
+// importEntry merges aspects first-write-wins per aspect, the snapshot
+// import shape. Not flagged.
+func (c *cache) importEntry(key uint64, cost float64, hasCost bool, legal uint8) {
+	s, e := c.lockFor(key)
+	if hasCost && !e.hasCost {
+		e.cost, e.hasCost = cost, true
+	}
+	if legal != 0 && e.legal == 0 {
+		e.legal = legal
+	}
+	s.mu.Unlock()
+}
+
+// clobberWhole replaces every aspect at once: no guard can make that
+// import-safe.
+func (c *cache) clobberWhole(key uint64) {
+	s, e := c.lockFor(key)
+	*e = entry{} // want `whole cache entry overwrite`
+	s.mu.Unlock()
+}
+
+// setMovesGuarded writes the owned-slice aspect under its flag. Not flagged.
+func (c *cache) setMovesGuarded(key uint64, ms []int) {
+	s, e := c.lockFor(key)
+	if !e.hasMoves {
+		e.moves, e.hasMoves = ms, true
+	}
+	s.mu.Unlock()
+}
+
+// resetAllowed shows the sanctioned escape hatch for a deliberate
+// lifecycle operation (e.g. a cache Reset) with its justification.
+func (c *cache) resetAllowed(key uint64) {
+	s, e := c.lockFor(key)
+	//mctsvet:allow cachewrite -- testdata: wholesale reset is a lifecycle op, not a racing writer
+	*e = entry{}
+	s.mu.Unlock()
+}

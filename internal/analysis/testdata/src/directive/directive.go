@@ -1,0 +1,46 @@
+// Package directive exercises the directive analyzer: every mctsvet:
+// comment must be a well-formed allow with known analyzer names and a
+// justification, because a malformed suppression suppresses nothing — it
+// must fail the build, not silently re-open an invariant.
+//
+// Line comments cannot carry a trailing `// want` comment (one line holds
+// one comment), so the expected findings live in the driving unit test
+// (TestDirectiveAnalyzer) keyed by the constants below. Keep the malformed
+// block intact: the test pins its exact lines and messages.
+package directive
+
+import "sort"
+
+// wellFormed carries a valid suppression: known analyzer, reason present.
+// Nothing to report.
+func wellFormed(m map[string]int) []string {
+	var out []string
+	//mctsvet:allow detmap -- testdata: unordered result, caller sorts
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// multiName allows two analyzers at once; sorting keeps detmap quiet so the
+// wallclock half of the allowance is the only unused one.
+func multiName(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The malformed block — one directive per failure mode:
+
+//mctsvet:suppress detmap -- wrong verb
+
+//mctsvet:allow detmap
+
+//mctsvet:allow mapdet -- transposed analyzer name
+
+//mctsvet:allow detmap,,wallclock -- stray comma in the list
+
+//mctsvet:allow -- no analyzer names at all

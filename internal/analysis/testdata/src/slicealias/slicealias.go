@@ -1,0 +1,97 @@
+// Package slicealias reproduces the PR 4 aliasing bug for the slicealias
+// analyzer: search.Space.moves compacted the enumerated move list in place
+// with `out := ms[:0]`, corrupting the copy the transposition cache had
+// retained — a cache hit then replayed a half-overwritten move list.
+package slicealias
+
+type move struct{ path []int }
+
+type node struct{ size int }
+
+func applyMove(d *node, m move) (*node, bool) { return d, len(m.path) >= 0 }
+
+// filterMovesBuggy is the PR 4 bug, verbatim modulo the stubbed types: ms
+// belongs to the enumerator that produced it, and the in-place compaction
+// silently clobbers any copy a memoizing layer retains.
+func filterMovesBuggy(d *node, ms []move, sizeCap int) []move {
+	if sizeCap <= 0 {
+		return ms
+	}
+	out := ms[:0] // want `in-place reuse of parameter slice ms`
+	for _, m := range ms {
+		if next, ok := applyMove(d, m); ok && next.size <= sizeCap {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// filterMovesFixed is the PR 4 fix: filter into a fresh slice. Not flagged.
+func filterMovesFixed(d *node, ms []move, sizeCap int) []move {
+	if sizeCap <= 0 {
+		return ms
+	}
+	out := make([]move, 0, len(ms))
+	for _, m := range ms {
+		if next, ok := applyMove(d, m); ok && next.size <= sizeCap {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// fullSliceReset caps capacity at zero, so append must reallocate and the
+// caller's array is never written. Not flagged.
+func fullSliceReset(ms []move) []move {
+	out := ms[:0:0]
+	for _, m := range ms {
+		if len(m.path) > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// localReuse resets a locally owned buffer between iterations — the normal
+// buffer-reuse idiom. Not flagged.
+func localReuse(batches [][]move) int {
+	n := 0
+	var buf []move
+	for _, b := range batches {
+		buf = buf[:0]
+		buf = append(buf, b...)
+		n += len(buf)
+	}
+	return n
+}
+
+type matcher struct{ trail []move }
+
+// fieldReuse resets a field on an owned receiver (the pooled-matcher
+// pattern): the struct owns its scratch space. Not flagged.
+func (m *matcher) fieldReuse() {
+	m.trail = m.trail[:0]
+}
+
+// closureParam reuses a parameter of an enclosing function from inside a
+// closure: the capture aliases the caller's array just the same.
+func closureParam(ms []move) func() []move {
+	return func() []move {
+		out := ms[:0] // want `in-place reuse of parameter slice ms`
+		return out
+	}
+}
+
+// appendAPI is a strconv.AppendInt-style API where writing into the
+// caller's buffer is the documented contract; the directive records that.
+func appendAPI(dst []move, extra move) []move {
+	//mctsvet:allow slicealias -- testdata: Append-style API, caller passes dst to be filled
+	out := append(dst[:0], extra)
+	return out
+}
+
+// explicitZeroLow matches the s[0:0] spelling too.
+func explicitZeroLow(ms []move) []move {
+	out := ms[0:0] // want `in-place reuse of parameter slice ms`
+	return append(out, move{})
+}

@@ -1,0 +1,14 @@
+// Package unused exercises the driver's stale-suppression check: the
+// detmap half of the directive below suppresses a real finding, while the
+// wallclock half suppresses nothing — in ReportUnused mode (cmd/mctsvet)
+// that stale half must be reported so annotations cannot rot.
+package unused
+
+func keys(m map[string]int) []string {
+	var out []string
+	//mctsvet:allow detmap,wallclock -- testdata: unordered result, caller sorts
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package wallclock exercises the wallclock analyzer: the pure search/eval
+// packages must derive every random draw from explicit seeds and never read
+// the wall clock into a result. The bad cases mirror the shapes the
+// analyzer exists to keep out of internal/{mcts,search,eval,...}.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// rewardSeed is the sanctioned pattern (internal/eval): RNG constructed
+// from a seed derived from the state hash. Constructors and methods on an
+// explicitly seeded generator are never flagged.
+func rewardSeed(stateHash uint64, k int) float64 {
+	rng := rand.New(rand.NewSource(int64(stateHash)))
+	t := 0.0
+	for i := 0; i < k; i++ {
+		t += rng.Float64()
+	}
+	return t
+}
+
+// globalDraw uses the process-global RNG: draws depend on everything else
+// the process has sampled, so equal states stop scoring equally.
+func globalDraw(n int) int {
+	return rand.Intn(n) // want `process-global RNG math/rand.Intn`
+}
+
+// seedFromClock smuggles the wall clock in through the seed.
+func seedFromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock read time.Now`
+}
+
+// deadlineCheck is the shape internal/mcts uses for TimeBudget: a real
+// wall-clock dependency that is part of the anytime contract. In the real
+// tree it carries an allow directive; here it pins the diagnostic.
+func deadlineCheck(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline) // want `wall-clock read time.Now`
+}
+
+// elapsed reports time.Since, the observability read.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+// allowedDeadline demonstrates the justified suppression for the anytime
+// contract: budget enforcement may read the clock because the deadline only
+// stops iteration, it never feeds a result.
+func allowedDeadline(deadline time.Time) bool {
+	//mctsvet:allow wallclock -- testdata: anytime budget check, result-invariant
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}
+
+// parseDuration uses time for non-clock purposes: constructing durations
+// and comparing times someone else stamped is fine.
+func parseDuration(ms int) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}

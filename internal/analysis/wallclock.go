@@ -1,0 +1,101 @@
+// The wallclock analyzer: the pure search/eval packages read no wall clock
+// and draw no randomness from the process-global RNG.
+//
+// Evaluation is a pure function of (config, state): reward RNG is seeded
+// from the state hash (internal/eval), search RNG from explicit seeds. A
+// time.Now() or global math/rand call in these packages is state the
+// equivalence tests cannot see — results would differ across runs, replicas,
+// and snapshot restores. The daemon and harness layers (server, load, cmd)
+// read clocks legitimately and are out of scope.
+//
+// The anytime contract is the sanctioned exception: TimeBudget deadlines and
+// elapsed-time observability genuinely need the wall clock, and those few
+// call sites carry //mctsvet:allow wallclock directives explaining why the
+// read cannot leak into a result.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockPackages is the pure core: every package whose outputs the
+// cached/uncached/parallel/restored equivalence tests pin bit-for-bit.
+var wallclockPackages = []string{
+	"repro/internal/mcts",
+	"repro/internal/eval",
+	"repro/internal/cost",
+	"repro/internal/difftree",
+	"repro/internal/rules",
+	"repro/internal/search",
+	"repro/internal/core",
+}
+
+// wallclockBanned maps package path -> banned package-level functions.
+// Methods (e.g. (*rand.Rand).Intn on an explicitly seeded generator) are
+// never flagged; rand.New/NewSource/NewZipf construct from explicit seeds
+// and are the sanctioned way to get randomness here.
+var wallclockBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"math/rand":    nil, // nil: every package-level func except the constructors
+	"math/rand/v2": nil,
+}
+
+var wallclockRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // rand/v2 seeded constructors
+}
+
+// Wallclock flags wall-clock reads and process-global RNG use in the pure
+// search/eval packages.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flag time.Now/Since/Until and package-level math/rand calls in the " +
+		"pure search/eval packages, where reward RNG must derive from state " +
+		"hashes and explicit seeds",
+	Packages: wallclockPackages,
+	Run:      runWallclock,
+}
+
+func runWallclock(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods are fine: the receiver carries the seed
+			}
+			path := fn.Pkg().Path()
+			banned, watched := wallclockBanned[path]
+			if !watched {
+				return true
+			}
+			if banned != nil {
+				if kind, bad := banned[fn.Name()]; bad {
+					p.Reportf(call.Pos(), "%s %s.%s in a pure search/eval package: results must be a function of (config, state); derive from the state hash or an explicit seed (or annotate: //mctsvet:allow wallclock -- <why>)", kind, path, fn.Name())
+				}
+				return true
+			}
+			if !wallclockRandConstructors[fn.Name()] {
+				p.Reportf(call.Pos(), "process-global RNG %s.%s in a pure search/eval package: draws depend on whole-process history; use rand.New(rand.NewSource(seed)) derived from the state hash or config seed", path, fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

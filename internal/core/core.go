@@ -233,6 +233,7 @@ func generate(ctx context.Context, log []*ast.Node, opt Options, worker int) (*R
 	if stats.TreeWorkers == 0 {
 		stats.TreeWorkers = 1 // non-MCTS strategies always run sequentially
 	}
+	//mctsvet:allow wallclock -- Elapsed is observability reported in Stats; it never influences the search result
 	stats.Elapsed = time.Since(p.start)
 	cs := eng.CacheStats()
 	stats.CacheHits, stats.CacheMisses, stats.CacheEntries = cs.Hits, cs.Misses, cs.Entries

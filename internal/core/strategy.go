@@ -88,6 +88,7 @@ type problem struct {
 func newProblem(log []*ast.Node, init *difftree.Node, model cost.Model, opt Options, eng *eval.Engine, worker int) *problem {
 	return &problem{
 		log: log, init: init, root: init, model: model, opt: opt, eng: eng, worker: worker,
+		//mctsvet:allow wallclock -- start anchors Elapsed observability in Stats/Progress; it never influences the search result
 		start:    time.Now(),
 		bestCost: math.Inf(1),
 	}
@@ -99,6 +100,7 @@ func (p *problem) noteCost(c float64) {
 	p.evals++
 	if c < p.bestCost {
 		p.bestCost = c
+		//mctsvet:allow wallclock -- trajectory Elapsed is observability; cost and move choices never read it
 		p.traj = append(p.traj, TrajectoryPoint{Evals: p.evals, Elapsed: time.Since(p.start), Cost: c})
 		p.emit()
 	}
@@ -116,7 +118,8 @@ func (p *problem) emit() {
 		States:     p.states,
 		Evals:      p.evals,
 		BestCost:   p.bestCost,
-		Elapsed:    time.Since(p.start),
+		//mctsvet:allow wallclock -- progress-snapshot Elapsed is observability; it never influences the search result
+		Elapsed: time.Since(p.start),
 	})
 }
 

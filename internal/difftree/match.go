@@ -16,14 +16,18 @@ import (
 type Assignment map[*Node]string
 
 // Changed returns the choice nodes whose assignment differs between a and b,
-// including nodes present in only one of them.
+// including nodes present in only one of them. The result is an unordered
+// set: callers that depend on order must sort it themselves (cost.NewEvaluator
+// sorts by pre-order position before deriving any cost term).
 func (a Assignment) Changed(b Assignment) []*Node {
 	var out []*Node
+	//mctsvet:allow detmap -- unordered-set result by contract; the cost evaluator sorts by pre-order position before any order-dependent use
 	for n, v := range a {
 		if bv, ok := b[n]; !ok || bv != v {
 			out = append(out, n)
 		}
 	}
+	//mctsvet:allow detmap -- unordered-set result by contract; the cost evaluator sorts by pre-order position before any order-dependent use
 	for n := range b {
 		if _, ok := a[n]; !ok {
 			out = append(out, n)

@@ -209,6 +209,7 @@ func Search(ctx context.Context, d Domain, root State, cfg Config) Result {
 	}
 	deadline := time.Time{}
 	if cfg.TimeBudget > 0 {
+		//mctsvet:allow wallclock -- anytime TimeBudget deadline: decides when to stop iterating, never feeds a reward or move choice
 		deadline = time.Now().Add(cfg.TimeBudget)
 	}
 	if cfg.TreeWorkers > 1 {
@@ -314,6 +315,7 @@ func (s *searcher) cancelled() bool {
 
 // expired reports that the wall-clock budget has run out.
 func (s *searcher) expired() bool {
+	//mctsvet:allow wallclock -- anytime TimeBudget deadline check: stops iteration, never feeds a reward or move choice
 	return !s.deadline.IsZero() && !time.Now().Before(s.deadline)
 }
 

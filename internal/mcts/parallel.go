@@ -118,6 +118,7 @@ func (s *psearcher) stopped() bool {
 	if s.cancelled() {
 		return true
 	}
+	//mctsvet:allow wallclock -- anytime TimeBudget deadline check: stops iteration, never feeds a reward or move choice
 	return !s.deadline.IsZero() && !time.Now().Before(s.deadline)
 }
 

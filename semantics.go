@@ -6,6 +6,8 @@ package mctsui
 // the query log to flag unlikely combinations of widget choices.
 
 import (
+	"sort"
+
 	"repro/internal/difftree"
 	"repro/internal/engine"
 	"repro/internal/sqlparser"
@@ -64,12 +66,8 @@ func (s *Session) Plausibility() float64 {
 	if !ok {
 		return 0
 	}
-	nodes := make([]*difftree.Node, 0, len(asg))
-	for n := range asg {
-		nodes = append(nodes, n)
-	}
 	// Deterministic order for reproducible scores.
-	ordered := orderByTree(f.res.DiffTree, nodes)
+	ordered := orderedNodes(f.res.DiffTree, asg)
 	pairs, seen := 0, 0
 	for i := 0; i < len(ordered); i++ {
 		for j := i + 1; j < len(ordered); j++ {
@@ -105,11 +103,7 @@ func (f *Interface) buildCooccur() {
 		if !ok {
 			continue
 		}
-		var nodes []*difftree.Node
-		for n := range asg {
-			nodes = append(nodes, n)
-		}
-		ordered := orderByTree(f.res.DiffTree, nodes)
+		ordered := orderedNodes(f.res.DiffTree, asg)
 		for i := 0; i < len(ordered); i++ {
 			for j := i + 1; j < len(ordered); j++ {
 				a, b := ordered[i], ordered[j]
@@ -119,9 +113,10 @@ func (f *Interface) buildCooccur() {
 	}
 }
 
-// orderByTree sorts choice nodes by their pre-order position in the
-// difftree so pair keys are direction-stable.
-func orderByTree(root *difftree.Node, nodes []*difftree.Node) []*difftree.Node {
+// orderedNodes returns the assignment's choice nodes sorted by their
+// pre-order position in the difftree, so pair keys are direction-stable
+// regardless of map-iteration order.
+func orderedNodes(root *difftree.Node, asg difftree.Assignment) []*difftree.Node {
 	pos := make(map[*difftree.Node]int)
 	i := 0
 	difftree.WalkPath(root, func(n *difftree.Node, _ difftree.Path) bool {
@@ -129,11 +124,10 @@ func orderByTree(root *difftree.Node, nodes []*difftree.Node) []*difftree.Node {
 		i++
 		return true
 	})
-	out := append([]*difftree.Node(nil), nodes...)
-	for a := 1; a < len(out); a++ {
-		for b := a; b > 0 && pos[out[b]] < pos[out[b-1]]; b-- {
-			out[b], out[b-1] = out[b-1], out[b]
-		}
+	out := make([]*difftree.Node, 0, len(asg))
+	for n := range asg {
+		out = append(out, n)
 	}
+	sort.Slice(out, func(a, b int) bool { return pos[out[a]] < pos[out[b]] })
 	return out
 }
