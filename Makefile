@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmt test test-fast bench bench-allocs bench-json bench-serving load-smoke race-tree golden fuzz-smoke serve join-scenarios staticcheck mctsvet lint govulncheck
+.PHONY: verify build vet fmt test test-fast bench bench-allocs bench-json bench-serving bench-serving-fleet fleet load-smoke race-tree golden fuzz-smoke serve join-scenarios staticcheck mctsvet lint govulncheck
 
 # verify is the tier-1 gate: build, formatting, static analysis (go vet +
 # the custom mctsvet suite), and the full test suite. Everything in verify
@@ -69,6 +69,21 @@ bench-json:
 # deltas before the gates.
 bench-serving:
 	$(GO) run ./cmd/mctsload -out BENCH_serving.json $(if $(COMPARE),-compare $(COMPARE))
+
+# bench-serving-fleet is the fleet variant of bench-serving: the same
+# open-loop smoke spec driven through an in-process mctsrouter over two
+# in-process replicas (affinity policy), so the router hop sits inside the
+# measured p99/goodput budgets. Same gates and >= 4 CPU enforcement guard.
+bench-serving-fleet:
+	$(GO) run ./cmd/mctsload -fleet 2 -fleet-policy affinity -out BENCH_serving_fleet.json $(if $(COMPARE),-compare $(COMPARE))
+
+# fleet mirrors the CI fleet gate: the multi-replica router suite (ring
+# stability under churn, policy unit tests, session affinity over live
+# daemons, kill-a-replica failover, drain + warm-handoff byte-identity)
+# plus the daemon-side liveness/readiness split, race-enabled.
+fleet:
+	$(GO) test -race -count=1 ./internal/router
+	$(GO) test -race -count=1 -run 'TestReadinessGate|TestDrainReturnsBestSoFar' ./internal/server
 
 # load-smoke is the quick serving sanity check: a short low-rate run with
 # gates disabled — proves the daemon serves multi-class open-loop traffic

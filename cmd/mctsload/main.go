@@ -5,12 +5,14 @@
 //
 // By default it starts an in-process daemon on 127.0.0.1:0 (the CI mode —
 // no external process to manage); -addr points it at an already-running
-// daemon instead. Traffic comes from a workload spec (-spec file, or the
-// built-in smoke spec), expanded deterministically by seed into a trace —
-// or from a previously recorded trace (-trace), replayed byte-for-byte.
-// -record captures the dispatched trace for later replay; recording a
-// generated run and replaying the recording issues the identical request
-// sequence.
+// daemon (or a running mctsrouter) instead, and -fleet N starts N in-process
+// replicas behind an in-process fleet router (policy per -fleet-policy) and
+// drives the traffic through the router — the fleet-serving benchmark mode.
+// Traffic comes from a workload spec (-spec file, or the built-in smoke
+// spec), expanded deterministically by seed into a trace — or from a
+// previously recorded trace (-trace), replayed byte-for-byte. -record
+// captures the dispatched trace for later replay; recording a generated run
+// and replaying the recording issues the identical request sequence.
 //
 // The run has a warmup phase (replayed, not reported) and a measured
 // window; the report carries per-class and per-op p50/p95/p99 latency,
@@ -39,8 +41,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api/client"
 	"repro/internal/benchutil"
 	"repro/internal/load"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -62,6 +66,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "in-process daemon: eval cache capacity (0: engine default)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "in-process daemon: concurrent search slots (0: GOMAXPROCS)")
 	maxWorkers := flag.Int("max-workers", 1, "in-process daemon: per-request worker cap (1 keeps replays deterministic)")
+	fleet := flag.Int("fleet", 0, "start this many in-process replicas behind an in-process fleet router and drive traffic through it (0: single daemon; ignored with -addr)")
+	fleetPolicy := flag.String("fleet-policy", "affinity", "routing policy for -fleet: affinity, round-robin, or least-loaded")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,12 +80,17 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		var shutdown func()
-		base, shutdown, err = startDaemon(server.Config{
+		cfg := server.Config{
 			CacheEntries:  *cacheEntries,
 			MaxConcurrent: *maxConcurrent,
 			MaxWorkers:    *maxWorkers,
-		})
+		}
+		var shutdown func()
+		if *fleet > 0 {
+			base, shutdown, err = startFleet(*fleet, *fleetPolicy, cfg)
+		} else {
+			base, shutdown, err = startDaemon(cfg)
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -87,8 +98,8 @@ func main() {
 	} else if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	if err := waitHealthy(ctx, base); err != nil {
-		fatalf("daemon not healthy: %v", err)
+	if err := waitReady(ctx, base); err != nil {
+		fatalf("daemon not ready: %v", err)
 	}
 
 	opt := load.Options{
@@ -237,23 +248,77 @@ func startDaemon(cfg server.Config) (string, func(), error) {
 	return "http://" + ln.Addr().String(), shutdown, nil
 }
 
-// waitHealthy polls /healthz until the daemon answers (bounded).
-func waitHealthy(ctx context.Context, base string) error {
+// startFleet brings up n in-process replicas behind an in-process fleet
+// router and returns the router's base URL plus an ordered shutdown (drain
+// every replica, then close the router). The whole fleet lives in one
+// process — the CI-friendly way to measure routing overhead and policy
+// behavior without orchestrating N daemons.
+func startFleet(n int, policy string, cfg server.Config) (string, func(), error) {
+	var shutdowns []func()
+	shutdownAll := func() {
+		for i := len(shutdowns) - 1; i >= 0; i-- {
+			shutdowns[i]()
+		}
+	}
+	urls := make([]string, n)
+	for i := range urls {
+		repCfg := cfg
+		repCfg.ReplicaID = fmt.Sprintf("replica-%d", i)
+		base, shutdown, err := startDaemon(repCfg)
+		if err != nil {
+			shutdownAll()
+			return "", nil, err
+		}
+		urls[i] = base
+		shutdowns = append(shutdowns, shutdown)
+	}
+	rt, err := router.New(router.Config{Replicas: urls, Policy: policy})
+	if err != nil {
+		shutdownAll()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		shutdownAll()
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "mctsload: router: %v\n", err)
+		}
+	}()
+	shutdowns = append(shutdowns, func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+		rt.Close()
+	})
+	// Routers shut down before replicas: reverse order drains the front first.
+	return "http://" + ln.Addr().String(), shutdownAll, nil
+}
+
+// waitReady polls /readyz through the typed client until the target (daemon
+// or router) reports ready — not merely alive: a warm-booting replica or a
+// router with no ready replicas answers /healthz 200 long before it should
+// take measured traffic.
+func waitReady(ctx context.Context, base string) error {
+	cl := client.New(base)
 	deadline := time.Now().Add(10 * time.Second)
 	var lastErr error
 	for time.Now().Before(deadline) {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		resp, err := http.Get(base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-			lastErr = fmt.Errorf("healthz: %d", resp.StatusCode)
-		} else {
+		ok, err := cl.Ready(ctx)
+		if ok {
+			return nil
+		}
+		if err != nil {
 			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("readyz: not ready")
 		}
 		time.Sleep(100 * time.Millisecond)
 	}

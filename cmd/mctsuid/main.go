@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	mctsuid [-addr :8080] [-cache-entries 1048576] [-max-concurrent N]
-//	        [-max-workers N] [-queue-depth N] [-queue-wait 10s]
-//	        [-max-budget 1m] [-default-budget 0] [-max-sessions 1024]
-//	        [-max-queries 500] [-shutdown-grace 10s]
+//	mctsuid [-addr :8080] [-replica-id ID] [-cache-entries 1048576]
+//	        [-max-concurrent N] [-max-workers N] [-queue-depth N]
+//	        [-queue-wait 10s] [-max-budget 1m] [-default-budget 0]
+//	        [-max-sessions 1024] [-max-queries 500] [-shutdown-grace 10s]
 //	        [-cache-snapshot PATH] [-snapshot-interval 5m]
 //
 // Endpoints (all JSON; see internal/server):
@@ -19,14 +19,22 @@
 //	GET  /v1/sessions/{id}/export   persisted JSON or interactive HTML
 //	GET  /v1/cache/export           warm-cache snapshot (binary)
 //	POST /v1/cache/import           merge a snapshot into the cache
-//	GET  /v1/stats, GET /healthz    observability
+//	POST /v1/drain                  begin graceful drain (fleet handoff hook)
+//	GET  /v1/stats                  observability
+//	GET  /healthz, GET /readyz      liveness vs readiness
 //
 // With -cache-snapshot PATH the daemon loads the snapshot at boot (a
 // missing or stale file logs a warning and starts cold — never fails the
 // boot), rewrites it every -snapshot-interval (atomic temp-file+rename, so
 // a crash mid-write keeps the previous snapshot), and persists a final
 // snapshot on graceful shutdown. Restarts therefore serve warm from the
-// first request.
+// first request. The listener comes up immediately and the snapshot loads
+// in the background: /readyz answers 503 until the load finishes, so a
+// fleet router (cmd/mctsrouter) keeps traffic off the replica while it is
+// still cold without mistaking it for dead.
+//
+// -replica-id names the daemon in a fleet: the id appears in the /v1/stats
+// replica section and as an X-Replica header on every response.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight searches are cancelled and
 // return their best-so-far interfaces (the daemon analogue of cmd/mctsui's
@@ -49,6 +57,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	replicaID := flag.String("replica-id", "", "fleet identity reported on /v1/stats and as an X-Replica header (empty = single node)")
 	cacheEntries := flag.Int("cache-entries", 0, "transposition cache bound in states (0 = ~1M default); the cache CLOCK-evicts once full")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max simultaneous searches (0 = GOMAXPROCS)")
 	maxWorkers := flag.Int("max-workers", 0, "per-request parallelism budget: workers x tree_workers is capped here (0 = GOMAXPROCS)")
@@ -64,6 +73,8 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Config{
+		ReplicaID:     *replicaID,
+		StartUnready:  *snapshotPath != "", // /readyz gates on the warm-boot load below
 		CacheEntries:  *cacheEntries,
 		MaxConcurrent: *maxConcurrent,
 		MaxWorkers:    *maxWorkers,
@@ -84,16 +95,23 @@ func main() {
 	defer stop()
 
 	if *snapshotPath != "" {
-		// Boot warm when a snapshot exists; a missing, stale, or corrupt file
-		// is a cold start, never a failed one — the snapshot codec fully
-		// verifies before merging, so a bad file cannot poison the cache.
-		if n, err := srv.Cache().LoadSnapshot(*snapshotPath); err != nil {
-			if !errors.Is(err, os.ErrNotExist) {
-				fmt.Fprintf(os.Stderr, "mctsuid: starting cold, cache snapshot unusable: %v\n", err)
+		// Warm boot runs behind the readiness gate: the listener comes up
+		// immediately (health checks and eager clients are served), /readyz
+		// answers 503 until the snapshot load finishes, and MarkReady flips
+		// it — so a router never places traffic on a still-cold replica. A
+		// missing, stale, or corrupt file is a cold start, never a failed
+		// one — the snapshot codec fully verifies before merging, so a bad
+		// file cannot poison the cache.
+		go func() {
+			defer srv.MarkReady()
+			if n, err := srv.Cache().LoadSnapshot(*snapshotPath); err != nil {
+				if !errors.Is(err, os.ErrNotExist) {
+					fmt.Fprintf(os.Stderr, "mctsuid: starting cold, cache snapshot unusable: %v\n", err)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "mctsuid: warm start, %d cache entries from %s\n", n, *snapshotPath)
 			}
-		} else {
-			fmt.Fprintf(os.Stderr, "mctsuid: warm start, %d cache entries from %s\n", n, *snapshotPath)
-		}
+		}()
 		go persistLoop(ctx, srv, *snapshotPath, *snapshotInterval)
 	}
 	shutdownDone := make(chan struct{})

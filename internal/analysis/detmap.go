@@ -53,6 +53,9 @@ var detmapPackages = []string{
 	"repro/internal/sqlparser",
 	"repro/internal/codec",
 	"repro/internal/server",
+	"repro/internal/api",
+	"repro/internal/api/client",
+	"repro/internal/router",
 	"repro/internal/engine",
 	"repro/internal/layout",
 	"repro/internal/htmlpage",

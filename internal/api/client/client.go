@@ -1,0 +1,552 @@
+// Package client is the typed Go client for the v1 serving API
+// (internal/api): every mctsuid endpoint behind context-aware methods, with
+// bounded retry/backoff on connection errors and SSE progress decoding.
+//
+// It is the one HTTP codepath the repo's own consumers share — the load
+// harness (internal/load), the fleet router's probes and warm-handoff
+// plumbing (internal/router), cmd/mctsload's readiness polling, and the
+// server integration tests all speak to daemons through it instead of
+// hand-rolling net/http calls, so a wire-contract change breaks loudly at
+// compile time in one place.
+//
+// Retry semantics are deliberately narrow: a request is retried only when
+// the error proves it never reached a server (a dial failure — connection
+// refused, no route). Anything after a connection is established — an HTTP
+// error status, a mid-body transport error, a context cancellation — is
+// returned as-is, because retrying could double-apply a non-idempotent
+// request (a session append, a cache import). Callers that must not retry
+// at all (the open-loop load harness, where a refused connection is data)
+// set Retries to a negative value.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Client talks to one server (an mctsuid replica or an mctsrouter). The
+// zero value is unusable; construct with New. Fields may be adjusted before
+// first use, not after.
+type Client struct {
+	// BaseURL is the server's root, no trailing slash (e.g.
+	// "http://127.0.0.1:8080").
+	BaseURL string
+	// HTTPClient issues the requests (http.DefaultClient when nil).
+	HTTPClient *http.Client
+	// Retries bounds re-sends after a connection-level failure: 0 means the
+	// default (2 retries, 3 attempts total), negative disables retry.
+	Retries int
+	// Backoff is the first retry's delay, doubled per attempt (default
+	// 50ms). The sleep honors the request context.
+	Backoff time.Duration
+}
+
+// New returns a Client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// StatusError is a non-2xx response, carrying the decoded error body.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the server's api.ErrorBody.Error text (or the raw body
+	// when it was not an error JSON).
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+// StreamEvent is one decoded SSE frame. Name is an api.Event* constant;
+// Data is the frame's JSON payload (an api.ProgressEvent for
+// api.EventProgress, an api.GenerateResponse for api.EventResult, an
+// api.ErrorBody for api.EventError).
+type StreamEvent struct {
+	Name string
+	Data json.RawMessage
+}
+
+// --- Generation -------------------------------------------------------------
+
+// Generate runs one-shot generation (POST /v1/generate).
+func (c *Client) Generate(ctx context.Context, req *api.GenerateRequest) (*api.GenerateResponse, error) {
+	var resp api.GenerateResponse
+	if err := c.postJSON(ctx, "/v1/generate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Append appends queries to a session and regenerates warm-started
+// (POST /v1/sessions/{id}/queries).
+func (c *Client) Append(ctx context.Context, id string, req *api.SessionQueriesRequest) (*api.GenerateResponse, error) {
+	var resp api.GenerateResponse
+	if err := c.postJSON(ctx, "/v1/sessions/"+url.PathEscape(id)+"/queries", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GenerateStream runs one-shot generation over SSE, invoking on (when
+// non-nil) for every frame as it arrives, and returns the final result.
+// A stream that ends with api.EventError — or without any api.EventResult —
+// is an error.
+func (c *Client) GenerateStream(ctx context.Context, req *api.GenerateRequest, on func(StreamEvent)) (*api.GenerateResponse, error) {
+	r := *req
+	r.Stream = true
+	return c.stream(ctx, "/v1/generate", &r, on)
+}
+
+// AppendStream is Append over SSE, as GenerateStream.
+func (c *Client) AppendStream(ctx context.Context, id string, req *api.SessionQueriesRequest, on func(StreamEvent)) (*api.GenerateResponse, error) {
+	r := *req
+	r.Stream = true
+	return c.stream(ctx, "/v1/sessions/"+url.PathEscape(id)+"/queries", &r, on)
+}
+
+// --- Sessions ---------------------------------------------------------------
+
+// Interact drives a session's widgets (POST /v1/sessions/{id}/interact).
+func (c *Client) Interact(ctx context.Context, id string, req *api.InteractRequest) (*api.InteractResponse, error) {
+	var resp api.InteractResponse
+	if err := c.postJSON(ctx, "/v1/sessions/"+url.PathEscape(id)+"/interact", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ImportSession loads a persisted interface (codec JSON, the export format)
+// as a session (POST /v1/sessions/{id}/import). screen, when non-nil, is
+// the ?w=&h= generating-screen hint that makes cost/validity round-trip.
+func (c *Client) ImportSession(ctx context.Context, id string, data []byte, screen *api.Size) (*api.GenerateResponse, error) {
+	path := "/v1/sessions/" + url.PathEscape(id) + "/import"
+	if screen != nil {
+		path += fmt.Sprintf("?w=%d&h=%d", screen.W, screen.H)
+	}
+	status, body, err := c.PostJSON(ctx, path, data)
+	if err != nil {
+		return nil, err
+	}
+	var resp api.GenerateResponse
+	if err := decodeStatus(status, body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ExportSession fetches a session's persisted interface as codec JSON
+// (GET /v1/sessions/{id}/export).
+func (c *Client) ExportSession(ctx context.Context, id string) ([]byte, error) {
+	return c.getBytes(ctx, "/v1/sessions/"+url.PathEscape(id)+"/export")
+}
+
+// ExportSessionHTML fetches the session's self-contained interactive HTML
+// page (GET /v1/sessions/{id}/export?format=html).
+func (c *Client) ExportSessionHTML(ctx context.Context, id string) ([]byte, error) {
+	return c.getBytes(ctx, "/v1/sessions/"+url.PathEscape(id)+"/export?format=html")
+}
+
+// --- Cache transfer ---------------------------------------------------------
+
+// ExportCache streams the server's cache snapshot (GET /v1/cache/export).
+// The caller must Close the reader; it streams directly from the response
+// body, so large snapshots are never buffered in memory.
+func (c *Client) ExportCache(ctx context.Context) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/cache/export", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, statusError(resp.StatusCode, readAll(resp.Body))
+	}
+	return resp.Body, nil
+}
+
+// ImportCache uploads a cache snapshot (POST /v1/cache/import), streaming
+// from r. Never retried: the stream is consumed on the first attempt.
+func (c *Client) ImportCache(ctx context.Context, r io.Reader) (*api.CacheImportResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/cache/import", r)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out api.CacheImportResponse
+	if err := decodeStatus(resp.StatusCode, readAll(resp.Body), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- Lifecycle and observability --------------------------------------------
+
+// Stats fetches the server's /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var resp api.StatsResponse
+	if err := c.getJSON(ctx, "/v1/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FleetStats fetches /v1/stats from a router, including the per-replica
+// breakdown (a plain replica answers too — Fleet is then empty).
+func (c *Client) FleetStats(ctx context.Context) (*api.FleetStatsResponse, error) {
+	var resp api.FleetStatsResponse
+	if err := c.getJSON(ctx, "/v1/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Drain begins graceful drain (POST /v1/drain, idempotent).
+func (c *Client) Drain(ctx context.Context) (*api.DrainResponse, error) {
+	var resp api.DrainResponse
+	if err := c.postJSON(ctx, "/v1/drain", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthy reports liveness (GET /healthz): true on 200. An unreachable
+// server returns the transport error.
+func (c *Client) Healthy(ctx context.Context) (bool, error) {
+	return c.check(ctx, "/healthz")
+}
+
+// Ready reports readiness (GET /readyz): true on 200, false (no error) on
+// a 503 from a live-but-unready server.
+func (c *Client) Ready(ctx context.Context) (bool, error) {
+	return c.check(ctx, "/readyz")
+}
+
+func (c *Client) check(ctx context.Context, path string) (bool, error) {
+	status, _, err := c.Get(ctx, path)
+	if err != nil {
+		return false, err
+	}
+	return status == http.StatusOK, nil
+}
+
+// --- Fleet management (router endpoints) ------------------------------------
+
+// Fleet fetches a router's fleet status (GET /v1/fleet).
+func (c *Client) Fleet(ctx context.Context) (*api.FleetResponse, error) {
+	var resp api.FleetResponse
+	if err := c.getJSON(ctx, "/v1/fleet", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FleetJoin adds a replica to a router's fleet (POST /v1/fleet/join),
+// warm-priming it from a donor unless req.Cold.
+func (c *Client) FleetJoin(ctx context.Context, req *api.FleetJoinRequest) (*api.FleetJoinResponse, error) {
+	var resp api.FleetJoinResponse
+	if err := c.postJSON(ctx, "/v1/fleet/join", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FleetLeave removes a replica from a router's fleet with warm handoff
+// (POST /v1/fleet/leave).
+func (c *Client) FleetLeave(ctx context.Context, req *api.FleetLeaveRequest) (*api.FleetLeaveResponse, error) {
+	var resp api.FleetLeaveResponse
+	if err := c.postJSON(ctx, "/v1/fleet/leave", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// --- Raw helpers ------------------------------------------------------------
+//
+// The raw helpers return (status, body) without turning non-2xx into
+// errors, so tests that assert on failure statuses and exact body bytes can
+// ride the client's connection handling without fighting its typing.
+
+// PostJSON posts raw JSON bytes to path (relative to BaseURL) and returns
+// the status and body. Connection-level failures are retried per Retries.
+func (c *Client) PostJSON(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	return c.do(ctx, http.MethodPost, path, body, "application/json", "")
+}
+
+// Get fetches path (relative to BaseURL) and returns the status and body.
+// Connection-level failures are retried per Retries.
+func (c *Client) Get(ctx context.Context, path string) (int, []byte, error) {
+	return c.do(ctx, http.MethodGet, path, nil, "", "")
+}
+
+// --- Internals --------------------------------------------------------------
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	switch {
+	case c.Retries < 0:
+		return 1
+	case c.Retries == 0:
+		return 3
+	default:
+		return c.Retries + 1
+	}
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// retryable reports that err proves the request never reached a server: a
+// dial-phase failure (connection refused, no route, unknown host). A
+// mid-request failure is not retryable — the server may have acted on it.
+func retryable(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// do issues one request with bounded dial-failure retry, buffering the
+// response body. accept, when non-empty, sets the Accept header.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType, accept string) (int, []byte, error) {
+	var lastErr error
+	delay := c.backoff()
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return 0, nil, ctx.Err()
+			}
+			delay *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			if retryable(err) && ctx.Err() == nil {
+				continue
+			}
+			return 0, nil, err
+		}
+		data := readAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, data, nil
+	}
+	return 0, nil, lastErr
+}
+
+// postJSON marshals req, posts it, and decodes a 2xx response into out
+// (non-2xx becomes a *StatusError).
+func (c *Client) postJSON(ctx context.Context, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	status, data, err := c.PostJSON(ctx, path, body)
+	if err != nil {
+		return err
+	}
+	return decodeStatus(status, data, out)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	status, data, err := c.Get(ctx, path)
+	if err != nil {
+		return err
+	}
+	return decodeStatus(status, data, out)
+}
+
+func (c *Client) getBytes(ctx context.Context, path string) ([]byte, error) {
+	status, data, err := c.Get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, statusError(status, data)
+	}
+	return data, nil
+}
+
+// decodeStatus decodes a 2xx body into out, or maps a non-2xx to
+// *StatusError.
+func decodeStatus(status int, body []byte, out any) error {
+	if status < 200 || status > 299 {
+		return statusError(status, body)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("decoding %d response: %w", status, err)
+	}
+	return nil
+}
+
+func statusError(status int, body []byte) *StatusError {
+	var eb api.ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		return &StatusError{Code: status, Message: eb.Error}
+	}
+	return &StatusError{Code: status, Message: strings.TrimSpace(string(body))}
+}
+
+func readAll(r io.Reader) []byte {
+	data, _ := io.ReadAll(r)
+	return data
+}
+
+// stream posts req to an SSE endpoint and decodes the event stream. Never
+// retried past the first byte received: a broken stream means the search
+// already ran.
+func (c *Client) stream(ctx context.Context, path string, req any, on func(StreamEvent)) (*api.GenerateResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	delay := c.backoff()
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			delay *= 2
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Accept", "text/event-stream")
+		resp, err := c.httpClient().Do(hreq)
+		if err != nil {
+			lastErr = err
+			if retryable(err) && ctx.Err() == nil {
+				continue
+			}
+			return nil, err
+		}
+		out, err := decodeStream(resp, on)
+		resp.Body.Close()
+		return out, err
+	}
+	return nil, lastErr
+}
+
+// decodeStream walks the SSE frames of resp. A non-SSE response is an
+// ordinary status/body (pre-stream validation failures arrive as plain
+// JSON errors even on streaming endpoints).
+func decodeStream(resp *http.Response, on func(StreamEvent)) (*api.GenerateResponse, error) {
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		data := readAll(resp.Body)
+		var out api.GenerateResponse
+		if err := decodeStatus(resp.StatusCode, data, &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	var result *api.GenerateResponse
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // result frames carry whole interfaces
+	var name string
+	var data bytes.Buffer
+	flush := func() error {
+		if name == "" && data.Len() == 0 {
+			return nil
+		}
+		ev := StreamEvent{Name: name, Data: json.RawMessage(bytes.Clone(data.Bytes()))}
+		name = ""
+		data.Reset()
+		if on != nil {
+			on(ev)
+		}
+		switch ev.Name {
+		case api.EventError:
+			var eb api.ErrorBody
+			if json.Unmarshal(ev.Data, &eb) == nil && eb.Error != "" {
+				return errors.New(eb.Error)
+			}
+			return fmt.Errorf("stream error event: %s", ev.Data)
+		case api.EventResult:
+			var out api.GenerateResponse
+			if err := json.Unmarshal(ev.Data, &out); err != nil {
+				return fmt.Errorf("decoding result event: %w", err)
+			}
+			result = &out
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading event stream: %w", err)
+	}
+	if err := flush(); err != nil { // stream ended without a trailing blank line
+		return nil, err
+	}
+	if result == nil {
+		return nil, errors.New("event stream ended without a result event")
+	}
+	return result, nil
+}

@@ -2,15 +2,18 @@ package load
 
 import (
 	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/api"
+	"repro/internal/api/client"
 )
 
 // Options configures a replay run.
@@ -84,11 +87,12 @@ func Replay(ctx context.Context, events []Event, opt Options) (*RunResult, error
 	if len(events) == 0 {
 		return nil, fmt.Errorf("replay: empty trace")
 	}
-	client := opt.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	base := strings.TrimRight(opt.BaseURL, "/")
+	// The typed client with retries disabled: open-loop measurement means a
+	// refused connection is a data point, never something to paper over
+	// with a re-send.
+	cl := client.New(strings.TrimRight(opt.BaseURL, "/"))
+	cl.HTTPClient = opt.Client
+	cl.Retries = -1
 
 	var rec *bufio.Writer
 	var recEnc *json.Encoder
@@ -107,7 +111,7 @@ func Replay(ctx context.Context, events []Event, opt Options) (*RunResult, error
 	var stats []StatsPoint
 	var statsMu sync.Mutex
 	scrape := func() {
-		p, err := scrapeStats(ctx, client, base, start)
+		p, err := scrapeStats(ctx, cl, start)
 		if err != nil {
 			return // a missed scrape thins the curve, never fails the run
 		}
@@ -161,7 +165,7 @@ dispatch:
 		wg.Add(1)
 		go func(ev *Event) {
 			defer wg.Done()
-			col.Add(issue(ctx, client, base, ev, start))
+			col.Add(issue(ctx, cl, ev, start))
 		}(ev)
 	}
 	wg.Wait()
@@ -184,136 +188,94 @@ dispatch:
 	}, nil
 }
 
-// scrapeStats reads one /v1/stats snapshot.
-func scrapeStats(ctx context.Context, client *http.Client, base string, start time.Time) (StatsPoint, error) {
+// scrapeStats reads one /v1/stats snapshot through the typed client. The
+// client decodes leniently (unknown fields ignored), so the harness
+// tolerates stats-surface growth — and a router's FleetStatsResponse, whose
+// aggregate is shaped exactly like one daemon's stats, scrapes identically.
+func scrapeStats(ctx context.Context, cl *client.Client, start time.Time) (StatsPoint, error) {
 	var p StatsPoint
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
-	if err != nil {
-		return p, err
-	}
 	at := time.Since(start)
-	resp, err := client.Do(req)
+	st, err := cl.Stats(ctx)
 	if err != nil {
-		return p, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return p, fmt.Errorf("stats: %d", resp.StatusCode)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
 		return p, err
 	}
 	p.AtMS = at.Milliseconds()
+	p.Cache.Hits = st.Cache.Hits
+	p.Cache.Misses = st.Cache.Misses
+	p.Cache.Entries = st.Cache.Entries
+	p.Cache.Evictions = st.Cache.Evictions
+	p.Cache.Capacity = st.Cache.Capacity
+	p.Cache.HitRate = st.Cache.HitRate
+	p.Cache.Occupancy = st.Cache.Occupancy
+	p.Admission.Served = st.Admission.Served
+	p.Admission.Overflow429 = st.Admission.Overflow429
+	p.Admission.QueueTimeout503 = st.Admission.QueueTimeout503
+	p.Admission.Draining503 = st.Admission.Draining503
+	p.Admission.ClientGone = st.Admission.ClientGone
+	p.Admission.QueueWaitMS = st.Admission.QueueWaitMS
+	p.Queued = st.Queued
+	p.Inflight = int64(st.Inflight)
+	p.Sessions = int64(st.Sessions)
 	return p, nil
 }
 
-// Request bodies mirror internal/server's wire shapes. They are local
-// structs (not imports) so the load package stays a pure HTTP client of
-// the daemon — the same coupling a real external client has.
-type generateBody struct {
-	Queries    []string `json:"queries"`
-	Iterations int      `json:"iterations,omitempty"`
-	Seed       int64    `json:"seed,omitempty"`
-	Stream     bool     `json:"stream,omitempty"`
-}
-
-type interactBody struct {
-	Op string `json:"op"`
-}
-
-// issue performs one event's request and reduces it to a Sample.
-func issue(ctx context.Context, client *http.Client, base string, ev *Event, start time.Time) Sample {
+// issue performs one event's request through the typed client and reduces
+// it to a Sample: a nil error is a 200, a *client.StatusError contributes
+// its code, anything else is a transport error (status 0) — exactly the
+// three outcomes the open-loop report's goodput/429/503 split needs.
+func issue(ctx context.Context, cl *client.Client, ev *Event, start time.Time) Sample {
 	s := Sample{
 		Class:  ev.Class,
 		Op:     ev.Op,
 		Stream: ev.Stream,
 		TTFEUS: -1,
 	}
-	var (
-		method = http.MethodPost
-		url    string
-		body   any
-	)
+	t0 := time.Now()
+	s.StartUS = t0.Sub(start).Microseconds()
+	var err error
 	switch ev.Op {
 	case OpGenerate:
-		url = base + "/v1/generate"
-		body = generateBody{Queries: ev.Queries, Iterations: ev.Iterations, Seed: ev.Seed, Stream: ev.Stream}
+		req := &api.GenerateRequest{
+			SearchParams: api.SearchParams{Iterations: ev.Iterations, Seed: ev.Seed},
+			Queries:      ev.Queries,
+		}
+		if ev.Stream {
+			_, err = cl.GenerateStream(ctx, req, func(fr client.StreamEvent) {
+				if s.TTFEUS < 0 {
+					s.TTFEUS = time.Since(t0).Microseconds()
+				}
+			})
+		} else {
+			_, err = cl.Generate(ctx, req)
+		}
 	case OpAppend:
-		url = base + "/v1/sessions/" + ev.Session + "/queries"
-		body = generateBody{Queries: ev.Queries, Iterations: ev.Iterations, Seed: ev.Seed}
+		_, err = cl.Append(ctx, ev.Session, &api.SessionQueriesRequest{
+			SearchParams: api.SearchParams{Iterations: ev.Iterations, Seed: ev.Seed},
+			Queries:      ev.Queries,
+		})
 	case OpInteract:
-		url = base + "/v1/sessions/" + ev.Session + "/interact"
-		body = interactBody{Op: "get"}
+		_, err = cl.Interact(ctx, ev.Session, &api.InteractRequest{Op: api.OpGet})
 	case OpExport:
-		method = http.MethodGet
-		url = base + "/v1/sessions/" + ev.Session + "/export?format=json"
+		_, err = cl.ExportSession(ctx, ev.Session)
 	default:
 		s.Err = fmt.Sprintf("unknown op %q", ev.Op)
 		return s
 	}
-	var reader io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			s.Err = err.Error()
-			return s
-		}
-		reader = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, url, reader)
-	if err != nil {
-		s.Err = err.Error()
-		return s
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-
-	t0 := time.Now()
-	s.StartUS = t0.Sub(start).Microseconds()
-	resp, err := client.Do(req)
-	if err != nil {
-		s.LatencyUS = time.Since(t0).Microseconds()
-		s.Err = err.Error()
-		return s
-	}
-	defer resp.Body.Close()
-	s.Status = resp.StatusCode
-	if ev.Stream && resp.StatusCode == http.StatusOK {
-		readStream(resp.Body, t0, &s)
-	} else {
-		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			s.Err = err.Error()
-		}
-	}
 	s.LatencyUS = time.Since(t0).Microseconds()
-	return s
-}
-
-// readStream consumes an SSE response, stamping the time to the first
-// event and demoting a stream that ends without a "result" event to a
-// transport error (the search never delivered).
-func readStream(body io.Reader, t0 time.Time, s *Sample) {
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
-	sawResult := false
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, "event: ") {
-			if s.TTFEUS < 0 {
-				s.TTFEUS = time.Since(t0).Microseconds()
-			}
-			if strings.TrimPrefix(line, "event: ") == "result" {
-				sawResult = true
-			}
+	s.Status = http.StatusOK
+	if err != nil {
+		var se *client.StatusError
+		switch {
+		case errors.As(err, &se):
+			s.Status = se.Code
+		case s.TTFEUS >= 0:
+			// The stream opened (a 200 was committed) and then failed or
+			// ended without a result: the search never delivered.
+			s.Err = err.Error()
+		default:
+			s.Status = 0
+			s.Err = err.Error()
 		}
 	}
-	if err := sc.Err(); err != nil {
-		s.Err = err.Error()
-		return
-	}
-	if !sawResult {
-		s.Err = "stream ended without a result event"
-	}
+	return s
 }

@@ -1,0 +1,341 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	mctsui "repro"
+	"repro/internal/api"
+	"repro/internal/api/client"
+	"repro/internal/server"
+)
+
+// The paper's three-query log: every search over it takes milliseconds.
+var fleetQueries = []string{
+	"SELECT Sales FROM sales WHERE cty = USA",
+	"SELECT Costs FROM sales WHERE cty = EUR",
+	"SELECT Costs FROM sales",
+}
+
+var fleetParams = api.SearchParams{Iterations: 8, Seed: 7}
+
+// startDaemon brings up one real mctsuid replica (full server stack) on an
+// httptest listener.
+func startDaemon(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// startRouter builds a Router over the replicas and serves it. The probe
+// interval is pushed way out so tests drive probing explicitly (ProbeOnce)
+// and the dial-failure path — not timer luck — is what the assertions see.
+func startRouter(t *testing.T, policy string, replicas ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(Config{
+		Replicas:      replicas,
+		Policy:        policy,
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func fleetClient(base string) *client.Client {
+	cl := client.New(base)
+	cl.Retries = -1
+	return cl
+}
+
+// replicaSessions asks a daemon (directly, not through the router) how many
+// sessions it holds.
+func replicaSessions(t *testing.T, base string) int {
+	t.Helper()
+	st, err := fleetClient(base).Stats(context.Background())
+	if err != nil {
+		t.Fatalf("stats from %s: %v", base, err)
+	}
+	return st.Replica.Sessions
+}
+
+// TestFleetSessionAffinityPlacement: sessions created through the router
+// land once and stay put — the second append to every session must find the
+// state the first one created (created=false), which can only happen if the
+// router kept routing the session to the replica that holds it.
+func TestFleetSessionAffinityPlacement(t *testing.T) {
+	_, tsA := startDaemon(t, server.Config{})
+	_, tsB := startDaemon(t, server.Config{})
+	_, tsR := startRouter(t, "affinity", tsA.URL, tsB.URL)
+	cl := fleetClient(tsR.URL)
+	ctx := context.Background()
+
+	const sessions = 24
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = "aff-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i/26))
+		resp, err := cl.Append(ctx, ids[i], &api.SessionQueriesRequest{
+			SearchParams: fleetParams, Queries: fleetQueries[:2],
+		})
+		if err != nil {
+			t.Fatalf("create %s: %v", ids[i], err)
+		}
+		if !resp.Created {
+			t.Fatalf("session %s: first append not created", ids[i])
+		}
+	}
+	for _, id := range ids {
+		resp, err := cl.Append(ctx, id, &api.SessionQueriesRequest{
+			SearchParams: fleetParams, Queries: fleetQueries[2:],
+		})
+		if err != nil {
+			t.Fatalf("append %s: %v", id, err)
+		}
+		if resp.Created {
+			t.Errorf("session %s: second append re-created state — the router moved a healthy session", id)
+		}
+		if resp.QueryCount != 3 {
+			t.Errorf("session %s: query count %d, want 3", id, resp.QueryCount)
+		}
+	}
+
+	// The sessions really are spread over the fleet, and nothing was lost.
+	onA, onB := replicaSessions(t, tsA.URL), replicaSessions(t, tsB.URL)
+	if onA+onB != sessions {
+		t.Errorf("fleet holds %d+%d sessions, want %d", onA, onB, sessions)
+	}
+	if onA == 0 || onB == 0 {
+		t.Errorf("affinity placed every session on one replica (%d/%d) — ring not spreading", onA, onB)
+	}
+
+	// The fleet surface agrees: two ready replicas, all sessions sticky.
+	fleet, err := cl.Fleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.ReadyReplicas != 2 || len(fleet.Replicas) != 2 {
+		t.Errorf("fleet = %+v, want 2 ready of 2", fleet)
+	}
+	if fleet.StickySessions != sessions {
+		t.Errorf("sticky sessions %d, want %d", fleet.StickySessions, sessions)
+	}
+	if fleet.Policy != "affinity" {
+		t.Errorf("policy %q", fleet.Policy)
+	}
+
+	// The aggregate stats scrape like one daemon: requests sum across the
+	// fleet, and the per-replica breakdown carries both members.
+	agg, err := cl.FleetStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Requests != 2*sessions {
+		t.Errorf("aggregate requests %d, want %d", agg.Requests, 2*sessions)
+	}
+	if len(agg.Fleet) != 2 {
+		t.Errorf("aggregate breakdown has %d replicas, want 2", len(agg.Fleet))
+	}
+}
+
+// TestFleetFailoverMidSession kills a session's replica mid-session and
+// requires the next request — a streaming append, the hardest case — to fail
+// over to the survivor and complete. The fleet cannot resurrect the lost
+// replica's state, so the failover is visible as created=true; what must
+// not happen is an error reaching the client.
+func TestFleetFailoverMidSession(t *testing.T) {
+	_, tsA := startDaemon(t, server.Config{})
+	_, tsB := startDaemon(t, server.Config{})
+	_, tsR := startRouter(t, "affinity", tsA.URL, tsB.URL)
+	cl := fleetClient(tsR.URL)
+	ctx := context.Background()
+
+	const id = "failover-victim"
+	if _, err := cl.Append(ctx, id, &api.SessionQueriesRequest{
+		SearchParams: fleetParams, Queries: fleetQueries[:2],
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Find and kill the replica holding the session.
+	holder, survivor := tsA, tsB
+	if replicaSessions(t, tsA.URL) == 0 {
+		holder, survivor = tsB, tsA
+	}
+	holder.Close()
+
+	// The streaming append must complete against the survivor: the router
+	// sees the dial failure (the request never reached a replica), ejects the
+	// dead member, and replays the buffered body on the re-placement.
+	progress := 0
+	resp, err := cl.AppendStream(ctx, id, &api.SessionQueriesRequest{
+		SearchParams: fleetParams, Queries: fleetQueries[2:],
+	}, func(ev client.StreamEvent) {
+		if ev.Name == api.EventProgress {
+			progress++
+		}
+	})
+	if err != nil {
+		t.Fatalf("append after replica death: %v", err)
+	}
+	if !resp.Created {
+		t.Error("failover did not re-create the session (state cannot survive a dead replica)")
+	}
+	if !resp.Valid {
+		t.Error("failover response carries no valid interface")
+	}
+	if progress == 0 {
+		t.Error("stream delivered no progress events through the router")
+	}
+	if got := replicaSessions(t, survivor.URL); got == 0 {
+		t.Error("survivor holds no sessions after failover")
+	}
+
+	// The dead member is ejected, the fleet stays routable.
+	fleet, err := cl.Fleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.ReadyReplicas != 1 {
+		t.Errorf("ready replicas %d, want 1 after the kill", fleet.ReadyReplicas)
+	}
+	for _, rep := range fleet.Replicas {
+		if rep.URL == normalizeURL(holder.URL) && rep.State != api.StateDead {
+			t.Errorf("killed replica reported %q, want %q", rep.State, api.StateDead)
+		}
+	}
+	if ok, err := cl.Ready(ctx); err != nil || !ok {
+		t.Errorf("router readyz after failover: %v %v", ok, err)
+	}
+}
+
+// TestFleetWarmHandoffByteIdentity is the planned-removal story end to end:
+// a fleet of one serves a trace; a cold successor joins (primed from the
+// donor's cache), the original leaves (drain + handoff); the successor must
+// serve the same trace byte-identically — warmth moved, answers did not —
+// and warm, with cache hits from its very first request.
+func TestFleetWarmHandoffByteIdentity(t *testing.T) {
+	_, tsA := startDaemon(t, server.Config{})
+	cacheB := mctsui.NewCache(0)
+	_, tsB := startDaemon(t, server.Config{Cache: cacheB})
+	_, tsR := startRouter(t, "affinity", tsA.URL)
+	cl := fleetClient(tsR.URL)
+	ctx := context.Background()
+
+	trace := []api.GenerateRequest{
+		{SearchParams: api.SearchParams{Iterations: 8, Seed: 7}, Queries: fleetQueries},
+		{SearchParams: api.SearchParams{Iterations: 12, Seed: 3}, Queries: fleetQueries},
+		{SearchParams: api.SearchParams{Iterations: 8, Seed: 7, Strategy: "beam:4"}, Queries: fleetQueries},
+	}
+	serveTrace := func(label string) [][]byte {
+		out := make([][]byte, len(trace))
+		for i, req := range trace {
+			body, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, resp, err := cl.PostJSON(ctx, "/v1/generate", body)
+			if err != nil || status != 200 {
+				t.Fatalf("%s request %d: status %d err %v", label, i, status, err)
+			}
+			out[i] = resp
+		}
+		return out
+	}
+	before := serveTrace("single-replica pass")
+
+	// Warm bring-up: B joins and is primed from A's cache before taking
+	// traffic.
+	join, err := cl.FleetJoin(ctx, &api.FleetJoinRequest{URL: tsB.URL})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if !join.Primed || join.Donor != normalizeURL(tsA.URL) || join.Entries <= 0 {
+		t.Fatalf("join = %+v, want primed from %s with entries", join, tsA.URL)
+	}
+	if st := cacheB.Stats(); st.Entries == 0 {
+		t.Fatal("join reported primed but the successor's cache is empty")
+	}
+
+	// Planned removal: A drains, ships its cache to the survivors, leaves.
+	leave, err := cl.FleetLeave(ctx, &api.FleetLeaveRequest{URL: tsA.URL})
+	if err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if !leave.Drained {
+		t.Errorf("leave did not drain: %+v", leave)
+	}
+	if len(leave.Recipients) != 1 || leave.Recipients[0] != normalizeURL(tsB.URL) {
+		t.Errorf("handoff recipients %v, want [%s]", leave.Recipients, tsB.URL)
+	}
+	// The drained replica refuses new work but stayed alive through the
+	// handoff (liveness vs readiness).
+	clA := fleetClient(tsA.URL)
+	if ok, err := clA.Ready(ctx); err != nil || ok {
+		t.Errorf("drained replica readyz = %v %v, want unready", ok, err)
+	}
+	if ok, err := clA.Healthy(ctx); err != nil || !ok {
+		t.Errorf("drained replica healthz = %v %v, want alive", ok, err)
+	}
+
+	fleet, err := cl.Fleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Replicas) != 1 || fleet.Replicas[0].URL != normalizeURL(tsB.URL) {
+		t.Fatalf("fleet after leave = %+v, want only the successor", fleet.Replicas)
+	}
+
+	hitsBefore := cacheB.Stats().Hits
+	after := serveTrace("successor pass")
+	for i := range trace {
+		if !bytes.Equal(before[i], after[i]) {
+			t.Errorf("request %d: successor response differs from the original replica's\nA: %s\nB: %s",
+				i, before[i], after[i])
+		}
+	}
+	// Warm from the first request: the successor serves the trace against
+	// shipped verdicts, so its lookups hit instead of recomputing.
+	st := cacheB.Stats()
+	if st.Hits == hitsBefore {
+		t.Error("successor served the trace with zero cache hits — handoff shipped no usable warmth")
+	}
+	if rate := st.HitRate(); rate < 0.5 {
+		t.Errorf("successor hit rate %.3f, want >= 0.5 (warm from first request); stats %+v", rate, st)
+	}
+}
+
+// TestRouterNoReadyReplicas: a fleet with nothing routable is alive but not
+// ready, and says so on both surfaces.
+func TestRouterNoReadyReplicas(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	_, tsR := startRouter(t, "affinity", deadURL)
+	cl := fleetClient(tsR.URL)
+	ctx := context.Background()
+
+	if ok, err := cl.Healthy(ctx); err != nil || !ok {
+		t.Errorf("router healthz = %v %v, want alive", ok, err)
+	}
+	if ok, err := cl.Ready(ctx); err != nil || ok {
+		t.Errorf("router readyz = %v %v, want not ready", ok, err)
+	}
+	_, err := cl.Generate(ctx, &api.GenerateRequest{SearchParams: fleetParams, Queries: fleetQueries})
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Errorf("generate with no replicas: %v, want 503", err)
+	}
+}

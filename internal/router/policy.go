@@ -1,0 +1,105 @@
+package router
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// View is the routing state a Policy picks from: the ready replicas (sorted
+// by URL, never empty when Pick is called) and the consistent-hash ring
+// built over exactly those replicas.
+type View struct {
+	// Ready is the routable replica set, sorted by URL.
+	Ready []*Replica
+	// Ring hashes keys onto Ready's URLs.
+	Ring *ring
+}
+
+// byURL returns the ready replica with the given URL (nil when absent).
+func (v View) byURL(url string) *Replica {
+	for _, rep := range v.Ready {
+		if rep.URL == url {
+			return rep
+		}
+	}
+	return nil
+}
+
+// Policy places a request key on a replica. Keys are stable identifiers:
+// "s:<session-id>" for session traffic, "q:<content-hash>" for stateless
+// generates — so an affinity policy can keep equal work on equal replicas.
+// Pick is called with at least one ready replica and must return one of
+// them; the Router owns session stickiness (a session key is re-Picked only
+// on first placement and after its replica is lost), so policies are pure
+// placement functions.
+type Policy interface {
+	// Name is the -policy flag value selecting this policy.
+	Name() string
+	// Pick chooses a replica from v for key.
+	Pick(key string, v View) *Replica
+}
+
+// NewPolicy resolves a -policy flag value.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", "affinity":
+		return affinityPolicy{}, nil
+	case "round-robin":
+		return &roundRobinPolicy{}, nil
+	case "least-loaded":
+		return leastLoadedPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("unknown routing policy %q (want affinity, round-robin, or least-loaded)", name)
+	}
+}
+
+// affinityPolicy routes by consistent hash: a key lands on the same replica
+// for as long as that replica stays ready, so session state and the
+// transposition-cache warmth a key builds up are revisited instead of
+// re-derived. The default, and the policy the byte-identity handoff tests
+// run under — with one replica owning a key, fleet results match a
+// single-daemon run exactly.
+type affinityPolicy struct{}
+
+func (affinityPolicy) Name() string { return "affinity" }
+
+func (affinityPolicy) Pick(key string, v View) *Replica {
+	if rep := v.byURL(v.Ring.lookup(key)); rep != nil {
+		return rep
+	}
+	return v.Ready[0] // ring and ready set disagree only mid-rebuild; any ready replica serves
+}
+
+// roundRobinPolicy spreads keys uniformly in arrival order, ignoring both
+// key identity and replica load. Best when requests are cheap and uniform
+// and cache locality matters less than even spread.
+type roundRobinPolicy struct {
+	next atomic.Uint64
+}
+
+func (*roundRobinPolicy) Name() string { return "round-robin" }
+
+func (p *roundRobinPolicy) Pick(key string, v View) *Replica {
+	return v.Ready[(p.next.Add(1)-1)%uint64(len(v.Ready))]
+}
+
+// leastLoadedPolicy routes each key to the replica with the smallest load —
+// the replica's own admission gauges from its last probe (queued + inflight
+// searches) plus the router's live count of requests it has forwarded there
+// and not yet seen complete, which covers the window between probes. Ties
+// break by URL order. Best under heterogeneous request costs, where a few
+// long searches would starve a round-robin slot.
+type leastLoadedPolicy struct{}
+
+func (leastLoadedPolicy) Name() string { return "least-loaded" }
+
+func (leastLoadedPolicy) Pick(key string, v View) *Replica {
+	best := v.Ready[0]
+	bestLoad := best.load()
+	for _, rep := range v.Ready[1:] {
+		if l := rep.load(); l < bestLoad {
+			best, bestLoad = rep, l
+		}
+	}
+	return best
+}

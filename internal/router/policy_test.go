@@ -1,0 +1,89 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/api"
+)
+
+// testView builds a ready View over synthetic replicas, the way the Router
+// presents one to a policy: sorted by URL, ring over exactly the ready set.
+func testView(urls ...string) View {
+	v := View{Ring: buildRing(urls, 64)}
+	for _, u := range urls {
+		v.Ready = append(v.Ready, &Replica{URL: u, state: api.StateReady})
+	}
+	return v
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "affinity",
+		"affinity":     "affinity",
+		"round-robin":  "round-robin",
+		"least-loaded": "least-loaded",
+	} {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("NewPolicy(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := NewPolicy("warp"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestAffinityPolicyFollowsRing(t *testing.T) {
+	v := testView("http://a:1", "http://b:1", "http://c:1")
+	p, _ := NewPolicy("affinity")
+	for _, key := range []string{"s:alpha", "s:beta", "q:deadbeef"} {
+		rep := p.Pick(key, v)
+		if rep == nil {
+			t.Fatalf("Pick(%q) returned nil", key)
+		}
+		if want := v.Ring.lookup(key); rep.URL != want {
+			t.Errorf("Pick(%q) = %s, ring owner is %s", key, rep.URL, want)
+		}
+		// Stable: picking again changes nothing.
+		if again := p.Pick(key, v); again != rep {
+			t.Errorf("Pick(%q) not stable: %s then %s", key, rep.URL, again.URL)
+		}
+	}
+}
+
+func TestRoundRobinPolicyCycles(t *testing.T) {
+	v := testView("http://a:1", "http://b:1", "http://c:1")
+	p, _ := NewPolicy("round-robin")
+	counts := map[string]int{}
+	for i := 0; i < 9; i++ {
+		counts[p.Pick("q:ignored", v).URL]++
+	}
+	for _, rep := range v.Ready {
+		if counts[rep.URL] != 3 {
+			t.Errorf("replica %s picked %d times over 9 picks of 3 replicas (want 3): %v",
+				rep.URL, counts[rep.URL], counts)
+		}
+	}
+}
+
+func TestLeastLoadedPolicyPicksMinimum(t *testing.T) {
+	v := testView("http://a:1", "http://b:1", "http://c:1")
+	v.Ready[0].queued, v.Ready[0].inflight = 3, 1 // load 4
+	v.Ready[1].queued = 1                         // load 1: the winner
+	v.Ready[2].outstanding.Add(2)                 // load 2 (router-side live count)
+	p, _ := NewPolicy("least-loaded")
+	if rep := p.Pick("q:x", v); rep.URL != "http://b:1" {
+		t.Errorf("picked %s (load %d), want the least-loaded http://b:1", rep.URL, rep.load())
+	}
+
+	// Ties break by URL order, so placement stays deterministic.
+	v.Ready[1].queued = 2
+	v.Ready[2].outstanding.Add(-2)
+	v.Ready[2].queued = 2
+	if rep := p.Pick("q:x", v); rep.URL != "http://b:1" {
+		t.Errorf("tie broke to %s, want first-by-URL http://b:1", rep.URL)
+	}
+}

@@ -1,0 +1,77 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over replica base URLs: each replica
+// contributes vnodes points (fnv64a of "url#i") on a sorted uint64 circle,
+// and a key routes to the first point clockwise of its hash. With V vnodes
+// per replica, adding or removing one replica moves only ~1/N of the key
+// space and leaves every other key's placement untouched — the property
+// that keeps session and cache-affinity placement stable across fleet
+// membership changes.
+//
+// The ring is immutable once built; the Router rebuilds it (cheap: N×V
+// hashes) whenever the ready set changes.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	url  string
+}
+
+// buildRing constructs the ring over urls with vnodes points per URL.
+// Duplicate hash collisions are resolved by URL order (stable because the
+// sort is total over (hash, url)).
+func buildRing(urls []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{points: make([]ringPoint, 0, len(urls)*vnodes)}
+	for _, u := range urls {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(u + "#" + strconv.Itoa(i)), url: u})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].url < r.points[j].url
+	})
+	return r
+}
+
+// lookup returns the URL owning key, or "" on an empty ring.
+func (r *ring) lookup(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) { // wrap past the last point
+		i = 0
+	}
+	return r.points[i].url
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	// fnv64a alone clusters similar short strings (vnode labels "url#0".."url#63",
+	// session ids differing in a trailing digit) into narrow arcs, which
+	// collapses the ring to a handful of effective points. A splitmix64-style
+	// avalanche finalizer spreads them over the whole circle.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,115 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return urls
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("s:session-%d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	urls := ringURLs(5)
+	a, b := buildRing(urls, 64), buildRing(urls, 64)
+	owned := make(map[string]int)
+	for _, k := range ringKeys(1000) {
+		ua, ub := a.lookup(k), b.lookup(k)
+		if ua != ub {
+			t.Fatalf("key %q: two identical rings disagree: %q vs %q", k, ua, ub)
+		}
+		if ua == "" {
+			t.Fatalf("key %q: no owner on a populated ring", k)
+		}
+		owned[ua]++
+	}
+	// Every replica owns a share of the key space: 64 vnodes over 5 replicas
+	// cannot leave one starved to zero for 1000 keys.
+	for _, u := range urls {
+		if owned[u] == 0 {
+			t.Errorf("replica %s owns no keys (distribution %v)", u, owned)
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyOrphans pins the consistent-hashing contract: when
+// a replica leaves, exactly the keys it owned are re-placed — every other
+// key keeps its replica, which is what makes session and cache-affinity
+// placement survive membership churn.
+func TestRingRemovalMovesOnlyOrphans(t *testing.T) {
+	urls := ringURLs(5)
+	full := buildRing(urls, 64)
+	gone := urls[2]
+	smaller := buildRing(append(append([]string{}, urls[:2]...), urls[3:]...), 64)
+
+	moved := 0
+	for _, k := range ringKeys(1000) {
+		before, after := full.lookup(k), smaller.lookup(k)
+		if before == gone {
+			moved++
+			if after == gone || after == "" {
+				t.Fatalf("key %q still routes to the removed replica", k)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %q -> %q though its replica never left", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned no keys; the test proved nothing")
+	}
+	// The orphaned share should be in the neighborhood of 1/5 of the space.
+	if moved > 500 {
+		t.Errorf("removing one of five replicas moved %d/1000 keys", moved)
+	}
+}
+
+// TestRingAdditionStealsOnlyForNewcomer is the join-side mirror: a new
+// replica takes over some keys, and every key it did not take stays put.
+func TestRingAdditionStealsOnlyForNewcomer(t *testing.T) {
+	urls := ringURLs(4)
+	small := buildRing(urls, 64)
+	newcomer := "http://replica-new:8080"
+	grown := buildRing(append(append([]string{}, urls...), newcomer), 64)
+
+	stolen := 0
+	for _, k := range ringKeys(1000) {
+		before, after := small.lookup(k), grown.lookup(k)
+		if after == newcomer {
+			stolen++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %q -> %q to a replica that was already present", k, before, after)
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("newcomer took no keys")
+	}
+	if stolen > 500 {
+		t.Errorf("adding a fifth replica moved %d/1000 keys", stolen)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if got := buildRing(nil, 64).lookup("s:any"); got != "" {
+		t.Errorf("empty ring returned %q", got)
+	}
+	var nilRing *ring
+	if got := nilRing.lookup("s:any"); got != "" {
+		t.Errorf("nil ring returned %q", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/sqlparser"
 	"repro/internal/workload"
 )
@@ -15,8 +16,8 @@ import (
 func TestServeJoinLog(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	queries := workload.SDSSJoinLogSQL()[:6]
-	status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{
-		SearchParams: SearchParams{Iterations: 8, Seed: 7},
+	status, body := post(t, ts.URL+"/v1/generate", api.GenerateRequest{
+		SearchParams: api.SearchParams{Iterations: 8, Seed: 7},
 		Queries:      queries,
 	})
 	if status != http.StatusOK {
@@ -29,19 +30,19 @@ func TestServeJoinLog(t *testing.T) {
 
 	// Session flow: create via the sessions endpoint, then load each join
 	// query and check the widgets reproduce it canonically.
-	status, body = post(t, ts.URL+"/v1/sessions/join/queries", SessionQueriesRequest{
-		SearchParams: SearchParams{Iterations: 8, Seed: 7},
+	status, body = post(t, ts.URL+"/v1/sessions/join/queries", api.SessionQueriesRequest{
+		SearchParams: api.SearchParams{Iterations: 8, Seed: 7},
 		Queries:      queries,
 	})
 	if status != http.StatusOK {
 		t.Fatalf("session create: status %d: %s", status, body)
 	}
 	for _, q := range queries {
-		status, body = post(t, ts.URL+"/v1/sessions/join/interact", InteractRequest{Op: "load_query", Query: q})
+		status, body = post(t, ts.URL+"/v1/sessions/join/interact", api.InteractRequest{Op: "load_query", Query: q})
 		if status != http.StatusOK {
 			t.Fatalf("load_query %q: status %d: %s", q, status, body)
 		}
-		var inter InteractResponse
+		var inter api.InteractResponse
 		if err := json.Unmarshal(body, &inter); err != nil {
 			t.Fatalf("decode interact: %v", err)
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	mctsui "repro"
+	"repro/internal/api"
 )
 
 // TestSSEDisconnectReleasesSlot is the regression test for the
@@ -26,8 +27,8 @@ func TestSSEDisconnectReleasesSlot(t *testing.T) {
 
 	// Open a streaming generate with a long budget, read until the first
 	// progress event proves the search is running, then slam the connection.
-	req := GenerateRequest{
-		SearchParams: SearchParams{BudgetMS: 30000, Seed: 1},
+	req := api.GenerateRequest{
+		SearchParams: api.SearchParams{BudgetMS: 30000, Seed: 1},
 		Queries:      figure1,
 		Stream:       true,
 	}
@@ -70,7 +71,7 @@ func TestSSEDisconnectReleasesSlot(t *testing.T) {
 	}
 
 	// A follow-up request is admitted and served.
-	status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: fastParams, Queries: figure1})
+	status, body := post(t, ts.URL+"/v1/generate", api.GenerateRequest{SearchParams: fastParams, Queries: figure1})
 	if status != http.StatusOK {
 		t.Fatalf("follow-up after disconnect: %d %s", status, body)
 	}
@@ -112,13 +113,13 @@ func TestStreamWriteFailureCancelsSearch(t *testing.T) {
 	defer cancel()
 
 	searchExited := make(chan struct{})
-	work := func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error) {
+	work := func(ctx context.Context, progress func(mctsui.Progress)) (*api.GenerateResponse, int, error) {
 		defer close(searchExited)
 		// Emit snapshots until cancelled, like a long-budget search would.
 		for i := 0; ; i++ {
 			select {
 			case <-ctx.Done():
-				return &GenerateResponse{Valid: true}, 0, nil
+				return &api.GenerateResponse{Valid: true}, 0, nil
 			case <-time.After(time.Millisecond):
 				progress(mctsui.Progress{Iterations: i})
 			}
@@ -167,7 +168,7 @@ func waitForGoroutines(t *testing.T, want int) {
 // occupancy), the per-outcome admission section, and the top-level gauges.
 func TestStatsShape(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	if status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
+	if status, body := post(t, ts.URL+"/v1/generate", api.GenerateRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
 		t.Fatalf("generate: %d %s", status, body)
 	}
 	status, body := get(t, ts.URL+"/v1/stats")
@@ -181,6 +182,7 @@ func TestStatsShape(t *testing.T) {
 	sections := map[string][]string{
 		"cache":     {"hits", "misses", "entries", "evictions", "capacity", "hit_rate", "occupancy"},
 		"admission": {"served", "overflow_429", "queue_timeout_503", "draining_503", "client_gone", "queue_wait_total_ms"},
+		"replica":   {"ready", "draining", "sessions"},
 	}
 	for section, keys := range sections {
 		blob, ok := raw[section]
@@ -206,7 +208,7 @@ func TestStatsShape(t *testing.T) {
 	// The counters carry real values: the generate above was served, its
 	// evaluations populated the cache, and nothing waited long enough to be
 	// refused.
-	var st StatsResponse
+	var st api.StatsResponse
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +238,7 @@ func TestAdmissionOutcomeCounters(t *testing.T) {
 		QueueWait:     500 * time.Millisecond,
 	})
 	// Hold the only slot.
-	slow := GenerateRequest{SearchParams: SearchParams{BudgetMS: 3000, Seed: 1}, Queries: figure1}
+	slow := api.GenerateRequest{SearchParams: api.SearchParams{BudgetMS: 3000, Seed: 1}, Queries: figure1}
 	done := make(chan int, 1)
 	go func() {
 		status, _ := post(t, ts.URL+"/v1/generate", slow)
@@ -271,7 +273,7 @@ func TestAdmissionOutcomeCounters(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("stats: %d", status)
 	}
-	var st StatsResponse
+	var st api.StatsResponse
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}

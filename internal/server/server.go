@@ -16,7 +16,19 @@
 //     JSON) as a session.
 //   - GET  /v1/sessions/{id}/export  — the persisted interface as JSON, or
 //     the self-contained interactive HTML page.
-//   - GET  /v1/stats, GET /healthz   — cache/admission observability.
+//   - GET  /v1/stats                 — cache/admission/replica observability.
+//   - GET  /healthz, GET /readyz     — liveness vs readiness: /healthz is
+//     200 for as long as the process can serve anything at all (draining
+//     included — in-flight requests still complete), while /readyz is 503
+//     until warm boot finishes and again once draining starts, so a fleet
+//     router stops routing *new* work without declaring the process dead.
+//   - POST /v1/drain                 — begin graceful drain remotely (the
+//     HTTP analogue of SIGTERM), used by the fleet router's planned
+//     warm-handoff removal.
+//
+// Every request and response body is defined in internal/api — the single
+// source of truth for the v1 wire contract shared with the router, the
+// typed client, and the load harness.
 //
 // All search endpoints pass through admission control: a fixed number of
 // concurrent searches, a bounded wait queue in front of them (overflow is
@@ -40,7 +52,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -49,10 +60,22 @@ import (
 	"time"
 
 	mctsui "repro"
+	"repro/internal/api"
 )
 
 // Config tunes the daemon; zero values take the defaults below.
 type Config struct {
+	// ReplicaID is the daemon's fleet identity: it is reported in the
+	// /v1/stats replica section and stamped on every response as an
+	// X-Replica header, so a router (or a curious client) can see which
+	// fleet member answered. Empty is fine for single-node deployments.
+	ReplicaID string
+	// StartUnready makes the daemon report not-ready on /readyz until
+	// MarkReady is called. cmd/mctsuid sets it when a warm-boot snapshot
+	// load is pending, so a fleet router never routes to a replica that is
+	// still cold. All endpoints serve regardless — readiness is advisory
+	// routing state, not an admission gate.
+	StartUnready bool
 	// CacheEntries bounds the daemon-wide shared transposition cache
 	// (mctsui.NewCache; <= 0 means the engine default of ~a million states).
 	// The cache evicts per-shard CLOCK victims once full, so any bound is
@@ -152,6 +175,11 @@ type Server struct {
 	baseCtx  context.Context // cancelled by Drain: searches return best-so-far
 	drain    context.CancelFunc
 	draining atomic.Bool
+	// ready is the /readyz verdict's warm-boot half: false from New when
+	// Config.StartUnready until MarkReady. Readiness is advisory (routers
+	// consult it; admission does not), so a plain atomic with no admission
+	// interlock suffices.
+	ready atomic.Bool
 	// admitMu serializes admission bookkeeping against Drain: admissions
 	// hold the read side while checking the draining flag and registering
 	// with inflight, Drain flips the flag under the write side — so once
@@ -185,7 +213,7 @@ func New(cfg Config) *Server {
 		cache = mctsui.NewCache(cfg.CacheEntries)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		cache:    cache,
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
@@ -194,10 +222,20 @@ func New(cfg Config) *Server {
 		drain:    cancel,
 		sessions: make(map[string]*session),
 	}
+	s.ready.Store(!cfg.StartUnready)
+	return s
 }
 
 // Cache exposes the daemon-wide shared transposition cache.
 func (s *Server) Cache() *mctsui.Cache { return s.cache }
+
+// MarkReady flips /readyz to ready (idempotent). cmd/mctsuid calls it once
+// the warm-boot snapshot load finishes; a Server built without StartUnready
+// is ready from construction.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// Ready reports the /readyz verdict: warm boot complete and not draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 
 // Handler returns the daemon's route table.
 func (s *Server) Handler() http.Handler {
@@ -209,9 +247,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
 	mux.HandleFunc("GET /v1/cache/export", s.handleCacheExport)
 	mux.HandleFunc("POST /v1/cache/import", s.handleCacheImport)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	if s.cfg.ReplicaID == "" {
+		return mux
+	}
+	id := s.cfg.ReplicaID
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Replica", id)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Drain moves the daemon into graceful shutdown: new search requests are
@@ -339,103 +386,10 @@ func admissionStatus(err error) int {
 	}
 }
 
-// --- Wire types -------------------------------------------------------------
-
-// SearchParams are the per-request search knobs shared by /v1/generate and
-// /v1/sessions/{id}/queries.
-type SearchParams struct {
-	// Iterations bounds the search (engine default when 0 and no budget).
-	Iterations int `json:"iterations,omitempty"`
-	// BudgetMS bounds wall-clock search time in milliseconds, clamped to
-	// the server's MaxBudget. The search is anytime: hitting the budget —
-	// or the daemon draining — returns the best interface found so far.
-	BudgetMS int64 `json:"budget_ms,omitempty"`
-	// Strategy is a StrategyByName spec: "mcts", "beam[:W]", "greedy",
-	// "random[:N]", "exhaustive[:M]".
-	Strategy string `json:"strategy,omitempty"`
-	// Workers runs root-parallel searches, clamped to MaxWorkers.
-	Workers int `json:"workers,omitempty"`
-	// TreeWorkers runs each MCTS search tree-parallel with that many
-	// goroutines sharing one tree (virtual-loss diversification). Admission
-	// control caps the request's total goroutine fan-out: workers ×
-	// tree_workers never exceeds MaxWorkers. Requests with tree_workers > 1
-	// trade the byte-identical-response determinism contract for speed.
-	TreeWorkers int `json:"tree_workers,omitempty"`
-	// Seed makes the response deterministic (engine default when 0).
-	Seed int64 `json:"seed,omitempty"`
-	// Screen is the output constraint (wide screen when omitted).
-	Screen *Size `json:"screen,omitempty"`
-}
-
-// Size is a width/height pair.
-type Size struct {
-	W int `json:"w"`
-	H int `json:"h"`
-}
-
-// GenerateRequest is the /v1/generate body.
-type GenerateRequest struct {
-	SearchParams
-	// Queries is the SQL query log, one statement per entry.
-	Queries []string `json:"queries"`
-	// Stream switches the response to Server-Sent Events: "progress"
-	// events with best-so-far snapshots, then one "result" (or "error")
-	// event. Also enabled by "Accept: text/event-stream".
-	Stream bool `json:"stream,omitempty"`
-}
-
-// SearchStats is the deterministic subset of the engine's search
-// diagnostics (wall-clock fields are deliberately excluded so identical
-// requests produce byte-identical responses).
-type SearchStats struct {
-	Strategy    string `json:"strategy"`
-	Iterations  int    `json:"iterations"`
-	Evals       int    `json:"evals"`
-	Workers     int    `json:"workers"`
-	TreeWorkers int    `json:"tree_workers"`
-	Interrupted bool   `json:"interrupted"`
-	WarmStarted bool   `json:"warm_started"`
-	// ReRooted reports that this search reused the session's previous MCTS
-	// tree, re-rooted at its best state (sequential session appends only).
-	ReRooted bool `json:"re_rooted"`
-}
-
-// GenerateResponse is the result of a generation (one-shot or session).
-type GenerateResponse struct {
-	Session string `json:"session,omitempty"`
-	// Created reports that the session request found no stored interface
-	// and started fresh — the signal that an append did *not* extend
-	// previous state (e.g. the session had idled out of the LRU).
-	Created    bool            `json:"created,omitempty"`
-	QueryCount int             `json:"query_count"`
-	Cost       float64         `json:"cost"` // -1 when no valid interface
-	M          float64         `json:"m"`
-	U          float64         `json:"u"`
-	Valid      bool            `json:"valid"`
-	Widgets    int             `json:"widgets"`
-	Bounds     Size            `json:"bounds"`
-	ASCII      string          `json:"ascii"`
-	Interface  json.RawMessage `json:"interface"` // persisted form (codec JSON)
-	Search     SearchStats     `json:"search"`
-}
-
-// errorJSON is every non-2xx body.
-type errorJSON struct {
-	Error string `json:"error"`
-}
-
-// jsonCost makes a cost JSON-representable (+Inf is not).
-func jsonCost(c float64) float64 {
-	if math.IsInf(c, 1) || math.IsNaN(c) {
-		return -1
-	}
-	return c
-}
-
 // --- Handlers ---------------------------------------------------------------
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
-	var req GenerateRequest
+	var req api.GenerateRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -457,7 +411,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stream := req.Stream || acceptsSSE(r)
-	s.runSearch(w, r, stream, func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error) {
+	s.runSearch(w, r, stream, func(ctx context.Context, progress func(mctsui.Progress)) (*api.GenerateResponse, int, error) {
 		iface, err := mctsui.New(searchOpts(baseOpts, nil, nil, progress)...).Generate(ctx, req.Queries)
 		if err != nil {
 			return nil, http.StatusBadRequest, err
@@ -481,7 +435,7 @@ func acceptsSSE(r *http.Request) bool {
 // runSearch wraps a search-running endpoint in admission control, the drain
 // context, and the plain-JSON vs SSE response split.
 func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, stream bool,
-	work func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error)) {
+	work func(ctx context.Context, progress func(mctsui.Progress)) (*api.GenerateResponse, int, error)) {
 	if err := s.acquire(r.Context()); err != nil {
 		s.fail(w, admissionStatus(err), err)
 		return
@@ -510,7 +464,7 @@ func (s *Server) runSearch(w http.ResponseWriter, r *http.Request, stream bool,
 // options resolves SearchParams into engine options against the shared
 // cache, clamping budgets to the server's limits. Callers append
 // per-request extras (warm start, progress) with searchOpts.
-func (s *Server) options(p SearchParams) ([]mctsui.Option, error) {
+func (s *Server) options(p api.SearchParams) ([]mctsui.Option, error) {
 	// The initial-state quality reference never appears in a response, so
 	// the daemon skips its per-request extraction pass.
 	opts := []mctsui.Option{mctsui.WithCache(s.cache), mctsui.WithoutInitialCost()}
@@ -592,7 +546,7 @@ func searchOpts(base []mctsui.Option, warm *mctsui.Interface, tree *mctsui.Searc
 }
 
 // response assembles the deterministic response body for an interface.
-func (s *Server) response(iface *mctsui.Interface, session string, queryCount int) (*GenerateResponse, error) {
+func (s *Server) response(iface *mctsui.Interface, session string, queryCount int) (*api.GenerateResponse, error) {
 	data, err := iface.MarshalJSON()
 	if err != nil {
 		return nil, err
@@ -600,18 +554,18 @@ func (s *Server) response(iface *mctsui.Interface, session string, queryCount in
 	m, u := iface.CostBreakdown()
 	w, h := iface.Bounds()
 	st := iface.Stats()
-	return &GenerateResponse{
+	return &api.GenerateResponse{
 		Session:    session,
 		QueryCount: queryCount,
-		Cost:       jsonCost(iface.Cost()),
+		Cost:       api.JSONCost(iface.Cost()),
 		M:          m,
 		U:          u,
 		Valid:      iface.Valid(),
 		Widgets:    iface.NumWidgets(),
-		Bounds:     Size{W: w, H: h},
+		Bounds:     api.Size{W: w, H: h},
 		ASCII:      iface.ASCII(),
 		Interface:  data,
-		Search: SearchStats{
+		Search: api.SearchStats{
 			Strategy:    st.Strategy,
 			Iterations:  st.Iterations,
 			Evals:       st.Evals,
@@ -624,48 +578,8 @@ func (s *Server) response(iface *mctsui.Interface, session string, queryCount in
 	}, nil
 }
 
-// CacheStats is the /v1/stats cache section: the shared transposition
-// cache's counters plus its occupancy ratio (entries/capacity) — the number
-// the load harness plots as the cache fill/eviction curve.
-type CacheStats struct {
-	Hits      int64   `json:"hits"`
-	Misses    int64   `json:"misses"`
-	Entries   int64   `json:"entries"`
-	Evictions int64   `json:"evictions"`
-	Capacity  int64   `json:"capacity"`
-	HitRate   float64 `json:"hit_rate"`
-	Occupancy float64 `json:"occupancy"`
-}
-
-// AdmissionStats is the /v1/stats admission section: cumulative per-outcome
-// totals for every request that passed through the admission gate, plus the
-// total time requests spent waiting for a search slot. served counts
-// admissions (a slot was granted); overflow/timeout/draining are the
-// refusals aggregated in the top-level rejected counter; client_gone counts
-// clients that disconnected while queued (not an admission refusal).
-type AdmissionStats struct {
-	Served          int64   `json:"served"`
-	Overflow429     int64   `json:"overflow_429"`
-	QueueTimeout503 int64   `json:"queue_timeout_503"`
-	Draining503     int64   `json:"draining_503"`
-	ClientGone      int64   `json:"client_gone"`
-	QueueWaitMS     float64 `json:"queue_wait_total_ms"`
-}
-
-// StatsResponse is the /v1/stats body.
-type StatsResponse struct {
-	Cache     CacheStats     `json:"cache"`
-	Admission AdmissionStats `json:"admission"`
-	Sessions  int            `json:"sessions"`
-	Inflight  int            `json:"inflight"`
-	Queued    int64          `json:"queued"` // waiting for a slot (excludes inflight)
-	Requests  int64          `json:"requests"`
-	Rejected  int64          `json:"rejected"`
-	Draining  bool           `json:"draining"`
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	var resp StatsResponse
+	var resp api.StatsResponse
 	cs := s.cache.Stats()
 	resp.Cache.Hits = cs.Hits
 	resp.Cache.Misses = cs.Misses
@@ -676,7 +590,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if cs.Capacity > 0 {
 		resp.Cache.Occupancy = float64(cs.Entries) / float64(cs.Capacity)
 	}
-	resp.Admission = AdmissionStats{
+	resp.Admission = api.AdmissionStats{
 		Served:          s.requests.Load(),
 		Overflow429:     s.overflow429.Load(),
 		QueueTimeout503: s.queueTimeouts.Load(),
@@ -687,6 +601,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	resp.Sessions = len(s.sessions)
 	s.mu.Unlock()
+	resp.Replica = api.ReplicaStats{
+		ID:       s.cfg.ReplicaID,
+		Ready:    s.Ready(),
+		Draining: s.draining.Load(),
+		Sessions: resp.Sessions,
+	}
 	resp.Inflight = len(s.sem)
 	// s.queued counts every request in the system (waiting + running);
 	// report only the waiters.
@@ -697,12 +617,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealth is pure liveness: 200 for as long as the process is able to
+// answer anything at all. Draining does not fail it — a draining daemon is
+// alive and still completing in-flight work; routability is /readyz's job.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, errDraining)
-		return
+	s.writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		Ready:    s.Ready(),
+	})
+}
+
+// handleReady is readiness: 503 while the warm-boot snapshot load is still
+// running (StartUnready before MarkReady) and again once draining begins,
+// so a fleet router routes new work only to replicas that can accept it.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := api.HealthResponse{Status: "ready", Draining: s.draining.Load(), Ready: s.Ready()}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+		resp.Status = "warming"
+		if resp.Draining {
+			resp.Status = "draining"
+		}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, status, resp)
+}
+
+// handleDrain begins graceful drain over HTTP (idempotent): the fleet
+// router's planned-removal hook, equivalent to sending the daemon SIGTERM
+// minus the process exit. After it returns, /readyz refuses, new searches
+// get 503, in-flight searches return best-so-far, and /v1/cache/export
+// still works — that asymmetry is what makes drain + export a warm handoff.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.Drain()
+	s.writeJSON(w, http.StatusOK, api.DrainResponse{Draining: true})
 }
 
 // --- Helpers ----------------------------------------------------------------
@@ -733,5 +682,5 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorJSON{Error: err.Error()})
+	s.writeJSON(w, status, api.ErrorBody{Error: err.Error()})
 }

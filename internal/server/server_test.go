@@ -4,16 +4,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	mctsui "repro"
+	"repro/internal/api"
+	"repro/internal/api/client"
 	"repro/internal/sqlparser"
 )
 
@@ -26,7 +30,7 @@ var figure1 = []string{
 }
 
 // fastParams keep searches deterministic and fast.
-var fastParams = SearchParams{Iterations: 8, Seed: 7}
+var fastParams = api.SearchParams{Iterations: 8, Seed: 7}
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
@@ -36,46 +40,73 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
+// testClient returns the typed client for a test server with retries off —
+// in a test, a refused connection is a bug to surface, not to paper over.
+func testClient(base string) *client.Client {
+	cl := client.New(base)
+	cl.Retries = -1
+	return cl
+}
+
+// clientFor splits a full test URL into the typed client for its server and
+// the request path — the bridge that lets the (url, body) helper call sites
+// below ride the shared client instead of hand-rolled net/http.
+func clientFor(t *testing.T, rawurl string) (*client.Client, string) {
+	t.Helper()
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		t.Errorf("parse %s: %v", rawurl, err)
+		return nil, ""
+	}
+	path := u.Path
+	if u.RawQuery != "" {
+		path += "?" + u.RawQuery
+	}
+	return testClient(u.Scheme + "://" + u.Host), path
+}
+
+// isStatus reports whether err is a *client.StatusError with the given code.
+func isStatus(err error, code int) bool {
+	var se *client.StatusError
+	return errors.As(err, &se) && se.Code == code
+}
+
 // post sends a JSON body and returns (status, response bytes). Transport
 // errors report via t.Errorf and return status 0 — never FailNow, since
 // several tests call these helpers from spawned goroutines (FailNow must
 // only run on the test goroutine, and a Goexit mid-helper would strand the
 // channel sends those tests wait on).
-func post(t *testing.T, url string, body any) (int, []byte) {
+func post(t *testing.T, rawurl string, body any) (int, []byte) {
 	t.Helper()
 	data, err := json.Marshal(body)
 	if err != nil {
 		t.Errorf("marshal request: %v", err)
 		return 0, nil
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		t.Errorf("POST %s: %v", url, err)
+	cl, path := clientFor(t, rawurl)
+	if cl == nil {
 		return 0, nil
 	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
+	status, out, err := cl.PostJSON(context.Background(), path, data)
 	if err != nil {
-		t.Errorf("read %s response: %v", url, err)
+		t.Errorf("POST %s: %v", rawurl, err)
 		return 0, nil
 	}
-	return resp.StatusCode, out
+	return status, out
 }
 
-func get(t *testing.T, url string) (int, []byte) {
+func get(t *testing.T, rawurl string) (int, []byte) {
 	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Errorf("GET %s: %v", url, err)
+	cl, path := clientFor(t, rawurl)
+	if cl == nil {
 		return 0, nil
 	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
+	status, out, err := cl.Get(context.Background(), path)
 	if err != nil {
-		t.Errorf("read %s response: %v", url, err)
+		t.Errorf("GET %s: %v", rawurl, err)
 		return 0, nil
 	}
-	return resp.StatusCode, out
+	return status, out
 }
 
 // compactJSON strips insignificant whitespace: the codec emits indented
@@ -89,9 +120,9 @@ func compactJSON(t *testing.T, data []byte) []byte {
 	return buf.Bytes()
 }
 
-func decodeGenerate(t *testing.T, data []byte) GenerateResponse {
+func decodeGenerate(t *testing.T, data []byte) api.GenerateResponse {
 	t.Helper()
-	var resp GenerateResponse
+	var resp api.GenerateResponse
 	if err := json.Unmarshal(data, &resp); err != nil {
 		t.Fatalf("bad generate response %s: %v", data, err)
 	}
@@ -101,7 +132,7 @@ func decodeGenerate(t *testing.T, data []byte) GenerateResponse {
 // offline runs the same generation the server performs for the given
 // params, with a fresh private cache — the reference the daemon's responses
 // must match byte for byte.
-func offline(t *testing.T, queries []string, p SearchParams, warm *mctsui.Interface) *mctsui.Interface {
+func offline(t *testing.T, queries []string, p api.SearchParams, warm *mctsui.Interface) *mctsui.Interface {
 	t.Helper()
 	opts := []mctsui.Option{}
 	if p.Iterations > 0 {
@@ -132,7 +163,7 @@ func offline(t *testing.T, queries []string, p SearchParams, warm *mctsui.Interf
 
 func TestGenerateDeterministicAndMatchesOffline(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	req := api.GenerateRequest{SearchParams: fastParams, Queries: figure1}
 
 	status, body1 := post(t, ts.URL+"/v1/generate", req)
 	if status != http.StatusOK {
@@ -172,7 +203,7 @@ func TestGenerateTreeWorkers(t *testing.T) {
 
 	p := fastParams
 	p.TreeWorkers = 8
-	status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: p, Queries: figure1})
+	status, body := post(t, ts.URL+"/v1/generate", api.GenerateRequest{SearchParams: p, Queries: figure1})
 	if status != http.StatusOK {
 		t.Fatalf("status %d: %s", status, body)
 	}
@@ -187,7 +218,7 @@ func TestGenerateTreeWorkers(t *testing.T) {
 	// Root and tree workers share one budget: 2 root workers leave room for
 	// only 2 tree workers each under MaxWorkers=4.
 	p.Workers, p.TreeWorkers = 2, 8
-	status, body = post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: p, Queries: figure1})
+	status, body = post(t, ts.URL+"/v1/generate", api.GenerateRequest{SearchParams: p, Queries: figure1})
 	if status != http.StatusOK {
 		t.Fatalf("status %d: %s", status, body)
 	}
@@ -199,20 +230,20 @@ func TestGenerateTreeWorkers(t *testing.T) {
 
 func TestGenerateRejectsBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxQueries: 2})
-	for name, req := range map[string]GenerateRequest{
+	for name, req := range map[string]api.GenerateRequest{
 		"empty log":     {SearchParams: fastParams},
 		"oversized log": {SearchParams: fastParams, Queries: []string{"select a from t", "select b from t", "select c from t"}},
 		"bad sql":       {SearchParams: fastParams, Queries: []string{"not sql at all ((("}},
-		"bad strategy":  {SearchParams: SearchParams{Strategy: "warp"}, Queries: figure1},
-		"bad budget":    {SearchParams: SearchParams{Iterations: -4}, Queries: figure1},
-		"bad screen":    {SearchParams: SearchParams{Screen: &Size{W: -1, H: 5}}, Queries: figure1},
-		"bad workers":   {SearchParams: SearchParams{TreeWorkers: -2}, Queries: figure1},
+		"bad strategy":  {SearchParams: api.SearchParams{Strategy: "warp"}, Queries: figure1},
+		"bad budget":    {SearchParams: api.SearchParams{Iterations: -4}, Queries: figure1},
+		"bad screen":    {SearchParams: api.SearchParams{Screen: &api.Size{W: -1, H: 5}}, Queries: figure1},
+		"bad workers":   {SearchParams: api.SearchParams{TreeWorkers: -2}, Queries: figure1},
 	} {
 		if status, body := post(t, ts.URL+"/v1/generate", req); status != http.StatusBadRequest {
 			t.Errorf("%s: status %d (%s), want 400", name, status, body)
 		}
 	}
-	if status, _ := post(t, ts.URL+"/v1/sessions/nope/interact", InteractRequest{Op: "get"}); status != http.StatusNotFound {
+	if status, _ := post(t, ts.URL+"/v1/sessions/nope/interact", api.InteractRequest{Op: "get"}); status != http.StatusNotFound {
 		t.Errorf("interact on unknown session: status %d, want 404", status)
 	}
 	if status, _ := get(t, ts.URL+"/v1/sessions/nope/export"); status != http.StatusNotFound {
@@ -222,7 +253,7 @@ func TestGenerateRejectsBadRequests(t *testing.T) {
 	// A failed session create must leave no resident state: export still
 	// 404s (not 409) and no MaxSessions slot is consumed.
 	if status, _ := post(t, ts.URL+"/v1/sessions/phantom/queries",
-		SessionQueriesRequest{SearchParams: fastParams, Queries: []string{"not sql ((("}}); status != http.StatusBadRequest {
+		api.SessionQueriesRequest{SearchParams: fastParams, Queries: []string{"not sql ((("}}); status != http.StatusBadRequest {
 		t.Errorf("bad create: status %d, want 400", status)
 	}
 	if status, _ := get(t, ts.URL+"/v1/sessions/phantom/export"); status != http.StatusNotFound {
@@ -239,7 +270,7 @@ func TestSessionRoundTrip(t *testing.T) {
 	base := ts.URL + "/v1/sessions/alpha"
 
 	// 1. Create the session with the first two queries.
-	status, body := post(t, base+"/queries", SessionQueriesRequest{SearchParams: fastParams, Queries: figure1[:2]})
+	status, body := post(t, base+"/queries", api.SessionQueriesRequest{SearchParams: fastParams, Queries: figure1[:2]})
 	if status != http.StatusOK {
 		t.Fatalf("create: status %d: %s", status, body)
 	}
@@ -253,7 +284,7 @@ func TestSessionRoundTrip(t *testing.T) {
 
 	// 2. Append the third query: regeneration warm-starts from the previous
 	// interface via the shared cache + core WarmStart hook.
-	status, body = post(t, base+"/queries", SessionQueriesRequest{SearchParams: fastParams, Queries: figure1[2:]})
+	status, body = post(t, base+"/queries", api.SessionQueriesRequest{SearchParams: fastParams, Queries: figure1[2:]})
 	if status != http.StatusOK {
 		t.Fatalf("append: status %d: %s", status, body)
 	}
@@ -282,11 +313,11 @@ func TestSessionRoundTrip(t *testing.T) {
 
 	// 3. Interact: load a log query, read the current SQL back.
 	wantSQL := sqlparser.Render(sqlparser.MustParse(figure1[1]))
-	status, body = post(t, base+"/interact", InteractRequest{Op: "load_query", Query: figure1[1]})
+	status, body = post(t, base+"/interact", api.InteractRequest{Op: "load_query", Query: figure1[1]})
 	if status != http.StatusOK {
 		t.Fatalf("interact: status %d: %s", status, body)
 	}
-	var inter InteractResponse
+	var inter api.InteractResponse
 	if err := json.Unmarshal(body, &inter); err != nil {
 		t.Fatal(err)
 	}
@@ -312,27 +343,20 @@ func TestSessionRoundTrip(t *testing.T) {
 
 	// 5. Persist→load: import the export as a new session; the same
 	// interaction must produce the same SQL (widget semantics preserved).
-	resp, err := http.Post(ts.URL+"/v1/sessions/beta/import", "application/json", bytes.NewReader(exported))
+	// This leg runs through the typed client's session methods end to end.
+	cl := testClient(ts.URL)
+	imp, err := cl.ImportSession(context.Background(), "beta", exported, nil)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("import: %v", err)
 	}
-	impBody, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("import: status %d: %s", resp.StatusCode, impBody)
-	}
-	imp := decodeGenerate(t, impBody)
 	if imp.QueryCount != 3 {
 		t.Errorf("import query count %d, want 3", imp.QueryCount)
 	}
-	status, body = post(t, ts.URL+"/v1/sessions/beta/interact", InteractRequest{Op: "load_query", Query: figure1[1]})
-	if status != http.StatusOK {
-		t.Fatalf("interact on imported session: status %d: %s", status, body)
+	interB2, err := cl.Interact(context.Background(), "beta", &api.InteractRequest{Op: api.OpLoadQuery, Query: figure1[1]})
+	if err != nil {
+		t.Fatalf("interact on imported session: %v", err)
 	}
-	var interB InteractResponse
-	if err := json.Unmarshal(body, &interB); err != nil {
-		t.Fatal(err)
-	}
+	interB := *interB2
 	if interB.SQL != inter.SQL {
 		t.Errorf("imported session SQL %q, original %q", interB.SQL, inter.SQL)
 	}
@@ -346,29 +370,23 @@ func TestSessionRoundTrip(t *testing.T) {
 	}
 
 	// 6. Malformed import errors (the fuzz wall's contract), never panics.
-	resp, err = http.Post(ts.URL+"/v1/sessions/gamma/import", "application/json",
-		strings.NewReader(`{"version":1,"difftree":{"kind":"WAT"}}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("malformed import: status %d, want 422", resp.StatusCode)
+	if _, err := cl.ImportSession(context.Background(), "gamma",
+		[]byte(`{"version":1,"difftree":{"kind":"WAT"}}`), nil); !isStatus(err, http.StatusUnprocessableEntity) {
+		t.Errorf("malformed import: %v, want 422", err)
 	}
 }
 
 func TestInteractOps(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	base := ts.URL + "/v1/sessions/ops"
-	if status, body := post(t, base+"/queries", SessionQueriesRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
+	if status, body := post(t, base+"/queries", api.SessionQueriesRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
 		t.Fatalf("create: %d %s", status, body)
 	}
-	status, body := post(t, base+"/interact", InteractRequest{Op: "get"})
+	status, body := post(t, base+"/interact", api.InteractRequest{Op: "get"})
 	if status != http.StatusOK {
 		t.Fatalf("get: %d %s", status, body)
 	}
-	var snap InteractResponse
+	var snap api.InteractResponse
 	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatal(err)
 	}
@@ -383,16 +401,16 @@ func TestInteractOps(t *testing.T) {
 			values = 2 // toggles/adders: exercise 0 and 1
 		}
 		for v := 0; v < values; v++ {
-			status, body = post(t, base+"/interact", InteractRequest{Op: "set", Widget: i, Value: v})
+			status, body = post(t, base+"/interact", api.InteractRequest{Op: "set", Widget: i, Value: v})
 			if status != http.StatusOK {
 				t.Fatalf("set widget %d=%d: %d %s", i, v, status, body)
 			}
 		}
 	}
-	if status, body = post(t, base+"/interact", InteractRequest{Op: "set", Widget: 99, Value: 0}); status != http.StatusUnprocessableEntity {
+	if status, body = post(t, base+"/interact", api.InteractRequest{Op: "set", Widget: 99, Value: 0}); status != http.StatusUnprocessableEntity {
 		t.Errorf("out-of-range widget: %d %s", status, body)
 	}
-	if status, body = post(t, base+"/interact", InteractRequest{Op: "warp"}); status != http.StatusBadRequest {
+	if status, body = post(t, base+"/interact", api.InteractRequest{Op: "warp"}); status != http.StatusBadRequest {
 		t.Errorf("unknown op: %d %s", status, body)
 	}
 }
@@ -407,7 +425,7 @@ func TestAdmissionControl(t *testing.T) {
 		QueueWait:     5 * time.Second,
 	})
 	// Occupy the only slot with a long-budget search.
-	slow := GenerateRequest{SearchParams: SearchParams{BudgetMS: 3000, Seed: 1}, Queries: figure1}
+	slow := api.GenerateRequest{SearchParams: api.SearchParams{BudgetMS: 3000, Seed: 1}, Queries: figure1}
 	done := make(chan int, 1)
 	go func() {
 		status, _ := post(t, ts.URL+"/v1/generate", slow)
@@ -447,7 +465,7 @@ func TestAdmissionControl(t *testing.T) {
 
 func TestDrainReturnsBestSoFar(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	req := GenerateRequest{SearchParams: SearchParams{BudgetMS: 10000, Seed: 1}, Queries: figure1}
+	req := api.GenerateRequest{SearchParams: api.SearchParams{BudgetMS: 10000, Seed: 1}, Queries: figure1}
 	type result struct {
 		status int
 		body   []byte
@@ -476,12 +494,26 @@ func TestDrainReturnsBestSoFar(t *testing.T) {
 		t.Error("drained response carries no best-so-far interface")
 	}
 
-	// Post-drain: new work refused, health reports draining.
+	// Post-drain: new work refused. Liveness and readiness split — the
+	// process is still alive (/healthz 200, so an orchestrator won't kill a
+	// draining replica mid-handoff) but must take no new traffic (/readyz
+	// 503, so a fleet router routes around it).
 	if status, _ := post(t, ts.URL+"/v1/generate", req); status != http.StatusServiceUnavailable {
 		t.Errorf("post-drain generate status %d, want 503", status)
 	}
-	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusServiceUnavailable {
-		t.Errorf("post-drain healthz status %d, want 503", status)
+	status, hbody := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Errorf("post-drain healthz status %d, want 200 (liveness survives drain)", status)
+	}
+	var health api.HealthResponse
+	if err := json.Unmarshal(hbody, &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Draining || health.Ready {
+		t.Errorf("post-drain healthz body %+v, want draining=true ready=false", health)
+	}
+	if status, _ := get(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable {
+		t.Errorf("post-drain readyz status %d, want 503", status)
 	}
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Errorf("shutdown: %v", err)
@@ -490,7 +522,7 @@ func TestDrainReturnsBestSoFar(t *testing.T) {
 
 func TestSSEStreaming(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	req := GenerateRequest{SearchParams: fastParams, Queries: figure1, Stream: true}
+	req := api.GenerateRequest{SearchParams: fastParams, Queries: figure1, Stream: true}
 	data, _ := json.Marshal(req)
 	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(data))
 	if err != nil {
@@ -517,7 +549,7 @@ func TestSSEStreaming(t *testing.T) {
 		if ev.name != "progress" {
 			t.Errorf("unexpected event %q before result", ev.name)
 		}
-		var p ProgressEvent
+		var p api.ProgressEvent
 		if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
 			t.Fatalf("bad progress data %q: %v", ev.data, err)
 		}
@@ -529,7 +561,7 @@ func TestSSEStreaming(t *testing.T) {
 
 	// The streamed result equals the plain JSON response for the same
 	// request (determinism is transport-independent).
-	var streamed GenerateResponse
+	var streamed api.GenerateResponse
 	if err := json.Unmarshal([]byte(last.data), &streamed); err != nil {
 		t.Fatal(err)
 	}
@@ -576,7 +608,7 @@ func TestSessionLRUEviction(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxSessions: 2})
 	for _, id := range []string{"a", "b", "c"} {
 		url := fmt.Sprintf("%s/v1/sessions/%s/queries", ts.URL, id)
-		if status, body := post(t, url, SessionQueriesRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
+		if status, body := post(t, url, api.SessionQueriesRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
 			t.Fatalf("session %s: %d %s", id, status, body)
 		}
 	}
@@ -597,16 +629,14 @@ func TestSessionLRUEviction(t *testing.T) {
 
 func TestStatsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	if status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: fastParams, Queries: figure1}); status != http.StatusOK {
-		t.Fatalf("generate: %d %s", status, body)
+	cl := testClient(ts.URL)
+	ctx := context.Background()
+	if _, err := cl.Generate(ctx, &api.GenerateRequest{SearchParams: fastParams, Queries: figure1}); err != nil {
+		t.Fatalf("generate: %v", err)
 	}
-	status, body := get(t, ts.URL+"/v1/stats")
-	if status != http.StatusOK {
-		t.Fatalf("stats: %d", status)
-	}
-	var st StatsResponse
-	if err := json.Unmarshal(body, &st); err != nil {
-		t.Fatal(err)
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
 	}
 	if st.Cache.Entries == 0 || st.Cache.Capacity == 0 {
 		t.Errorf("cache never populated: %+v", st.Cache)
@@ -614,8 +644,47 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Requests != 1 || st.Draining {
 		t.Errorf("stats = %+v", st)
 	}
-	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
-		t.Errorf("healthz: %d", status)
+	if ok, err := cl.Healthy(ctx); err != nil || !ok {
+		t.Errorf("healthy: %v %v", ok, err)
+	}
+	if ok, err := cl.Ready(ctx); err != nil || !ok {
+		t.Errorf("ready: %v %v", ok, err)
+	}
+}
+
+// TestReadinessGate pins the liveness/readiness split for warm boots: a
+// server started with StartUnready (mctsuid loading a cache snapshot in the
+// background) is alive but unready until MarkReady — so a fleet router keeps
+// traffic off a still-cold replica without mistaking it for dead — and Ready
+// never reports true once draining.
+func TestReadinessGate(t *testing.T) {
+	s, ts := newTestServer(t, Config{StartUnready: true})
+	cl := testClient(ts.URL)
+	ctx := context.Background()
+
+	if ok, err := cl.Healthy(ctx); err != nil || !ok {
+		t.Errorf("unready server healthz = %v %v, want alive", ok, err)
+	}
+	if ok, err := cl.Ready(ctx); err != nil || ok {
+		t.Errorf("pre-MarkReady readyz = %v %v, want not ready", ok, err)
+	}
+	// Unready gates only routing, not serving: a request that does arrive
+	// (raced in before a router noticed, or sent directly) is still served.
+	if _, err := cl.Generate(ctx, &api.GenerateRequest{SearchParams: fastParams, Queries: figure1}); err != nil {
+		t.Errorf("generate while unready: %v", err)
+	}
+
+	s.MarkReady()
+	if ok, err := cl.Ready(ctx); err != nil || !ok {
+		t.Errorf("post-MarkReady readyz = %v %v, want ready", ok, err)
+	}
+
+	s.Drain()
+	if ok, err := cl.Ready(ctx); err != nil || ok {
+		t.Errorf("draining readyz = %v %v, want not ready", ok, err)
+	}
+	if ok, err := cl.Healthy(ctx); err != nil || !ok {
+		t.Errorf("draining healthz = %v %v, want alive", ok, err)
 	}
 }
 
@@ -646,12 +715,12 @@ func TestConcurrentSessionsRace(t *testing.T) {
 			base := fmt.Sprintf("%s/v1/sessions/%s", ts.URL, id)
 			for i := 0; i < 3; i++ {
 				q := figure1[(w+i)%len(figure1)]
-				status, body := post(t, base+"/queries", SessionQueriesRequest{SearchParams: fastParams, Queries: []string{q}})
+				status, body := post(t, base+"/queries", api.SessionQueriesRequest{SearchParams: fastParams, Queries: []string{q}})
 				if status != http.StatusOK {
 					t.Errorf("append: %d %s", status, body)
 					return
 				}
-				post(t, base+"/interact", InteractRequest{Op: "get"})
+				post(t, base+"/interact", api.InteractRequest{Op: "get"})
 				get(t, base+"/export?format=json")
 			}
 		}(w)

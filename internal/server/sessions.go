@@ -10,6 +10,7 @@ import (
 	"time"
 
 	mctsui "repro"
+	"repro/internal/api"
 )
 
 // session is one user's evolving workload: the accumulated query log, the
@@ -152,26 +153,13 @@ func sessionID(r *http.Request) (string, error) {
 	return id, nil
 }
 
-// SessionQueriesRequest is the /v1/sessions/{id}/queries body.
-type SessionQueriesRequest struct {
-	SearchParams
-	// Queries are appended to the session's stored log; the interface is
-	// regenerated over the whole log, warm-started from the session's
-	// previous interface. An existing session accepts an empty append (a
-	// pure re-generation, e.g. with a bigger budget); a new session needs
-	// at least one query.
-	Queries []string `json:"queries"`
-	// Stream switches to SSE progress streaming, as in /v1/generate.
-	Stream bool `json:"stream,omitempty"`
-}
-
 func (s *Server) handleSessionQueries(w http.ResponseWriter, r *http.Request) {
 	id, err := sessionID(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	var req SessionQueriesRequest
+	var req api.SessionQueriesRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -211,7 +199,7 @@ func (s *Server) handleSessionQueries(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.runSearch(w, r, stream, func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error) {
+	s.runSearch(w, r, stream, func(ctx context.Context, progress func(mctsui.Progress)) (*api.GenerateResponse, int, error) {
 		var warm *mctsui.Interface
 		if sess.sess != nil {
 			warm = sess.sess.Interface()
@@ -250,48 +238,13 @@ func (s *Server) handleSessionQueries(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// InteractRequest is the /v1/sessions/{id}/interact body.
-type InteractRequest struct {
-	// Op is "set" (widget value), "set_instance" (value inside an adder
-	// instance), "load_query" (set every widget so the current query equals
-	// Query), or "get" (read-only snapshot).
-	Op string `json:"op"`
-	// Widget is the widget index for set/set_instance.
-	Widget int `json:"widget,omitempty"`
-	// Value is the option index (choice), 0/1 (toggle), or instance count
-	// (adder).
-	Value int `json:"value,omitempty"`
-	// Instance addresses the enclosing adder instances, outermost first,
-	// for set_instance.
-	Instance []int `json:"instance,omitempty"`
-	// Query is the SQL to load for load_query.
-	Query string `json:"query,omitempty"`
-}
-
-// WidgetState is one widget's display state.
-type WidgetState struct {
-	Index   int      `json:"index"`
-	Type    string   `json:"type"`
-	Title   string   `json:"title"`
-	Options []string `json:"options,omitempty"`
-	Value   string   `json:"value"`
-}
-
-// InteractResponse reports the session's widget state and current query
-// after the operation.
-type InteractResponse struct {
-	Session string        `json:"session"`
-	SQL     string        `json:"sql"`
-	Widgets []WidgetState `json:"widgets"`
-}
-
 func (s *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
 	id, err := sessionID(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	var req InteractRequest
+	var req api.InteractRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -311,13 +264,13 @@ func (s *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	switch req.Op {
-	case "set":
+	case api.OpSet:
 		err = sess.sess.Set(req.Widget, req.Value)
-	case "set_instance":
+	case api.OpSetInstance:
 		err = sess.sess.SetInstance(req.Widget, req.Value, req.Instance...)
-	case "load_query":
+	case api.OpLoadQuery:
 		err = sess.sess.LoadQuery(req.Query)
-	case "get", "":
+	case api.OpGet, "":
 		// Read-only snapshot.
 	default:
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown op %q (want set, set_instance, load_query, or get)", req.Op))
@@ -333,14 +286,14 @@ func (s *Server) handleInteract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	infos := sess.sess.Widgets()
-	widgets := make([]WidgetState, len(infos))
+	widgets := make([]api.WidgetState, len(infos))
 	for i, wi := range infos {
-		widgets[i] = WidgetState{
+		widgets[i] = api.WidgetState{
 			Index: wi.Index, Type: wi.Type, Title: wi.Title,
 			Options: wi.Options, Value: wi.Value,
 		}
 	}
-	s.writeJSON(w, http.StatusOK, InteractResponse{Session: id, SQL: sql, Widgets: widgets})
+	s.writeJSON(w, http.StatusOK, api.InteractResponse{Session: id, SQL: sql, Widgets: widgets})
 }
 
 // handleImport loads a persisted interface (codec JSON, the export format)

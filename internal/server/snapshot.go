@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	mctsui "repro"
+	"repro/internal/api"
 )
 
 // Cache snapshot transfer endpoints: the serving surface of the cache's
@@ -20,12 +21,6 @@ import (
 // draining — capturing the warm set on the way down is the whole point of a
 // graceful handoff — while import is refused with 503, since a daemon that
 // is shutting down has no use for new warmth.
-
-// ImportResponse is the /v1/cache/import success body.
-type ImportResponse struct {
-	// Entries is the number of snapshot entries merged into the cache.
-	Entries int64 `json:"entries"`
-}
 
 // acquireSnapshot claims the one-at-a-time snapshot transfer slot; false
 // means the response (409) has been written.
@@ -85,5 +80,5 @@ func (s *Server) handleCacheImport(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.writeJSON(w, http.StatusOK, ImportResponse{Entries: n})
+	s.writeJSON(w, http.StatusOK, api.CacheImportResponse{Entries: n})
 }

@@ -2,71 +2,71 @@ package server
 
 import (
 	"bytes"
-	"encoding/json"
-	"fmt"
-	"io"
+	"context"
+	"errors"
 	"net/http"
 	"testing"
 
 	mctsui "repro"
+	"repro/internal/api"
+	"repro/internal/api/client"
 )
 
-// exportCache GETs /v1/cache/export and returns the raw snapshot bytes.
+// exportCache streams /v1/cache/export through the typed client and returns
+// the raw snapshot bytes.
 func exportCache(t *testing.T, base string) []byte {
 	t.Helper()
-	status, body := get(t, base+"/v1/cache/export")
-	if status != http.StatusOK {
-		t.Fatalf("export: status %d: %s", status, body)
+	rc, err := testClient(base).ExportCache(context.Background())
+	if err != nil {
+		t.Fatalf("export: %v", err)
 	}
-	if len(body) == 0 {
+	defer rc.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(rc); err != nil {
+		t.Fatalf("read export: %v", err)
+	}
+	if buf.Len() == 0 {
 		t.Fatal("export: empty snapshot")
 	}
-	return body
+	return buf.Bytes()
 }
 
-// importCache POSTs raw snapshot bytes to /v1/cache/import.
-func importCache(t *testing.T, base string, snap []byte) (int, []byte) {
+// importCache uploads snapshot bytes to /v1/cache/import through the typed
+// client, returning the HTTP status and (on 200) the decoded response.
+func importCache(t *testing.T, base string, snap []byte) (int, *api.CacheImportResponse) {
 	t.Helper()
-	resp, err := http.Post(base+"/v1/cache/import", "application/octet-stream", bytes.NewReader(snap))
-	if err != nil {
-		t.Fatalf("POST import: %v", err)
+	resp, err := testClient(base).ImportCache(context.Background(), bytes.NewReader(snap))
+	if err == nil {
+		return http.StatusOK, resp
 	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatalf("read import response: %v", err)
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.Code, nil
 	}
-	return resp.StatusCode, out
+	t.Fatalf("POST import: %v", err)
+	return 0, nil
 }
 
 func TestCacheExportImportRoundTrip(t *testing.T) {
 	_, tsA := newTestServer(t, Config{})
-	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	req := api.GenerateRequest{SearchParams: fastParams, Queries: figure1}
 	if status, body := post(t, tsA.URL+"/v1/generate", req); status != http.StatusOK {
 		t.Fatalf("warm generate: status %d: %s", status, body)
 	}
 	snap := exportCache(t, tsA.URL)
 
 	_, tsB := newTestServer(t, Config{})
-	status, body := importCache(t, tsB.URL, snap)
-	if status != http.StatusOK {
-		t.Fatalf("import: status %d: %s", status, body)
-	}
-	var ir ImportResponse
-	if err := decodeInto(body, &ir); err != nil {
-		t.Fatalf("bad import response %s: %v", body, err)
+	status, ir := importCache(t, tsB.URL, snap)
+	if status != http.StatusOK || ir == nil {
+		t.Fatalf("import: status %d", status)
 	}
 	if ir.Entries <= 0 {
 		t.Fatalf("import merged %d entries", ir.Entries)
 	}
 	// Re-import is idempotent and reports the same entry count.
-	status, body = importCache(t, tsB.URL, snap)
-	if status != http.StatusOK {
-		t.Fatalf("re-import: status %d: %s", status, body)
-	}
-	var ir2 ImportResponse
-	if err := decodeInto(body, &ir2); err != nil {
-		t.Fatal(err)
+	status, ir2 := importCache(t, tsB.URL, snap)
+	if status != http.StatusOK || ir2 == nil {
+		t.Fatalf("re-import: status %d", status)
 	}
 	if ir2.Entries != ir.Entries {
 		t.Fatalf("re-import merged %d entries, first import %d", ir2.Entries, ir.Entries)
@@ -81,10 +81,10 @@ func TestCacheExportImportRoundTrip(t *testing.T) {
 func TestCacheWarmShippingByteIdentity(t *testing.T) {
 	_, tsA := newTestServer(t, Config{})
 	// A small trace with distinct seeds/budgets so several responses exist.
-	trace := []GenerateRequest{
-		{SearchParams: SearchParams{Iterations: 8, Seed: 7}, Queries: figure1},
-		{SearchParams: SearchParams{Iterations: 12, Seed: 3}, Queries: figure1},
-		{SearchParams: SearchParams{Iterations: 8, Seed: 7, Strategy: "beam:4"}, Queries: figure1},
+	trace := []api.GenerateRequest{
+		{SearchParams: api.SearchParams{Iterations: 8, Seed: 7}, Queries: figure1},
+		{SearchParams: api.SearchParams{Iterations: 12, Seed: 3}, Queries: figure1},
+		{SearchParams: api.SearchParams{Iterations: 8, Seed: 7, Strategy: "beam:4"}, Queries: figure1},
 	}
 	responsesA := make([][]byte, len(trace))
 	for i, req := range trace {
@@ -98,8 +98,8 @@ func TestCacheWarmShippingByteIdentity(t *testing.T) {
 
 	cacheB := mctsui.NewCache(0)
 	_, tsB := newTestServer(t, Config{Cache: cacheB})
-	if status, body := importCache(t, tsB.URL, snap); status != http.StatusOK {
-		t.Fatalf("daemon B import: status %d: %s", status, body)
+	if status, _ := importCache(t, tsB.URL, snap); status != http.StatusOK {
+		t.Fatalf("daemon B import: status %d", status)
 	}
 	for i, req := range trace {
 		status, body := post(t, tsB.URL+"/v1/generate", req)
@@ -125,16 +125,16 @@ func TestCacheWarmShippingByteIdentity(t *testing.T) {
 
 func TestCacheImportRejectsGarbage(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	status, body := importCache(t, ts.URL, []byte("definitely not a snapshot"))
+	status, _ := importCache(t, ts.URL, []byte("definitely not a snapshot"))
 	if status != http.StatusUnprocessableEntity {
-		t.Fatalf("garbage import: status %d: %s", status, body)
+		t.Fatalf("garbage import: status %d", status)
 	}
 	if st := s.Cache().Stats(); st.Entries != 0 {
 		t.Fatalf("garbage import planted %d entries", st.Entries)
 	}
 
 	// Truncated real snapshot: same rejection, same untouched cache.
-	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	req := api.GenerateRequest{SearchParams: fastParams, Queries: figure1}
 	if st, b := post(t, ts.URL+"/v1/generate", req); st != http.StatusOK {
 		t.Fatalf("warm generate: status %d: %s", st, b)
 	}
@@ -152,7 +152,7 @@ func TestCacheImportTooLarge(t *testing.T) {
 	// A real, well-formed snapshot that exceeds the receiver's byte limit:
 	// the decoder runs into the cap mid-parse and must answer 413, not 422.
 	_, warm := newTestServer(t, Config{})
-	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	req := api.GenerateRequest{SearchParams: fastParams, Queries: figure1}
 	if status, body := post(t, warm.URL+"/v1/generate", req); status != http.StatusOK {
 		t.Fatalf("warm generate: status %d: %s", status, body)
 	}
@@ -162,9 +162,9 @@ func TestCacheImportTooLarge(t *testing.T) {
 	if int64(len(snap)) <= 64 {
 		t.Fatalf("snapshot unexpectedly small: %d bytes", len(snap))
 	}
-	status, body := importCache(t, ts.URL, snap)
+	status, _ := importCache(t, ts.URL, snap)
 	if status != http.StatusRequestEntityTooLarge {
-		t.Fatalf("oversized import: status %d: %s", status, body)
+		t.Fatalf("oversized import: status %d", status)
 	}
 	if st := small.Cache().Stats(); st.Entries != 0 {
 		t.Fatalf("oversized import planted %d entries", st.Entries)
@@ -173,7 +173,7 @@ func TestCacheImportTooLarge(t *testing.T) {
 
 func TestCacheSnapshotDrainSemantics(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	req := GenerateRequest{SearchParams: fastParams, Queries: figure1}
+	req := api.GenerateRequest{SearchParams: fastParams, Queries: figure1}
 	if status, body := post(t, ts.URL+"/v1/generate", req); status != http.StatusOK {
 		t.Fatalf("generate: status %d: %s", status, body)
 	}
@@ -185,8 +185,8 @@ func TestCacheSnapshotDrainSemantics(t *testing.T) {
 		t.Error("export while draining returned different bytes than before drain")
 	}
 	// Import is refused: a daemon shutting down takes no new warmth.
-	if status, body := importCache(t, ts.URL, snap); status != http.StatusServiceUnavailable {
-		t.Fatalf("import while draining: status %d: %s", status, body)
+	if status, _ := importCache(t, ts.URL, snap); status != http.StatusServiceUnavailable {
+		t.Fatalf("import while draining: status %d", status)
 	}
 }
 
@@ -202,12 +202,4 @@ func TestCacheExportConcurrencyConflict(t *testing.T) {
 	if status, _ := importCache(t, ts.URL, []byte("x")); status != http.StatusConflict {
 		t.Fatalf("concurrent import: status %d", status)
 	}
-}
-
-// decodeInto is a tiny JSON helper for snapshot responses.
-func decodeInto(data []byte, v any) error {
-	if err := json.Unmarshal(data, v); err != nil {
-		return fmt.Errorf("decode %s: %w", data, err)
-	}
-	return nil
 }

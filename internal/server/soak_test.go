@@ -12,6 +12,7 @@ import (
 	"time"
 
 	mctsui "repro"
+	"repro/internal/api"
 	"repro/internal/sqlparser"
 	"repro/internal/workload"
 )
@@ -42,7 +43,7 @@ func soakWorkloads(n int) [][]string {
 // is not allowed); a nil return never equals an expected body.
 func normalizeSession(t *testing.T, body []byte) []byte {
 	t.Helper()
-	var resp GenerateResponse
+	var resp api.GenerateResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Errorf("bad response %s: %v", body, err)
 		return nil
@@ -73,8 +74,8 @@ func TestSoakEvictionDeterminism(t *testing.T) {
 		soakWorkers  = 8
 	)
 	logs := soakWorkloads(numWorkloads)
-	params := SearchParams{Iterations: 8, Seed: 7}
-	oneShot := SearchParams{Iterations: 8, Seed: 7, Workers: 2}
+	params := api.SearchParams{Iterations: 8, Seed: 7}
+	oneShot := api.SearchParams{Iterations: 8, Seed: 7, Workers: 2}
 
 	// Reference daemon: fresh, unbounded cache. Capture the expected body
 	// for every request the soak will repeat.
@@ -83,7 +84,7 @@ func TestSoakEvictionDeterminism(t *testing.T) {
 	refChains := make([][]chainStep, numWorkloads)
 	refGenerate := make([][]byte, numWorkloads)
 	for w, qs := range logs {
-		status, body := post(t, ref.URL+"/v1/generate", GenerateRequest{SearchParams: oneShot, Queries: qs})
+		status, body := post(t, ref.URL+"/v1/generate", api.GenerateRequest{SearchParams: oneShot, Queries: qs})
 		if status != http.StatusOK {
 			t.Fatalf("reference generate %d: %d %s", w, status, body)
 		}
@@ -91,7 +92,7 @@ func TestSoakEvictionDeterminism(t *testing.T) {
 		base := fmt.Sprintf("%s/v1/sessions/ref-%d", ref.URL, w)
 		for step := 0; step*stepLen < len(qs); step++ {
 			chunk := qs[step*stepLen : (step+1)*stepLen]
-			status, body := post(t, base+"/queries", SessionQueriesRequest{SearchParams: params, Queries: chunk})
+			status, body := post(t, base+"/queries", api.SessionQueriesRequest{SearchParams: params, Queries: chunk})
 			if status != http.StatusOK {
 				t.Fatalf("reference session %d step %d: %d %s", w, step, status, body)
 			}
@@ -121,7 +122,7 @@ func TestSoakEvictionDeterminism(t *testing.T) {
 				w := (g + round) % numWorkloads
 				// One-shot generate: the full response body must be
 				// byte-identical to the unbounded-cache reference.
-				status, body := post(t, ts.URL+"/v1/generate", GenerateRequest{SearchParams: oneShot, Queries: logs[w]})
+				status, body := post(t, ts.URL+"/v1/generate", api.GenerateRequest{SearchParams: oneShot, Queries: logs[w]})
 				if status != http.StatusOK {
 					t.Errorf("soak generate: %d %s", status, body)
 					mismatches.Add(1)
@@ -138,7 +139,7 @@ func TestSoakEvictionDeterminism(t *testing.T) {
 				base := fmt.Sprintf("%s/v1/sessions/%s", ts.URL, id)
 				for step, want := range refChains[w] {
 					chunk := logs[w][step*stepLen : (step+1)*stepLen]
-					status, body := post(t, base+"/queries", SessionQueriesRequest{SearchParams: params, Queries: chunk})
+					status, body := post(t, base+"/queries", api.SessionQueriesRequest{SearchParams: params, Queries: chunk})
 					if status != http.StatusOK {
 						t.Errorf("soak session step %d: %d %s", step, status, body)
 						mismatches.Add(1)
@@ -173,7 +174,7 @@ func TestSoakEvictionDeterminism(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("stats: %d", status)
 	}
-	var st StatsResponse
+	var st api.StatsResponse
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}

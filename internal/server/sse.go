@@ -8,20 +8,8 @@ import (
 	"time"
 
 	mctsui "repro"
+	"repro/internal/api"
 )
-
-// ProgressEvent is one SSE "progress" frame: a best-so-far snapshot of the
-// running search (the same data cmd/mctsui -progress prints). BestCost is
-// -1 until a valid interface has been seen.
-type ProgressEvent struct {
-	Strategy   string  `json:"strategy"`
-	Worker     int     `json:"worker"`
-	Iterations int     `json:"iterations"`
-	States     int     `json:"states"`
-	Evals      int     `json:"evals"`
-	BestCost   float64 `json:"best_cost"`
-	ElapsedMS  int64   `json:"elapsed_ms"`
-}
 
 // sseWriteTimeout bounds every SSE frame write. A client that disconnects
 // cleanly fails the next write immediately, but one that silently vanishes
@@ -73,7 +61,7 @@ func (sw *sseWriter) emit(event string, v any) bool {
 // the pump never returns (and never frees the slot) before the search
 // goroutine has finished, keeping the MaxConcurrent accounting exact.
 func (s *Server) streamSearch(w http.ResponseWriter, ctx context.Context, cancel context.CancelFunc,
-	work func(ctx context.Context, progress func(mctsui.Progress)) (*GenerateResponse, int, error)) {
+	work func(ctx context.Context, progress func(mctsui.Progress)) (*api.GenerateResponse, int, error)) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		s.fail(w, http.StatusNotAcceptable, fmt.Errorf("streaming unsupported by connection"))
@@ -85,21 +73,21 @@ func (s *Server) streamSearch(w http.ResponseWriter, ctx context.Context, cancel
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	snapshots := make(chan ProgressEvent, 16)
+	snapshots := make(chan api.ProgressEvent, 16)
 	type outcome struct {
-		resp *GenerateResponse
+		resp *api.GenerateResponse
 		err  error
 	}
 	done := make(chan outcome, 1)
 	go func() {
 		resp, _, err := work(ctx, func(p mctsui.Progress) {
-			ev := ProgressEvent{
+			ev := api.ProgressEvent{
 				Strategy:   p.Strategy,
 				Worker:     p.Worker,
 				Iterations: p.Iterations,
 				States:     p.States,
 				Evals:      p.Evals,
-				BestCost:   jsonCost(p.BestCost),
+				BestCost:   api.JSONCost(p.BestCost),
 				ElapsedMS:  p.Elapsed.Milliseconds(),
 			}
 			select {
@@ -115,7 +103,7 @@ func (s *Server) streamSearch(w http.ResponseWriter, ctx context.Context, cancel
 	for {
 		select {
 		case ev := <-snapshots:
-			if !sw.emit("progress", ev) {
+			if !sw.emit(api.EventProgress, ev) {
 				// The client is unreachable; stop the search now instead of
 				// letting it run out its budget against a dead stream. The
 				// loop keeps draining until the search goroutine reports in.
@@ -127,7 +115,7 @@ func (s *Server) streamSearch(w http.ResponseWriter, ctx context.Context, cancel
 			for {
 				select {
 				case ev := <-snapshots:
-					if !sw.emit("progress", ev) {
+					if !sw.emit(api.EventProgress, ev) {
 						cancel()
 					}
 					continue
@@ -136,9 +124,9 @@ func (s *Server) streamSearch(w http.ResponseWriter, ctx context.Context, cancel
 				break
 			}
 			if out.err != nil {
-				sw.emit("error", errorJSON{Error: out.err.Error()})
+				sw.emit(api.EventError, api.ErrorBody{Error: out.err.Error()})
 			} else {
-				sw.emit("result", out.resp)
+				sw.emit(api.EventResult, out.resp)
 			}
 			return
 		case <-ctxDone:
